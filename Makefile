@@ -1,0 +1,41 @@
+# Convenience targets for the BCL reproduction. Everything is plain
+# `go` underneath; nothing here is required.
+
+GO ?= go
+
+.PHONY: all test race short bench experiments examples tools clean
+
+all: test
+
+test:
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1x .
+
+# Regenerate every table and figure of the paper (EXPERIMENTS.md's
+# "Full output" section is this, captured).
+experiments:
+	$(GO) run ./cmd/bclbench all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/stencil
+	$(GO) run ./examples/masterworker
+	$(GO) run ./examples/rma
+	$(GO) run ./examples/dsm
+
+tools:
+	$(GO) run ./cmd/bcltrace
+	$(GO) run ./cmd/dawning -nodes 8 -ranks 8
+	$(GO) run ./cmd/dawning -nodes 8 -ranks 8 -workload ring
+	$(GO) run ./cmd/dawning -nodes 8 -ranks 8 -workload dsm -fabric mesh
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,311 @@
+package bcl
+
+// Tests of the public API surface: everything a downstream user can
+// reach without touching internal packages.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestMachinePingPublicAPI(t *testing.T) {
+	m := NewMachine(MachineConfig{Nodes: 2})
+	var got []byte
+	var at Time
+	m.Start(2, []int{0, 1}, func(ctx *Ctx) {
+		buf := ctx.Alloc(64)
+		if ctx.Rank == 0 {
+			ctx.Write(buf, []byte("public api"))
+			if _, err := ctx.Port.Send(ctx.P, ctx.Peers[1], SystemChannel, buf, 10, 7); err != nil {
+				t.Error(err)
+			}
+			if ev := ctx.Port.WaitSend(ctx.P); ev.Type != EvSendDone {
+				t.Errorf("send event %v", ev.Type)
+			}
+		} else {
+			ev := ctx.Port.WaitRecv(ctx.P)
+			if ev.Type != EvRecvDone || ev.Tag != 7 {
+				t.Errorf("recv event %+v", ev)
+			}
+			got, _ = ctx.Read(ev.VA, ev.Len)
+			at = ctx.P.Now()
+		}
+	})
+	m.Run()
+	if !bytes.Equal(got, []byte("public api")) {
+		t.Fatalf("got %q", got)
+	}
+	if at <= 0 || m.Now() < at {
+		t.Fatal("virtual clock inconsistent")
+	}
+}
+
+func TestMachineOverMesh(t *testing.T) {
+	m := NewMachine(MachineConfig{Nodes: 9, Fabric: Mesh})
+	ok := false
+	m.Start(2, []int{0, 8}, func(ctx *Ctx) {
+		buf := ctx.Alloc(32)
+		if ctx.Rank == 0 {
+			ctx.Write(buf, []byte("corner to corner"))
+			ctx.Port.Send(ctx.P, ctx.Peers[1], SystemChannel, buf, 16, 0)
+		} else {
+			ev := ctx.Port.WaitRecv(ctx.P)
+			data, _ := ctx.Read(ev.VA, ev.Len)
+			ok = string(data) == "corner to corner"
+		}
+	})
+	m.Run()
+	if !ok {
+		t.Fatal("mesh delivery via public API failed")
+	}
+}
+
+func TestStartMPIAllreduce(t *testing.T) {
+	m := NewMachine(MachineConfig{Nodes: 3})
+	sums := make([]int64, 6)
+	m.StartMPI(6, []int{0, 1, 2, 0, 1, 2}, func(p *Proc, comm *MPIComm) {
+		sp := comm.Device().Port().Process().Space
+		send := sp.Alloc(8)
+		recv := sp.Alloc(8)
+		buf := make([]byte, 8)
+		v := int64(comm.Rank() + 1)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(uint64(v) >> (8 * i))
+		}
+		sp.Write(send, buf)
+		if err := comm.Allreduce(p, send, recv, 1, MPIInt64, MPISum); err != nil {
+			t.Error(err)
+			return
+		}
+		out, _ := sp.Read(recv, 8)
+		var r int64
+		for i := 0; i < 8; i++ {
+			r |= int64(out[i]) << (8 * i)
+		}
+		sums[comm.Rank()] = r
+	})
+	m.Run()
+	for r, s := range sums {
+		if s != 21 { // 1+2+...+6
+			t.Fatalf("rank %d allreduce = %d, want 21", r, s)
+		}
+	}
+}
+
+func TestStartPVMRoundTrip(t *testing.T) {
+	m := NewMachine(MachineConfig{Nodes: 2})
+	var echoed string
+	m.StartPVM(2, []int{0, 1}, func(p *Proc, task *PVMTask) {
+		if task.MyTid() == PVMTid(0) {
+			task.InitSend(PVMDataDefault).PackString("pvm says hi")
+			if err := task.Send(p, PVMTid(1), 3); err != nil {
+				t.Error(err)
+			}
+			msg, err := task.Recv(p, PVMTid(1), 4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			echoed, _ = msg.UnpackString()
+		} else {
+			msg, err := task.Recv(p, PVMAnyTid, PVMAnyTag)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			s, _ := msg.UnpackString()
+			task.InitSend(PVMDataDefault).PackString(s + "!")
+			task.Send(p, msg.Src, 4)
+		}
+	})
+	m.Run()
+	if echoed != "pvm says hi!" {
+		t.Fatalf("echo = %q", echoed)
+	}
+}
+
+func TestTracerViaPublicAPI(t *testing.T) {
+	m := NewMachine(MachineConfig{Nodes: 2})
+	tr := NewTracer()
+	m.TraceNIC(0, tr)
+	m.TraceNIC(1, tr)
+	m.Start(2, []int{0, 1}, func(ctx *Ctx) {
+		ctx.Port.SetTracer(tr)
+		buf := ctx.Alloc(16)
+		if ctx.Rank == 0 {
+			ctx.Port.Send(ctx.P, ctx.Peers[1], SystemChannel, buf, 8, 0)
+			ctx.Port.WaitSend(ctx.P)
+		} else {
+			ctx.Port.WaitRecv(ctx.P)
+		}
+	})
+	m.Run()
+	order, _ := tr.Totals()
+	if len(order) < 5 {
+		t.Fatalf("tracer captured only %d stages: %v", len(order), order)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() string {
+		m := NewMachine(MachineConfig{Nodes: 2, Seed: 42})
+		var log string
+		m.Start(2, []int{0, 1}, func(ctx *Ctx) {
+			buf := ctx.Alloc(64)
+			if ctx.Rank == 0 {
+				for i := 0; i < 5; i++ {
+					ctx.Port.Send(ctx.P, ctx.Peers[1], SystemChannel, buf, 32, uint64(i))
+					ctx.Port.WaitSend(ctx.P)
+				}
+			} else {
+				for i := 0; i < 5; i++ {
+					ev := ctx.Port.WaitRecv(ctx.P)
+					log += fmt.Sprintf("%d@%d;", ev.Tag, ctx.P.Now())
+				}
+			}
+		})
+		m.Run()
+		return log
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("runs diverged:\n%s\n%s", a, b)
+	}
+}
+
+func TestRunForAdvancesPartially(t *testing.T) {
+	m := NewMachine(MachineConfig{Nodes: 2})
+	done := false
+	m.Start(1, []int{0}, func(ctx *Ctx) {
+		ctx.P.Sleep(5 * Millisecond)
+		done = true
+	})
+	m.RunFor(1 * Millisecond)
+	if done {
+		t.Fatal("RunFor overshot")
+	}
+	m.Run()
+	if !done {
+		t.Fatal("Run did not finish the work")
+	}
+}
+
+func TestProfileVariants(t *testing.T) {
+	prof := DAWNING3000()
+	prof.LinkBandwidth *= 2
+	m := NewMachine(MachineConfig{Nodes: 2, Profile: prof})
+	if m.Node(0).Prof.LinkBandwidth != prof.LinkBandwidth {
+		t.Fatal("custom profile not plumbed through")
+	}
+}
+
+// TestMachineScale70 boots the full 70-node DAWNING-3000 through the
+// public API and runs a verified collective across it (skipped with
+// -short).
+func TestMachineScale70(t *testing.T) {
+	if testing.Short() {
+		t.Skip("machine-scale test skipped in -short mode")
+	}
+	const nodes = 70
+	m := NewMachine(MachineConfig{Nodes: nodes})
+	placement := make([]int, nodes)
+	for i := range placement {
+		placement[i] = i
+	}
+	sums := make([]int64, nodes)
+	m.StartMPI(nodes, placement, func(p *Proc, comm *MPIComm) {
+		sp := comm.Device().Port().Process().Space
+		send := sp.Alloc(8)
+		recv := sp.Alloc(8)
+		v := int64(comm.Rank() + 1)
+		b := make([]byte, 8)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(uint64(v) >> (8 * i))
+		}
+		sp.Write(send, b)
+		if err := comm.Allreduce(p, send, recv, 1, MPIInt64, MPISum); err != nil {
+			t.Error(err)
+			return
+		}
+		out, _ := sp.Read(recv, 8)
+		var r int64
+		for i := 0; i < 8; i++ {
+			r |= int64(out[i]) << (8 * i)
+		}
+		sums[comm.Rank()] = r
+	})
+	m.Run()
+	want := int64(nodes) * (nodes + 1) / 2
+	for r, s := range sums {
+		if s != want {
+			t.Fatalf("rank %d = %d, want %d", r, s, want)
+		}
+	}
+}
+
+func TestStartWithOptionsSmallPool(t *testing.T) {
+	m := NewMachine(MachineConfig{Nodes: 2})
+	delivered := 0
+	m.StartWithOptions(2, []int{0, 1}, PortOptions{SystemBuffers: 2, SystemBufSize: 512}, func(ctx *Ctx) {
+		buf := ctx.Alloc(600)
+		switch ctx.Rank {
+		case 0:
+			// The third eager message must stall until the pool refills
+			// (it never does here), so only two deliver.
+			for i := 0; i < 3; i++ {
+				ctx.Port.Send(ctx.P, ctx.Peers[1], SystemChannel, buf, 100, uint64(i))
+				ctx.Port.WaitSend(ctx.P)
+			}
+		case 1:
+			for {
+				ev, ok := ctx.Port.TryRecv(ctx.P)
+				if !ok {
+					ctx.P.Sleep(100 * Microsecond)
+					if ctx.P.Now() > 50*Millisecond {
+						return
+					}
+					continue
+				}
+				_ = ev
+				delivered++
+			}
+		}
+	})
+	m.RunFor(80 * Millisecond)
+	if delivered != 2 {
+		t.Fatalf("delivered %d with a 2-buffer pool, want 2", delivered)
+	}
+}
+
+func TestStartPanicsOnBadPlacement(t *testing.T) {
+	m := NewMachine(MachineConfig{Nodes: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched placement accepted")
+		}
+	}()
+	m.Start(3, []int{0}, func(ctx *Ctx) {})
+}
+
+func TestStartDSMViaPublicAPI(t *testing.T) {
+	m := NewMachine(MachineConfig{Nodes: 2})
+	vals := make([]uint64, 2)
+	m.StartDSM(2, []int{0, 1}, 8192, func(p *Proc, dsm *DSM) {
+		if dsm.Rank() == 0 {
+			dsm.Acquire(p, 1)
+			dsm.WriteUint64(p, 0, 1234)
+			dsm.Release(p, 1)
+		}
+		dsm.Barrier(p)
+		v, err := dsm.ReadUint64(p, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		vals[dsm.Rank()] = v
+	})
+	m.Run()
+	if vals[0] != 1234 || vals[1] != 1234 {
+		t.Fatalf("DSM values = %v", vals)
+	}
+}

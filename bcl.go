@@ -1,0 +1,345 @@
+// Package bcl is the public API of the semi-user-level communication
+// architecture reproduction: a simulated DAWNING-3000-class cluster
+// plus the complete communication software stack of Meng et al.,
+// "Semi-User-Level Communication Architecture" (IPPS 2002).
+//
+// The headline object is a Machine — a deterministic discrete-event
+// simulation of N SMP nodes joined by a Myrinet-like switched fabric
+// or an nwrc 2-D wormhole mesh — on which you start simulated
+// processes that communicate through BCL ports (the paper's
+// contribution), through the comparator protocols (user-level,
+// kernel-level, AM-II-like, BIP-like), or through the upper layers
+// (EADI-2, MPI, PVM).
+//
+// A two-process ping over the semi-user-level path:
+//
+//	m := bcl.NewMachine(bcl.MachineConfig{Nodes: 2})
+//	m.Start(2, []int{0, 1}, func(ctx *bcl.Ctx) {
+//		buf := ctx.Alloc(64)
+//		if ctx.Rank == 0 {
+//			ctx.Write(buf, []byte("hello"))
+//			ctx.Port.Send(ctx.P, ctx.Peers[1], bcl.SystemChannel, buf, 5, 0)
+//		} else {
+//			ev := ctx.Port.WaitRecv(ctx.P)
+//			data, _ := ctx.Read(ev.VA, ev.Len)
+//			fmt.Printf("got %q\n", data)
+//		}
+//	})
+//	m.Run()
+//
+// Virtual time is integer nanoseconds; nothing depends on wall-clock
+// speed, and runs are bit-for-bit reproducible for a given seed.
+package bcl
+
+import (
+	"fmt"
+
+	ibcl "bcl/internal/bcl"
+	"bcl/internal/cluster"
+	"bcl/internal/eadi"
+	"bcl/internal/hw"
+	"bcl/internal/jiajia"
+	"bcl/internal/mem"
+	"bcl/internal/mpi"
+	"bcl/internal/nic"
+	"bcl/internal/node"
+	"bcl/internal/pvm"
+	"bcl/internal/sim"
+	"bcl/internal/trace"
+)
+
+// Re-exported simulation types: the process handle and virtual time.
+type (
+	// Proc is a simulated process handle; blocking operations take it.
+	Proc = sim.Proc
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+	// Tracer records stage timelines (Figures 5-7).
+	Tracer = trace.Tracer
+)
+
+// Virtual-time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Re-exported BCL library types.
+type (
+	// Port is a BCL communication endpoint (one per process).
+	Port = ibcl.Port
+	// Addr names a process as (node, port).
+	Addr = ibcl.Addr
+	// PortOptions tunes port creation.
+	PortOptions = ibcl.Options
+	// Event is a completion event.
+	Event = nic.Event
+	// VAddr is a virtual address in a simulated process.
+	VAddr = mem.VAddr
+	// Profile is a hardware timing profile.
+	Profile = hw.Profile
+	// MPIComm is a communicator of the mini-MPI over EADI-2.
+	MPIComm = mpi.Comm
+	// PVMTask is a task of the mini-PVM over EADI-2.
+	PVMTask = pvm.Task
+	// DSM is a JIAJIA-style shared-virtual-memory instance over BCL.
+	DSM = jiajia.Instance
+	// MPIRequest is a nonblocking MPI operation handle.
+	MPIRequest = mpi.Request
+)
+
+// SystemChannel is the eager per-process channel id.
+const SystemChannel = ibcl.SystemChannel
+
+// MPI reduction datatypes and operators (for MPIComm.Reduce and
+// friends).
+const (
+	MPIFloat64 = mpi.Float64
+	MPIInt64   = mpi.Int64
+	MPISum     = mpi.Sum
+	MPIMax     = mpi.Max
+	MPIMin     = mpi.Min
+)
+
+// MPI wildcards.
+const (
+	MPIAnySource = mpi.AnySource
+	MPIAnyTag    = mpi.AnyTag
+)
+
+// PVM wildcards and encodings.
+const (
+	PVMAnyTid      = pvm.AnyTid
+	PVMAnyTag      = pvm.AnyTag
+	PVMDataDefault = pvm.DataDefault
+	PVMDataRaw     = pvm.DataRaw
+	PVMDataInPlace = pvm.DataInPlace
+)
+
+// PVMTid converts a task rank to its task id.
+func PVMTid(rank int) int { return pvm.Tid(rank) }
+
+// PVMRank converts a task id back to its rank.
+func PVMRank(tid int) int { return pvm.Rank(tid) }
+
+// Event types.
+const (
+	EvRecvDone   = nic.EvRecvDone
+	EvSendDone   = nic.EvSendDone
+	EvSendFailed = nic.EvSendFailed
+)
+
+// Fabric kinds.
+const (
+	Myrinet = cluster.Myrinet
+	Mesh    = cluster.Mesh
+	// Hetero is the cluster-of-clusters configuration: Myrinet among
+	// the lower half of the nodes (and as the cross-cluster backbone),
+	// the nwrc mesh among the upper half. The same BCL binaries run
+	// unmodified — the paper's heterogeneous-network claim.
+	Hetero = cluster.Hetero
+)
+
+// DAWNING3000 returns the calibrated hardware profile of the paper's
+// testbed.
+func DAWNING3000() *Profile { return hw.DAWNING3000() }
+
+// MachineConfig describes the simulated cluster.
+type MachineConfig struct {
+	Nodes   int                // default 2
+	Fabric  cluster.FabricKind // default Myrinet
+	Profile *Profile           // default DAWNING3000
+	Seed    uint64             // default 1
+}
+
+// Machine is a running simulated cluster with the BCL stack attached.
+type Machine struct {
+	Cluster *cluster.Cluster
+	Sys     *ibcl.System
+}
+
+// NewMachine builds the cluster and boots BCL on it.
+func NewMachine(cfg MachineConfig) *Machine {
+	c := cluster.New(cluster.Config{
+		Nodes:   cfg.Nodes,
+		Fabric:  cfg.Fabric,
+		Profile: cfg.Profile,
+		NIC:     ibcl.DefaultNICConfig(),
+		Seed:    cfg.Seed,
+	})
+	return &Machine{Cluster: c, Sys: ibcl.NewSystem(c)}
+}
+
+// Nodes returns the node count.
+func (m *Machine) Nodes() int { return m.Cluster.Size() }
+
+// Now returns the current virtual time.
+func (m *Machine) Now() Time { return m.Cluster.Env.Now() }
+
+// Run executes the simulation until no work remains and returns the
+// final virtual time.
+func (m *Machine) Run() Time { return m.Cluster.Env.Run() }
+
+// RunFor advances virtual time by d.
+func (m *Machine) RunFor(d Time) Time { return m.Cluster.Env.RunUntil(m.Cluster.Env.Now() + d) }
+
+// Node returns node i (for stats and advanced use).
+func (m *Machine) Node(i int) *node.Node { return m.Cluster.Nodes[i] }
+
+// Ctx is the environment handed to each process started via Start and
+// friends: its rank, its simulated process handle, its BCL port, and
+// the addresses of every peer in the job.
+type Ctx struct {
+	Rank  int
+	P     *Proc
+	Port  *Port
+	Peers []Addr
+	M     *Machine
+}
+
+// Alloc maps n bytes in the process's address space.
+func (c *Ctx) Alloc(n int) VAddr { return c.Port.Process().Space.Alloc(n) }
+
+// Write stores data at va.
+func (c *Ctx) Write(va VAddr, data []byte) error {
+	return c.Port.Process().Space.Write(va, data)
+}
+
+// Read loads n bytes at va.
+func (c *Ctx) Read(va VAddr, n int) ([]byte, error) {
+	return c.Port.Process().Space.Read(va, n)
+}
+
+// Start launches ranks BCL processes; rank i runs on node
+// placement[i]. Each body runs in its own simulated process with an
+// open port. Call Run (or RunFor) afterwards to execute.
+func (m *Machine) Start(ranks int, placement []int, body func(ctx *Ctx)) {
+	m.start(ranks, placement, PortOptions{SystemBuffers: 64}, body)
+}
+
+// StartWithOptions is Start with explicit port options.
+func (m *Machine) StartWithOptions(ranks int, placement []int, opts PortOptions, body func(ctx *Ctx)) {
+	m.start(ranks, placement, opts, body)
+}
+
+func (m *Machine) start(ranks int, placement []int, opts PortOptions, body func(ctx *Ctx)) {
+	if len(placement) != ranks {
+		panic(fmt.Sprintf("bcl: %d ranks but %d placements", ranks, len(placement)))
+	}
+	m.Cluster.Env.Go("bcl/launch", func(p *sim.Proc) {
+		ports := make([]*Port, ranks)
+		peers := make([]Addr, ranks)
+		for i := 0; i < ranks; i++ {
+			nd := m.Cluster.Nodes[placement[i]]
+			proc := nd.Kernel.Spawn()
+			pt, err := m.Sys.Open(p, nd, proc, opts)
+			if err != nil {
+				panic(fmt.Sprintf("bcl: open port for rank %d: %v", i, err))
+			}
+			ports[i] = pt
+			peers[i] = pt.Addr()
+		}
+		for i := 0; i < ranks; i++ {
+			ctx := &Ctx{Rank: i, Port: ports[i], Peers: peers, M: m}
+			m.Cluster.Env.Go(fmt.Sprintf("rank%d", i), func(rp *sim.Proc) {
+				ctx.P = rp
+				body(ctx)
+			})
+		}
+	})
+}
+
+// StartMPI launches an MPI job: rank i runs on node placement[i] with
+// a world communicator.
+func (m *Machine) StartMPI(ranks int, placement []int, body func(p *Proc, comm *MPIComm)) {
+	m.Cluster.Env.Go("mpi/launch", func(p *sim.Proc) {
+		devs := m.buildDevices(p, ranks, placement)
+		for i := 0; i < ranks; i++ {
+			comm := mpi.World(devs[i])
+			m.Cluster.Env.Go(fmt.Sprintf("mpi/rank%d", i), func(rp *sim.Proc) {
+				body(rp, comm)
+			})
+		}
+	})
+}
+
+// StartPVM launches a PVM virtual machine: task i runs on node
+// placement[i].
+func (m *Machine) StartPVM(tasks int, placement []int, body func(p *Proc, task *PVMTask)) {
+	m.Cluster.Env.Go("pvm/launch", func(p *sim.Proc) {
+		devs := m.buildDevices(p, tasks, placement)
+		for i := 0; i < tasks; i++ {
+			tk := pvm.NewTask(devs[i])
+			m.Cluster.Env.Go(fmt.Sprintf("pvm/task%d", i), func(rp *sim.Proc) {
+				body(rp, tk)
+			})
+		}
+	})
+}
+
+func (m *Machine) buildDevices(p *sim.Proc, ranks int, placement []int) []*eadi.Device {
+	if len(placement) != ranks {
+		panic(fmt.Sprintf("bcl: %d ranks but %d placements", ranks, len(placement)))
+	}
+	ports := make([]*Port, ranks)
+	addrs := make([]Addr, ranks)
+	for i := 0; i < ranks; i++ {
+		nd := m.Cluster.Nodes[placement[i]]
+		proc := nd.Kernel.Spawn()
+		pt, err := m.Sys.Open(p, nd, proc, PortOptions{SystemBuffers: 64, SystemBufSize: eadi.EagerLimit})
+		if err != nil {
+			panic(fmt.Sprintf("bcl: open port for rank %d: %v", i, err))
+		}
+		ports[i] = pt
+		addrs[i] = pt.Addr()
+	}
+	devs := make([]*eadi.Device, ranks)
+	for i, pt := range ports {
+		devs[i] = eadi.NewDevice(pt, i, addrs)
+	}
+	return devs
+}
+
+// StartDSM launches a JIAJIA-style software-DSM job over a shared
+// region of the given size: rank i runs on node placement[i], plus a
+// lock-manager service process on node 0. This is the SVM layer of the
+// DAWNING-3000 software stack (paper Figure 1, reference [8]).
+func (m *Machine) StartDSM(ranks int, placement []int, regionSize int, body func(p *Proc, dsm *DSM)) {
+	if len(placement) != ranks {
+		panic(fmt.Sprintf("bcl: %d ranks but %d placements", ranks, len(placement)))
+	}
+	m.Cluster.Env.Go("dsm/launch", func(p *sim.Proc) {
+		ports := make([]*Port, ranks)
+		for i := 0; i < ranks; i++ {
+			nd := m.Cluster.Nodes[placement[i]]
+			pt, err := m.Sys.Open(p, nd, nd.Kernel.Spawn(), PortOptions{SystemBuffers: 64})
+			if err != nil {
+				panic(fmt.Sprintf("bcl: open port for DSM rank %d: %v", i, err))
+			}
+			ports[i] = pt
+		}
+		mgrNode := m.Cluster.Nodes[0]
+		mgrPort, err := m.Sys.Open(p, mgrNode, mgrNode.Kernel.Spawn(), PortOptions{SystemBuffers: 128})
+		if err != nil {
+			panic(fmt.Sprintf("bcl: open DSM manager port: %v", err))
+		}
+		instances, err := jiajia.Setup(p, ports, mgrPort, regionSize)
+		if err != nil {
+			panic(fmt.Sprintf("bcl: DSM setup: %v", err))
+		}
+		for i := 0; i < ranks; i++ {
+			in := instances[i]
+			m.Cluster.Env.Go(fmt.Sprintf("dsm/rank%d", i), func(rp *sim.Proc) {
+				body(rp, in)
+			})
+		}
+	})
+}
+
+// NewTracer returns a stage tracer to attach with Port.SetTracer (and
+// Machine.TraceNIC for firmware stages).
+func NewTracer() *Tracer { return trace.New() }
+
+// TraceNIC attaches a tracer to node i's NIC firmware.
+func (m *Machine) TraceNIC(i int, tr *Tracer) { m.Cluster.Nodes[i].NIC.Tracer = tr }

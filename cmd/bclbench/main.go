@@ -1,0 +1,57 @@
+// Command bclbench regenerates the paper's evaluation tables and
+// figures from the simulated cluster.
+//
+// Usage:
+//
+//	bclbench -list             # show experiment ids
+//	bclbench all               # run everything, in paper order
+//	bclbench table1 fig7 ...   # run selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bcl/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: bclbench [-list] all | <experiment> ...\n")
+		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(bench.IDs(), " "))
+	}
+	flag.Parse()
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var reports []*bench.Report
+	if len(args) == 1 && args[0] == "all" {
+		reports = bench.All()
+	} else {
+		for _, id := range args {
+			r := bench.ByID(id)
+			if r == nil {
+				fmt.Fprintf(os.Stderr, "bclbench: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			reports = append(reports, r)
+		}
+	}
+	for i, r := range reports {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(r.String())
+	}
+}

@@ -1,0 +1,49 @@
+// Command bcltrace prints the per-stage timeline of one BCL message
+// across the simulated stack — the moral equivalent of the paper's
+// Figures 5-7 — by running a traced 0-length send between two nodes.
+//
+// Usage:
+//
+//	bcltrace                    # full one-way timeline (Fig. 7 view)
+//	bcltrace -side send         # transmission stages only (Fig. 5 view)
+//	bcltrace -side recv         # reception stages only (Fig. 6 view)
+//	bcltrace -chrome > t.json   # Chrome trace-event JSON (load in
+//	                            # chrome://tracing or ui.perfetto.dev)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bcl/internal/bench"
+)
+
+func main() {
+	side := flag.String("side", "both", "which stages to print: send, recv, or both")
+	chrome := flag.Bool("chrome", false, "emit Chrome trace-event JSON instead of text")
+	flag.Parse()
+	if *chrome {
+		out, err := bench.ChromeTraceJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bcltrace: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(out)
+		fmt.Println()
+		return
+	}
+	var id string
+	switch *side {
+	case "send":
+		id = "fig5"
+	case "recv":
+		id = "fig6"
+	case "both":
+		id = "fig7"
+	default:
+		fmt.Fprintf(os.Stderr, "bcltrace: -side must be send, recv or both\n")
+		os.Exit(2)
+	}
+	fmt.Print(bench.ByID(id).String())
+}

@@ -1,0 +1,90 @@
+// Command dawning boots a full-scale simulated DAWNING-3000 — up to
+// the real machine's 70 nodes — runs a selectable self-checking
+// workload across it, and dumps the communication-stack statistics: a
+// demonstration that the whole software stack (MPI/DSM -> EADI-2 ->
+// BCL -> kernel module -> MCP firmware -> fabric) operates at machine
+// scale on any of the three system-area networks.
+//
+// Usage:
+//
+//	dawning -nodes 70 -ranks 70 -fabric myrinet -iters 5
+//	dawning -fabric mesh -nodes 16 -ranks 32            # 2 ranks per node
+//	dawning -workload ring -nodes 8 -ranks 8            # p2p ring
+//	dawning -workload dsm -nodes 8 -ranks 8             # shared memory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bcl"
+	"bcl/internal/workloads"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 8, "cluster nodes")
+	ranks := flag.Int("ranks", 8, "job ranks (placed round-robin)")
+	fabricKind := flag.String("fabric", "myrinet", "system area network: myrinet, mesh or hetero")
+	workload := flag.String("workload", "collectives", "workload: collectives, ring or dsm")
+	iters := flag.Int("iters", 3, "workload iterations")
+	count := flag.Int("count", 1024, "elements per rank (collectives) / messages (ring)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var fk = bcl.Myrinet
+	switch *fabricKind {
+	case "myrinet":
+	case "mesh":
+		fk = bcl.Mesh
+	case "hetero":
+		fk = bcl.Hetero
+	default:
+		fmt.Fprintln(os.Stderr, "dawning: -fabric must be myrinet, mesh or hetero")
+		os.Exit(2)
+	}
+
+	m := bcl.NewMachine(bcl.MachineConfig{Nodes: *nodes, Fabric: fk, Seed: *seed})
+	pr := workloads.Params{Ranks: *ranks, Iters: *iters, Count: *count}
+
+	var desc string
+	var err error
+	switch *workload {
+	case "collectives":
+		desc, err = workloads.Collectives(m, pr)
+	case "ring":
+		desc, err = workloads.Ring(m, pr)
+	case "dsm":
+		desc, err = workloads.DSMHistogram(m, pr)
+	default:
+		fmt.Fprintln(os.Stderr, "dawning: -workload must be collectives, ring or dsm")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dawning: workload FAILED verification: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("DAWNING-3000 simulation: %d nodes, %d ranks, %s fabric\n", *nodes, *ranks, *fabricKind)
+	fmt.Printf("workload: %s — verified correct\n", desc)
+	fmt.Printf("virtual wall time: %.2f ms\n", float64(m.Now())/1e6)
+
+	fmt.Printf("\n%-6s %10s %10s %12s %12s %10s %10s\n",
+		"node", "traps", "irqs", "pkts-out", "pkts-in", "retx", "pinned")
+	show := *nodes
+	if show > 16 {
+		show = 16
+	}
+	for i := 0; i < show; i++ {
+		nd := m.Node(i)
+		ks := nd.Kernel.Stats()
+		ns := nd.NIC.Stats()
+		_, pinnedMax := nd.Mem.PinnedPages()
+		fmt.Printf("%-6d %10d %10d %12d %12d %10d %10d\n",
+			i, ks.Traps, ks.Interrupts+ns.Interrupts, ns.PacketsSent, ns.PacketsRecv,
+			ns.Retransmits, pinnedMax)
+	}
+	if show < *nodes {
+		fmt.Printf("... (%d more nodes)\n", *nodes-show)
+	}
+}

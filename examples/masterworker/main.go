@@ -1,0 +1,129 @@
+// Master/worker: the classic PVM programming pattern on the mini-PVM
+// stack (PVM -> EADI-2 -> BCL). The master packs work descriptors with
+// the PVM typed pack/unpack API and farms out chunks of a numerical
+// integration (midpoint rule for pi); workers compute and send typed
+// results back; the master reduces and checks the answer.
+//
+//	go run ./examples/masterworker
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"bcl"
+)
+
+const (
+	workers = 6
+	chunks  = 24
+	steps   = 240000 // integration steps overall (divisible by chunks)
+)
+
+func main() {
+	// Seven tasks (1 master + 6 workers) over a 4-node machine.
+	m := bcl.NewMachine(bcl.MachineConfig{Nodes: 4})
+	placement := make([]int, workers+1)
+	for i := range placement {
+		placement[i] = i % 4
+	}
+
+	var pi float64
+	var served [workers + 1]int
+
+	m.StartPVM(workers+1, placement, func(p *bcl.Proc, task *bcl.PVMTask) {
+		me := task.MyTid()
+		if me == bcl.PVMTid(0) {
+			runMaster(p, task, &pi, &served)
+		} else {
+			runWorker(p, task)
+		}
+	})
+	m.Run()
+
+	fmt.Printf("pi ≈ %.10f (err %.2e) from %d chunks over %d workers\n",
+		pi, math.Abs(pi-math.Pi), chunks, workers)
+	for w := 1; w <= workers; w++ {
+		fmt.Printf("worker %d handled %d chunks\n", w, served[w])
+	}
+	fmt.Printf("virtual time: %.2f ms\n", float64(m.Now())/1e6)
+	if math.Abs(pi-math.Pi) > 1e-8 {
+		panic("integration result wrong — messages corrupted?")
+	}
+}
+
+// runMaster deals chunks to whichever worker is idle (self-scheduling:
+// workers ask for work, the master replies with a range or a stop).
+func runMaster(p *bcl.Proc, task *bcl.PVMTask, pi *float64, served *[workers + 1]int) {
+	next := 0
+	done := 0
+	var sum float64
+	for done < chunks {
+		// Any message: either "idle" (tag 1) or a result (tag 2).
+		msg, err := task.Recv(p, bcl.PVMAnyTid, bcl.PVMAnyTag)
+		if err != nil {
+			panic(err)
+		}
+		switch msg.Tag {
+		case 1: // worker asks for work
+			if next < chunks {
+				lo := next * (steps / chunks)
+				hi := (next + 1) * (steps / chunks)
+				task.InitSend(bcl.PVMDataDefault).PackInt64(int64(lo)).PackInt64(int64(hi))
+				if err := task.Send(p, msg.Src, 10); err != nil {
+					panic(err)
+				}
+				next++
+			} else {
+				task.InitSend(bcl.PVMDataDefault)
+				if err := task.Send(p, msg.Src, 99); err != nil { // stop
+					panic(err)
+				}
+			}
+		case 2: // result
+			part, err := msg.UnpackFloat64()
+			if err != nil {
+				panic(err)
+			}
+			sum += part
+			served[bcl.PVMRank(msg.Src)]++
+			done++
+		}
+	}
+	// Stop any workers still waiting.
+	for w := 1; w <= workers; w++ {
+		task.InitSend(bcl.PVMDataDefault)
+		task.Send(p, bcl.PVMTid(w), 99)
+	}
+	*pi = sum
+}
+
+// runWorker loops: request work, integrate the assigned range, return
+// the partial sum.
+func runWorker(p *bcl.Proc, task *bcl.PVMTask) {
+	for {
+		task.InitSend(bcl.PVMDataDefault) // empty "idle" message
+		if err := task.Send(p, bcl.PVMTid(0), 1); err != nil {
+			panic(err)
+		}
+		msg, err := task.Recv(p, bcl.PVMTid(0), bcl.PVMAnyTag)
+		if err != nil {
+			panic(err)
+		}
+		if msg.Tag == 99 {
+			return
+		}
+		lo64, _ := msg.UnpackInt64()
+		hi64, _ := msg.UnpackInt64()
+		h := 1.0 / float64(steps)
+		var part float64
+		for i := lo64; i < hi64; i++ {
+			x := (float64(i) + 0.5) * h
+			part += 4.0 / (1.0 + x*x) * h
+		}
+		task.InitSend(bcl.PVMDataDefault).PackFloat64(part)
+		if err := task.Send(p, bcl.PVMTid(0), 2); err != nil {
+			panic(err)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module bcl
+
+go 1.22

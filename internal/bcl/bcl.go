@@ -1,0 +1,227 @@
+// Package bcl implements BCL (Basic Communication Library), the
+// paper's semi-user-level communication architecture.
+//
+// The architecture in one paragraph: the message-SENDING path traps
+// into the OS kernel — the BCL kernel module validates the request
+// (PID, buffer bounds, destination), translates and pins the buffer
+// through the pin-down page table, and fills the send descriptor into
+// NIC memory by programmed IO; the NIC is never touched from user
+// space. The message-RECEIVING path has no kernel at all: the MCP
+// firmware DMAs payload directly into the posted user buffer and DMAs
+// a completion event into the port's event queue, which the process
+// polls. No interrupts anywhere.
+//
+// A Port is the unit of addressing: each process creates one port, and
+// (node, port) names a process. Each port owns a send request queue on
+// the NIC, a receive buffer pool, and send/receive event queues. Three
+// channel types carry messages:
+//
+//   - the system channel (channel 0): small eager messages landing in a
+//     FIFO pool of preposted buffers;
+//   - normal channels: rendezvous semantics — the receiver binds a
+//     user buffer to the channel before the sender transmits;
+//   - open channels: RMA — once a buffer is bound, remote processes
+//     read and write it with no receiver involvement.
+//
+// Intra-node communication bypasses the NIC entirely: a shared-memory
+// queue with pipelined chunked copies (both copies contend on the
+// node's memory system, which is why intra-node bandwidth plateaus
+// near half the raw memcpy rate).
+package bcl
+
+import (
+	"errors"
+	"fmt"
+
+	"bcl/internal/cluster"
+	"bcl/internal/nic"
+	"bcl/internal/node"
+	"bcl/internal/oskernel"
+	"bcl/internal/sim"
+	"bcl/internal/trace"
+)
+
+// SystemChannel is the channel id of the per-process system channel.
+const SystemChannel = 0
+
+// Errors surfaced by the library.
+var (
+	ErrClosed     = errors.New("bcl: port closed")
+	ErrBadChannel = errors.New("bcl: invalid channel")
+	ErrNoSuchPort = errors.New("bcl: no port at address")
+)
+
+// Addr names a process: the pair of node number and port number.
+type Addr struct {
+	Node int
+	Port int
+}
+
+func (a Addr) String() string { return fmt.Sprintf("%d:%d", a.Node, a.Port) }
+
+// Options tunes port creation.
+type Options struct {
+	SystemBuffers int // preposted system-channel pool entries (default 16)
+	SystemBufSize int // size of each pool buffer (default MaxPacket)
+	Tracer        *trace.Tracer
+}
+
+// System is the cluster-wide BCL instance: it owns the port registry
+// used for intra-node delivery and address validation.
+type System struct {
+	Cluster *cluster.Cluster
+	ports   map[Addr]*Port
+	nextID  []int // per-node next port number
+}
+
+// NewSystem attaches BCL to a cluster. The cluster's NICs should be
+// configured with nic.Config{Translate: HostTranslated, Completion:
+// UserEventQueue, Reliable: true} — the semi-user-level configuration
+// (see DefaultNICConfig).
+func NewSystem(c *cluster.Cluster) *System {
+	return &System{
+		Cluster: c,
+		ports:   make(map[Addr]*Port),
+		nextID:  make([]int, c.Size()),
+	}
+}
+
+// DefaultNICConfig is the NIC firmware configuration BCL expects.
+func DefaultNICConfig() nic.Config {
+	return nic.Config{
+		Translate:  nic.HostTranslated,
+		Completion: nic.UserEventQueue,
+		Reliable:   true,
+	}
+}
+
+// Port is one process's BCL endpoint.
+type Port struct {
+	sys  *System
+	node *node.Node
+	proc *oskernel.Process
+	addr Addr
+	tr   *trace.Tracer
+
+	nicPort *nic.Port
+	events  *sim.Queue[*nic.Event] // merged receive events (NIC + intra)
+	sendEvs *sim.Queue[*nic.Event] // merged send events
+	pending []*nic.Event           // receive events set aside by selective waits
+
+	intraQ   *sim.Queue[*intraFrag]
+	nextChan int
+	closed   bool
+
+	// Stats.
+	sent, received uint64
+	bytesSent      uint64
+	bytesReceived  uint64
+}
+
+// Open creates the port for a process (each process creates exactly
+// one). Port numbers are assigned per node. Opening traps into the
+// kernel: port registration programs the NIC.
+func (s *System) Open(p *sim.Proc, n *node.Node, proc *oskernel.Process, opts Options) (*Port, error) {
+	if opts.SystemBuffers == 0 {
+		opts.SystemBuffers = 16
+	}
+	if opts.SystemBufSize == 0 {
+		opts.SystemBufSize = n.Prof.MaxPacket
+	}
+	s.nextID[n.ID]++
+	pt := &Port{
+		sys:      s,
+		node:     n,
+		proc:     proc,
+		addr:     Addr{Node: n.ID, Port: s.nextID[n.ID]},
+		tr:       opts.Tracer,
+		events:   sim.NewQueue[*nic.Event](n.Env, "bcl/events", 0),
+		sendEvs:  sim.NewQueue[*nic.Event](n.Env, "bcl/sendevs", 0),
+		intraQ:   sim.NewQueue[*intraFrag](n.Env, "bcl/intra", 0),
+		nextChan: 1,
+	}
+	err := n.Kernel.Trap(p, func() error {
+		if err := n.Kernel.CheckRequest(p, proc.PID, 0, 0, n.ID, s.Cluster.Size()); err != nil {
+			return err
+		}
+		// Program the port control block into NIC memory.
+		p.Sleep(n.Prof.PIOFill(8))
+		pt.nicPort = n.NIC.RegisterPort(pt.addr.Port)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.ports[pt.addr] = pt
+
+	// Initialize the system-channel buffer pool.
+	for i := 0; i < opts.SystemBuffers; i++ {
+		va := proc.Space.Alloc(opts.SystemBufSize)
+		if err := pt.addSystemBuffer(p, va, opts.SystemBufSize); err != nil {
+			return nil, err
+		}
+	}
+
+	// Event pumps: merge NIC event queues into the library queues so
+	// intra-node and inter-node events share one wait point.
+	n.Env.Go(fmt.Sprintf("bcl/%v/recv-pump", pt.addr), func(pp *sim.Proc) {
+		for {
+			pt.events.Send(pp, pt.nicPort.RecvEvQ.Recv(pp))
+		}
+	})
+	n.Env.Go(fmt.Sprintf("bcl/%v/send-pump", pt.addr), func(pp *sim.Proc) {
+		for {
+			pt.sendEvs.Send(pp, pt.nicPort.SendEvQ.Recv(pp))
+		}
+	})
+	// Intra-node delivery engine.
+	n.Env.Go(fmt.Sprintf("bcl/%v/intra", pt.addr), pt.intraEngine)
+	return pt, nil
+}
+
+// Addr returns the port's cluster-wide address.
+func (pt *Port) Addr() Addr { return pt.addr }
+
+// Node returns the node hosting the port.
+func (pt *Port) Node() *node.Node { return pt.node }
+
+// Process returns the owning process.
+func (pt *Port) Process() *oskernel.Process { return pt.proc }
+
+// Tracer returns the port's tracer (may be nil).
+func (pt *Port) Tracer() *trace.Tracer { return pt.tr }
+
+// SetTracer installs a stage tracer.
+func (pt *Port) SetTracer(tr *trace.Tracer) { pt.tr = tr }
+
+// CreateChannel allocates a fresh channel id on this port (used for
+// both normal and open channels; id 0 is the system channel).
+func (pt *Port) CreateChannel() int {
+	id := pt.nextChan
+	pt.nextChan++
+	return id
+}
+
+// Close tears the port down.
+func (pt *Port) Close(p *sim.Proc) error {
+	if pt.closed {
+		return ErrClosed
+	}
+	pt.closed = true
+	delete(pt.sys.ports, pt.addr)
+	return pt.node.Kernel.Trap(p, func() error {
+		pt.node.NIC.ClosePort(pt.addr.Port)
+		return nil
+	})
+}
+
+// Stats returns message and byte counters.
+func (pt *Port) Stats() (sent, received, bytesSent, bytesReceived uint64) {
+	return pt.sent, pt.received, pt.bytesSent, pt.bytesReceived
+}
+
+// lookup finds a port in the registry.
+func (s *System) lookup(a Addr) (*Port, bool) {
+	pt, ok := s.ports[a]
+	return pt, ok
+}

@@ -1,0 +1,57 @@
+package bcl
+
+import (
+	"bytes"
+	"testing"
+
+	"bcl/internal/cluster"
+	"bcl/internal/sim"
+)
+
+// TestClusterOfClusters runs the identical BCL code over the
+// heterogeneous composite fabric: node 0 (Myrinet half), node 5 (mesh
+// half) and cross-cluster traffic all work unmodified — "binary code
+// written in BCL ... can run on any combination of networks supporting
+// the BCL protocol".
+func TestClusterOfClusters(t *testing.T) {
+	tb := newTestbed(t, cluster.Hetero, 8, []int{0, 2, 5, 7})
+	// Pairs: intra-Myrinet (0->2), intra-mesh (5->7), cross (0->7).
+	pairs := [][2]int{{0, 1}, {2, 3}, {0, 3}}
+	payloads := [][]byte{
+		[]byte("within the myrinet half"),
+		[]byte("within the mesh half"),
+		[]byte("across the backbone"),
+	}
+	got := make([][]byte, len(pairs))
+	for i, pr := range pairs {
+		src, dst := tb.ports[pr[0]], tb.ports[pr[1]]
+		payload := payloads[i]
+		idx := i
+		tb.c.Env.Go("tx", func(p *sim.Proc) {
+			va := src.Process().Space.Alloc(len(payload))
+			src.Process().Space.Write(va, payload)
+			p.Sleep(sim.Time(idx) * 200 * sim.Microsecond)
+			if _, err := src.Send(p, dst.Addr(), SystemChannel, va, len(payload), uint64(idx)); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	// Receivers: port 1 gets one message; port 3 gets two.
+	tb.c.Env.Go("rx1", func(p *sim.Proc) {
+		ev := tb.ports[1].WaitRecv(p)
+		got[0], _ = tb.ports[1].Process().Space.Read(ev.VA, ev.Len)
+	})
+	tb.c.Env.Go("rx3", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			ev := tb.ports[3].WaitRecv(p)
+			data, _ := tb.ports[3].Process().Space.Read(ev.VA, ev.Len)
+			got[ev.Tag], _ = data, error(nil)
+		}
+	})
+	tb.run(t, 100*sim.Millisecond)
+	for i := range pairs {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Fatalf("pair %d: got %q, want %q", i, got[i], payloads[i])
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package bcl
+
+import (
+	"fmt"
+
+	"bcl/internal/mem"
+	"bcl/internal/nic"
+	"bcl/internal/sim"
+)
+
+// Intra-node communication: processes on the same SMP node exchange
+// messages through a shared-memory buffer queue instead of the NIC.
+// The sender copies the message into shared chunks and the receiving
+// port's delivery engine copies them out into the posted buffer —
+// two memcpys, pipelined chunk by chunk so they overlap in time, but
+// contending on the node's memory system, which caps the plateau near
+// half the raw memcpy bandwidth (the paper's 391 vs ~800 MB/s). A
+// sequence number per fragment preserves ordering. No kernel trap
+// appears anywhere on this path.
+
+// intraFrag is one shared-memory chunk in flight between two local
+// processes.
+type intraFrag struct {
+	src     Addr
+	channel int
+	msgID   uint64
+	tag     uint64
+	seq     int
+	frags   int
+	msgLen  int
+	offset  int
+	data    []byte
+}
+
+// sendIntra runs the sender half of the shared-memory path.
+func (pt *Port) sendIntra(p *sim.Proc, dst Addr, channel int, va mem.VAddr, n int, tag uint64) (uint64, error) {
+	dstPort, ok := pt.sys.lookup(dst)
+	if !ok {
+		return 0, fmt.Errorf("%w: %v", ErrNoSuchPort, dst)
+	}
+	msgID := pt.node.NIC.NextMsgID()
+	prof := pt.node.Prof
+
+	pt.tr.Do(p, "shm: enqueue", host(pt), func() {
+		p.Sleep(prof.ShmPost)
+	})
+	chunk := prof.ShmChunk
+	frags := 1
+	if n > 0 {
+		frags = (n + chunk - 1) / chunk
+	}
+	var sendErr error
+	pt.tr.Do(p, "shm: copy-in (pipelined)", host(pt), func() {
+		for i := 0; i < frags; i++ {
+			lo := i * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			var data []byte
+			if hi > lo {
+				var err error
+				data, err = pt.proc.Space.Read(va+mem.VAddr(lo), hi-lo)
+				if err != nil {
+					sendErr = err
+					return
+				}
+			}
+			// The copy into the shared region contends on the memory
+			// system with the receiver's copy out of it.
+			pt.node.Memcpy(p, hi-lo)
+			dstPort.intraQ.Send(p, &intraFrag{
+				src: pt.addr, channel: channel, msgID: msgID, tag: tag,
+				seq: i, frags: frags, msgLen: n, offset: lo, data: data,
+			})
+		}
+	})
+	if sendErr != nil {
+		return 0, sendErr
+	}
+	// The send completes once the last chunk is in the shared queue.
+	pt.sendEvs.Post(&nic.Event{
+		Type: nic.EvSendDone, Port: pt.addr.Port, Channel: channel,
+		MsgID: msgID, Len: n, Tag: tag, SrcNode: pt.addr.Node,
+		SrcPort: pt.addr.Port, Stamp: pt.node.Env.Now(),
+	})
+	pt.sent++
+	pt.bytesSent += uint64(n)
+	return msgID, nil
+}
+
+// intraEngine is the receiving half: one process per port draining the
+// shared-memory queue into posted buffers and raising completion
+// events on the merged event queue.
+func (pt *Port) intraEngine(p *sim.Proc) {
+	prof := pt.node.Prof
+	type state struct {
+		desc *nic.RecvDesc
+		got  int
+	}
+	open := make(map[uint64]*state)
+	for {
+		f := pt.intraQ.Recv(p)
+		st, ok := open[f.msgID]
+		if !ok {
+			// First fragment: notice the message and resolve the
+			// destination buffer. Rendezvous semantics: wait until the
+			// receiver posts (or a pool buffer frees up).
+			p.Sleep(prof.ShmPoll)
+			var desc *nic.RecvDesc
+			for attempt := 0; attempt < 500; attempt++ {
+				var found bool
+				if f.channel == SystemChannel {
+					desc, found = pt.nicPort.TakeSystemBuffer()
+				} else {
+					desc, found = pt.nicPort.TakeRecv(f.channel)
+				}
+				if found && f.msgLen <= desc.Len {
+					break
+				}
+				if found {
+					// Too small: put it back where it came from and
+					// drop the message (mirrors the NIC's rejection).
+					if f.channel == SystemChannel {
+						pt.node.NIC.AddSystemBuffer(pt.addr.Port, desc)
+					} else {
+						pt.node.NIC.PostRecv(pt.addr.Port, f.channel, desc)
+					}
+					desc = nil
+					break
+				}
+				p.Sleep(20 * sim.Microsecond)
+			}
+			if desc == nil {
+				continue // message dropped
+			}
+			st = &state{desc: desc}
+			open[f.msgID] = st
+		}
+		// Copy the chunk out of shared memory into the user buffer.
+		pt.node.Memcpy(p, len(f.data))
+		if len(f.data) > 0 {
+			if err := st.desc.Space.Write(st.desc.VA+mem.VAddr(f.offset), f.data); err != nil {
+				delete(open, f.msgID)
+				continue
+			}
+		}
+		st.got++
+		if st.got == f.frags {
+			delete(open, f.msgID)
+			pt.events.Post(&nic.Event{
+				Type: nic.EvRecvDone, Port: pt.addr.Port, Channel: f.channel,
+				MsgID: f.msgID, Len: f.msgLen, Tag: f.tag,
+				SrcNode: f.src.Node, SrcPort: f.src.Port,
+				VA: st.desc.VA, Stamp: pt.node.Env.Now(),
+			})
+		}
+	}
+}

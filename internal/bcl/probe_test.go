@@ -1,0 +1,56 @@
+package bcl
+
+import (
+	"testing"
+
+	"bcl/internal/cluster"
+	"bcl/internal/mem"
+	"bcl/internal/sim"
+)
+
+// TestRMAChunkSpacing documents the steady-state cost of a stream of
+// 4 KB RMA writes (the EADI rendezvous data path): it must sustain
+// ~130 MB/s so that MPI over BCL lands at the paper's 131 MB/s.
+func TestRMAChunkSpacing(t *testing.T) {
+	tb := newTestbed(t, cluster.Myrinet, 2, []int{0, 1})
+	a, b := tb.ports[0], tb.ports[1]
+	const n = 128 * 1024
+	var start, end sim.Time
+	ready := false
+	tb.c.Env.Go("b", func(p *sim.Proc) {
+		win := b.Process().Space.Alloc(n)
+		if err := b.RegisterOpen(p, 3, win, n); err != nil {
+			t.Error(err)
+		}
+		ready = true
+	})
+	tb.c.Env.Go("a", func(p *sim.Proc) {
+		for !ready {
+			p.Sleep(10 * sim.Microsecond)
+		}
+		src := a.Process().Space.Alloc(n)
+		run := func() {
+			for off := 0; off < n; off += 4096 {
+				if _, err := a.RMAWrite(p, b.Addr(), 3, off, src+mem.VAddr(off), 4096); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			for i := 0; i < 32; i++ {
+				a.WaitSend(p)
+			}
+		}
+		run() // warm pins and caches
+		start = p.Now()
+		run()
+		end = p.Now()
+	})
+	tb.run(t, sim.Second)
+	perChunk := float64(end-start) / 32000
+	mbps := 131072.0 / (float64(end-start) / 1000)
+	t.Logf("32 x 4KB RMA chunks: %.1f us total, %.2f us/chunk, %.1f MB/s",
+		float64(end-start)/1000, perChunk, mbps)
+	if mbps < 120 {
+		t.Fatalf("chunked RMA stream = %.1f MB/s, want >= 120", mbps)
+	}
+}

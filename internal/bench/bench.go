@@ -1,0 +1,719 @@
+// Package bench is the experiment harness: it rebuilds every table and
+// figure of the paper's evaluation section (Table 1-3, Figures 5-9)
+// plus the ablations called out in DESIGN.md, as formatted reports
+// with machine-readable key metrics. Both the root testing.B
+// benchmarks and cmd/bclbench drive it.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bcl/internal/amii"
+	ibcl "bcl/internal/bcl"
+	"bcl/internal/bip"
+	"bcl/internal/cluster"
+	"bcl/internal/eadi"
+	"bcl/internal/hw"
+	"bcl/internal/klc"
+	"bcl/internal/mem"
+	"bcl/internal/mpi"
+	"bcl/internal/pvm"
+	"bcl/internal/sim"
+	"bcl/internal/ulc"
+)
+
+// Report is one reproduced experiment.
+type Report struct {
+	ID      string
+	Title   string
+	Text    string
+	Metrics map[string]float64
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf("== %s: %s ==\n%s", r.ID, r.Title, r.Text)
+}
+
+// metric records a key number.
+func (r *Report) metric(k string, v float64) { r.Metrics[k] = v }
+
+func newReport(id, title string) *Report {
+	return &Report{ID: id, Title: title, Metrics: make(map[string]float64)}
+}
+
+// All runs every experiment in paper order.
+func All() []*Report {
+	return []*Report{
+		Table1(), Overheads(), Figure5(), Figure6(), Figure7(),
+		Figure8(), Figure9(), Table2(), Table3(), Fabrics(), Scale(),
+		AblationPIO(), AblationCPU(), AblationReliability(),
+		AblationKernelPath(), AblationPipeline(), AblationWindow(),
+		AblationIntraPath(),
+	}
+}
+
+// ByID returns the named experiment (nil if unknown).
+func ByID(id string) *Report {
+	switch strings.ToLower(id) {
+	case "table1":
+		return Table1()
+	case "overheads":
+		return Overheads()
+	case "fig5", "figure5":
+		return Figure5()
+	case "fig6", "figure6":
+		return Figure6()
+	case "fig7", "figure7":
+		return Figure7()
+	case "fig8", "figure8":
+		return Figure8()
+	case "fig9", "figure9":
+		return Figure9()
+	case "table2":
+		return Table2()
+	case "table3":
+		return Table3()
+	case "ablation-pio":
+		return AblationPIO()
+	case "ablation-cpu":
+		return AblationCPU()
+	case "ablation-reliability":
+		return AblationReliability()
+	case "ablation-kernelpath":
+		return AblationKernelPath()
+	case "ablation-pipeline":
+		return AblationPipeline()
+	case "ablation-window":
+		return AblationWindow()
+	case "fabrics":
+		return Fabrics()
+	case "scale":
+		return Scale()
+	case "ablation-intrapath":
+		return AblationIntraPath()
+	}
+	return nil
+}
+
+// IDs lists the experiment ids.
+func IDs() []string {
+	ids := []string{"table1", "overheads", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "table2", "table3", "fabrics", "scale", "ablation-pio",
+		"ablation-cpu", "ablation-reliability", "ablation-kernelpath",
+		"ablation-pipeline", "ablation-window", "ablation-intrapath"}
+	sort.Strings(ids)
+	return ids
+}
+
+func us(t sim.Time) float64 { return float64(t) / 1000 }
+
+// ------------------------------------------------------ BCL measurers
+
+// bclRig is a 2-port BCL fixture.
+type bclRig struct {
+	c    *cluster.Cluster
+	sys  *ibcl.System
+	a, b *ibcl.Port
+}
+
+func newBCLRig(prof *hw.Profile, intra bool) *bclRig {
+	nodes := 2
+	nodeB := 1
+	if intra {
+		nodeB = 0
+	}
+	c := cluster.New(cluster.Config{Nodes: nodes, Profile: prof, NIC: ibcl.DefaultNICConfig()})
+	sys := ibcl.NewSystem(c)
+	r := &bclRig{c: c, sys: sys}
+	c.Env.Go("setup", func(p *sim.Proc) {
+		pa := c.Nodes[0].Kernel.Spawn()
+		pb := c.Nodes[nodeB].Kernel.Spawn()
+		r.a, _ = sys.Open(p, c.Nodes[0], pa, ibcl.Options{SystemBuffers: 64})
+		r.b, _ = sys.Open(p, c.Nodes[nodeB], pb, ibcl.Options{SystemBuffers: 64})
+	})
+	c.Env.RunUntil(20 * sim.Millisecond)
+	if r.a == nil || r.b == nil {
+		panic("bench: BCL rig setup failed")
+	}
+	return r
+}
+
+// bclLatency measures warm one-way latency for size bytes on a normal
+// channel with preposted (and re-posted) buffers.
+func bclLatency(prof *hw.Profile, intra bool, size int) sim.Time {
+	r := newBCLRig(prof, intra)
+	const iters = 4
+	bufN := size
+	if bufN == 0 {
+		bufN = 64
+	}
+	ch := r.b.CreateChannel()
+	sendAt := make([]sim.Time, iters)
+	var warm sim.Time
+	r.c.Env.Go("recv", func(p *sim.Proc) {
+		rva := r.b.Process().Space.Alloc(bufN)
+		r.b.PostRecv(p, ch, rva, bufN)
+		for i := 0; i < iters; i++ {
+			r.b.WaitRecv(p)
+			warm = p.Now() - sendAt[i]
+			if i < iters-1 {
+				r.b.PostRecv(p, ch, rva, bufN)
+			}
+		}
+	})
+	r.c.Env.Go("send", func(p *sim.Proc) {
+		va := r.a.Process().Space.Alloc(bufN)
+		p.Sleep(100 * sim.Microsecond)
+		for i := 0; i < iters; i++ {
+			sendAt[i] = p.Now()
+			r.a.Send(p, r.b.Addr(), ch, va, size, 0)
+			r.a.WaitSend(p)
+			p.Sleep(300 * sim.Microsecond)
+		}
+	})
+	r.c.Env.RunUntil(r.c.Env.Now() + sim.Second)
+	return warm
+}
+
+// bclBandwidth measures streaming bandwidth in MB/s at the given
+// message size.
+func bclBandwidth(prof *hw.Profile, intra bool, size, msgs int) float64 {
+	r := newBCLRig(prof, intra)
+	var start, end sim.Time
+	ready := false
+	r.c.Env.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < msgs; i++ {
+			va := r.b.Process().Space.Alloc(size)
+			r.b.PostRecv(p, i+1, va, size)
+		}
+		ready = true
+		// The first message is warm-up: the clock starts when it has
+		// fully arrived, so pin-table misses stay off the measurement.
+		r.b.WaitRecv(p)
+		start = p.Now()
+		for i := 1; i < msgs; i++ {
+			r.b.WaitRecv(p)
+		}
+		end = p.Now()
+	})
+	r.c.Env.Go("send", func(p *sim.Proc) {
+		va := r.a.Process().Space.Alloc(size)
+		for !ready {
+			p.Sleep(50 * sim.Microsecond)
+		}
+		for i := 0; i < msgs; i++ {
+			r.a.Send(p, r.b.Addr(), i+1, va, size, 0)
+		}
+		for i := 0; i < msgs; i++ {
+			r.a.WaitSend(p)
+		}
+	})
+	r.c.Env.RunUntil(r.c.Env.Now() + 10*sim.Second)
+	if end <= start {
+		return 0
+	}
+	return mbps((msgs-1)*size, end-start)
+}
+
+func mbps(bytes int, d sim.Time) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / (float64(d) / float64(sim.Second)) / 1e6
+}
+
+// bclPingPong measures RTT/2 with receive re-posting inside the loop —
+// the Figure 7 methodology that exposes the full semi-user-level
+// kernel cost (send trap + re-posting trap).
+func bclPingPong(prof *hw.Profile, size int) sim.Time {
+	r := newBCLRig(prof, false)
+	const iters = 6
+	bufN := size
+	if bufN == 0 {
+		bufN = 64
+	}
+	chA := r.a.CreateChannel()
+	chB := r.b.CreateChannel()
+	var rtt sim.Time
+	r.c.Env.Go("a", func(p *sim.Proc) {
+		va := r.a.Process().Space.Alloc(bufN)
+		r.a.PostRecv(p, chA, va, bufN)
+		p.Sleep(200 * sim.Microsecond)
+		// Warm-up round.
+		r.a.Send(p, r.b.Addr(), chB, va, size, 0)
+		r.a.WaitRecv(p)
+		r.a.PostRecv(p, chA, va, bufN)
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			r.a.Send(p, r.b.Addr(), chB, va, size, 0)
+			r.a.WaitRecv(p)
+			r.a.PostRecv(p, chA, va, bufN)
+		}
+		rtt = (p.Now() - start) / iters
+	})
+	r.c.Env.Go("b", func(p *sim.Proc) {
+		va := r.b.Process().Space.Alloc(bufN)
+		r.b.PostRecv(p, chB, va, bufN)
+		for i := 0; i < iters+1; i++ {
+			r.b.WaitRecv(p)
+			r.b.PostRecv(p, chB, va, bufN)
+			r.b.Send(p, r.a.Addr(), chA, va, size, 0)
+		}
+	})
+	r.c.Env.RunUntil(r.c.Env.Now() + sim.Second)
+	return rtt / 2
+}
+
+// ------------------------------------------------------ ULC measurers
+
+type ulcRig struct {
+	c    *cluster.Cluster
+	a, b *ulc.Port
+}
+
+func newULCRig(prof *hw.Profile, cfg func() (c cluster.Config)) *ulcRig {
+	conf := cluster.Config{Nodes: 2, Profile: prof, NIC: ulc.NICConfig()}
+	if cfg != nil {
+		conf = cfg()
+	}
+	c := cluster.New(conf)
+	sys := ulc.NewSystem(c)
+	r := &ulcRig{c: c}
+	c.Env.Go("setup", func(p *sim.Proc) {
+		r.a, _ = sys.Open(p, c.Nodes[0], c.Nodes[0].Kernel.Spawn(), 64)
+		r.b, _ = sys.Open(p, c.Nodes[1], c.Nodes[1].Kernel.Spawn(), 64)
+	})
+	c.Env.RunUntil(20 * sim.Millisecond)
+	if r.a == nil || r.b == nil {
+		panic("bench: ULC rig setup failed")
+	}
+	return r
+}
+
+// ulcPingPong mirrors bclPingPong on the user-level library.
+func ulcPingPong(prof *hw.Profile, size int) sim.Time {
+	r := newULCRig(prof, nil)
+	const iters = 6
+	bufN := size
+	if bufN == 0 {
+		bufN = 64
+	}
+	chA := r.a.CreateChannel()
+	chB := r.b.CreateChannel()
+	var rtt sim.Time
+	r.c.Env.Go("a", func(p *sim.Proc) {
+		va := r.a.Process().Space.Alloc(bufN)
+		r.a.Register(p, va, bufN)
+		r.a.PostRecv(p, chA, va, bufN)
+		p.Sleep(200 * sim.Microsecond)
+		r.a.Send(p, r.b.Addr(), chB, va, size, 0)
+		r.a.WaitRecv(p)
+		r.a.PostRecv(p, chA, va, bufN)
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			r.a.Send(p, r.b.Addr(), chB, va, size, 0)
+			r.a.WaitRecv(p)
+			r.a.PostRecv(p, chA, va, bufN)
+		}
+		rtt = (p.Now() - start) / iters
+	})
+	r.c.Env.Go("b", func(p *sim.Proc) {
+		va := r.b.Process().Space.Alloc(bufN)
+		r.b.Register(p, va, bufN)
+		r.b.PostRecv(p, chB, va, bufN)
+		for i := 0; i < iters+1; i++ {
+			r.b.WaitRecv(p)
+			r.b.PostRecv(p, chB, va, bufN)
+			r.b.Send(p, r.a.Addr(), chA, va, size, 0)
+		}
+	})
+	r.c.Env.RunUntil(r.c.Env.Now() + sim.Second)
+	return rtt / 2
+}
+
+// ulcLatency is the warm one-way measurement on the user-level port.
+func ulcLatency(prof *hw.Profile, size int, nicCfg func() cluster.Config) sim.Time {
+	r := newULCRig(prof, nicCfg)
+	const iters = 4
+	bufN := size
+	if bufN == 0 {
+		bufN = 64
+	}
+	ch := r.b.CreateChannel()
+	sendAt := make([]sim.Time, iters)
+	var warm sim.Time
+	r.c.Env.Go("recv", func(p *sim.Proc) {
+		rva := r.b.Process().Space.Alloc(bufN)
+		r.b.Register(p, rva, bufN)
+		r.b.PostRecv(p, ch, rva, bufN)
+		for i := 0; i < iters; i++ {
+			r.b.WaitRecv(p)
+			warm = p.Now() - sendAt[i]
+			if i < iters-1 {
+				r.b.PostRecv(p, ch, rva, bufN)
+			}
+		}
+	})
+	r.c.Env.Go("send", func(p *sim.Proc) {
+		va := r.a.Process().Space.Alloc(bufN)
+		r.a.Register(p, va, bufN)
+		p.Sleep(100 * sim.Microsecond)
+		for i := 0; i < iters; i++ {
+			sendAt[i] = p.Now()
+			r.a.Send(p, r.b.Addr(), ch, va, size, 0)
+			r.a.WaitSend(p)
+			p.Sleep(300 * sim.Microsecond)
+		}
+	})
+	r.c.Env.RunUntil(r.c.Env.Now() + sim.Second)
+	return warm
+}
+
+// ulcBandwidth measures user-level streaming bandwidth.
+func ulcBandwidth(prof *hw.Profile, size, msgs int, nicCfg func() cluster.Config) float64 {
+	r := newULCRig(prof, nicCfg)
+	var start, end sim.Time
+	ready := false
+	r.c.Env.Go("recv", func(p *sim.Proc) {
+		va := r.b.Process().Space.Alloc(size)
+		r.b.Register(p, va, size)
+		for i := 0; i < msgs; i++ {
+			r.b.PostRecv(p, i+1, va, size)
+		}
+		ready = true
+		r.b.WaitRecv(p) // warm-up message
+		start = p.Now()
+		for i := 1; i < msgs; i++ {
+			r.b.WaitRecv(p)
+		}
+		end = p.Now()
+	})
+	r.c.Env.Go("send", func(p *sim.Proc) {
+		va := r.a.Process().Space.Alloc(size)
+		r.a.Register(p, va, size)
+		for !ready {
+			p.Sleep(50 * sim.Microsecond)
+		}
+		for i := 0; i < msgs; i++ {
+			r.a.Send(p, r.b.Addr(), i+1, va, size, 0)
+		}
+		for i := 0; i < msgs; i++ {
+			r.a.WaitSend(p)
+		}
+	})
+	r.c.Env.RunUntil(r.c.Env.Now() + 10*sim.Second)
+	return mbps((msgs-1)*size, end-start)
+}
+
+// ------------------------------------------------------ KLC measurers
+
+func klcLatency(prof *hw.Profile, size int) sim.Time {
+	c := cluster.New(cluster.Config{Nodes: 2, Profile: prof, NIC: klc.NICConfig()})
+	sys := klc.NewSystem(c)
+	var a, b *klc.Socket
+	c.Env.Go("setup", func(p *sim.Proc) {
+		a, _ = sys.Open(p, c.Nodes[0], c.Nodes[0].Kernel.Spawn())
+		b, _ = sys.Open(p, c.Nodes[1], c.Nodes[1].Kernel.Spawn())
+	})
+	c.Env.RunUntil(20 * sim.Millisecond)
+	const iters = 4
+	bufN := size
+	if bufN == 0 {
+		bufN = 64
+	}
+	sendAt := make([]sim.Time, iters)
+	var warm sim.Time
+	c.Env.Go("send", func(p *sim.Proc) {
+		src := a.Space().Alloc(bufN)
+		for i := 0; i < iters; i++ {
+			sendAt[i] = p.Now()
+			a.SendTo(p, b.Addr(), src, size)
+			p.Sleep(500 * sim.Microsecond)
+		}
+	})
+	c.Env.Go("recv", func(p *sim.Proc) {
+		dst := b.Space().Alloc(bufN)
+		for i := 0; i < iters; i++ {
+			b.Recv(p, dst, bufN)
+			warm = p.Now() - sendAt[i]
+		}
+	})
+	c.Env.RunUntil(c.Env.Now() + 10*sim.Second)
+	return warm
+}
+
+func klcBandwidth(prof *hw.Profile, size, msgs int) float64 {
+	c := cluster.New(cluster.Config{Nodes: 2, Profile: prof, NIC: klc.NICConfig()})
+	sys := klc.NewSystem(c)
+	var a, b *klc.Socket
+	c.Env.Go("setup", func(p *sim.Proc) {
+		a, _ = sys.Open(p, c.Nodes[0], c.Nodes[0].Kernel.Spawn())
+		b, _ = sys.Open(p, c.Nodes[1], c.Nodes[1].Kernel.Spawn())
+	})
+	c.Env.RunUntil(20 * sim.Millisecond)
+	var start, end sim.Time
+	c.Env.Go("send", func(p *sim.Proc) {
+		src := a.Space().Alloc(size)
+		start = p.Now()
+		for i := 0; i < msgs; i++ {
+			a.SendTo(p, b.Addr(), src, size)
+		}
+	})
+	c.Env.Go("recv", func(p *sim.Proc) {
+		dst := b.Space().Alloc(size)
+		for i := 0; i < msgs; i++ {
+			b.Recv(p, dst, size)
+		}
+		end = p.Now()
+	})
+	c.Env.RunUntil(c.Env.Now() + 30*sim.Second)
+	return mbps(msgs*size, end-start)
+}
+
+// ----------------------------------------------------- AMII measurers
+
+func amiiPingPong(prof *hw.Profile, size int) sim.Time {
+	c := cluster.New(cluster.Config{Nodes: 2, Profile: prof, NIC: amii.NICConfig()})
+	sys := amii.NewSystem(c)
+	var a, b *amii.Endpoint
+	c.Env.Go("setup", func(p *sim.Proc) {
+		a, _ = sys.Open(p, c.Nodes[0], c.Nodes[0].Kernel.Spawn(), 8)
+		b, _ = sys.Open(p, c.Nodes[1], c.Nodes[1].Kernel.Spawn(), 8)
+	})
+	c.Env.RunUntil(20 * sim.Millisecond)
+	const iters = 4
+	var rtt sim.Time
+	c.Env.Go("b", func(p *sim.Proc) {
+		b.SetHandler(1, func(hp *sim.Proc, src amii.Addr, arg uint64, off int, data []byte) {
+			b.Request(hp, src, 1, arg, data)
+		})
+		for {
+			b.Poll(p)
+		}
+	})
+	c.Env.Go("a", func(p *sim.Proc) {
+		got := false
+		a.SetHandler(1, func(hp *sim.Proc, src amii.Addr, arg uint64, off int, data []byte) {
+			got = true
+		})
+		payload := make([]byte, size)
+		ping := func() {
+			got = false
+			a.Request(p, b.Addr(), 1, 0, payload)
+			for !got {
+				a.Poll(p)
+			}
+		}
+		ping()
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			ping()
+		}
+		rtt = (p.Now() - start) / iters
+	})
+	c.Env.RunUntil(c.Env.Now() + sim.Second)
+	return rtt / 2
+}
+
+func amiiBandwidth(prof *hw.Profile, total int) float64 {
+	c := cluster.New(cluster.Config{Nodes: 2, Profile: prof, NIC: amii.NICConfig()})
+	sys := amii.NewSystem(c)
+	var a, b *amii.Endpoint
+	c.Env.Go("setup", func(p *sim.Proc) {
+		a, _ = sys.Open(p, c.Nodes[0], c.Nodes[0].Kernel.Spawn(), 8)
+		b, _ = sys.Open(p, c.Nodes[1], c.Nodes[1].Kernel.Spawn(), 8)
+	})
+	c.Env.RunUntil(20 * sim.Millisecond)
+	received := 0
+	var start, end sim.Time
+	c.Env.Go("b", func(p *sim.Proc) {
+		dst := b.Process().Space.Alloc(total)
+		b.SetHandler(2, func(hp *sim.Proc, src amii.Addr, arg uint64, off int, data []byte) {
+			b.Node().Memcpy(hp, len(data))
+			b.Process().Space.Write(dst+mem.VAddr(off), data)
+			received += len(data)
+		})
+		for received < total {
+			b.Poll(p)
+		}
+		end = p.Now()
+	})
+	c.Env.Go("a", func(p *sim.Proc) {
+		va := a.Process().Space.Alloc(total)
+		start = p.Now()
+		a.Bulk(p, b.Addr(), 2, 0, va, total)
+	})
+	c.Env.RunUntil(c.Env.Now() + 30*sim.Second)
+	return mbps(total, end-start)
+}
+
+// ------------------------------------------------------ BIP measurers
+
+func bipLatency(size int) sim.Time {
+	return ulcLatencyWith(bip.Profile(), size, func() cluster.Config {
+		return cluster.Config{Nodes: 2, Profile: bip.Profile(), NIC: bip.NICConfig()}
+	})
+}
+
+func bipBandwidth(size, msgs int) float64 {
+	return ulcBandwidth(bip.Profile(), size, msgs, func() cluster.Config {
+		return cluster.Config{Nodes: 2, Profile: bip.Profile(), NIC: bip.NICConfig()}
+	})
+}
+
+func ulcLatencyWith(prof *hw.Profile, size int, cfg func() cluster.Config) sim.Time {
+	return ulcLatency(prof, size, cfg)
+}
+
+// ------------------------------------------------------ MPI/PVM rigs
+
+func mpiJob(prof *hw.Profile, intra bool) (*cluster.Cluster, [2]*mpi.Comm) {
+	nodes := 2
+	nodeB := 1
+	if intra {
+		nodeB = 0
+	}
+	c := cluster.New(cluster.Config{Nodes: nodes, Profile: prof, NIC: ibcl.DefaultNICConfig()})
+	sys := ibcl.NewSystem(c)
+	var ports [2]*ibcl.Port
+	c.Env.Go("setup", func(p *sim.Proc) {
+		ports[0], _ = sys.Open(p, c.Nodes[0], c.Nodes[0].Kernel.Spawn(), ibcl.Options{SystemBuffers: 64, SystemBufSize: eadi.EagerLimit})
+		ports[1], _ = sys.Open(p, c.Nodes[nodeB], c.Nodes[nodeB].Kernel.Spawn(), ibcl.Options{SystemBuffers: 64, SystemBufSize: eadi.EagerLimit})
+	})
+	c.Env.RunUntil(50 * sim.Millisecond)
+	addrs := []ibcl.Addr{ports[0].Addr(), ports[1].Addr()}
+	return c, [2]*mpi.Comm{
+		mpi.World(eadi.NewDevice(ports[0], 0, addrs)),
+		mpi.World(eadi.NewDevice(ports[1], 1, addrs)),
+	}
+}
+
+func mpiLatency(prof *hw.Profile, intra bool) sim.Time {
+	c, comms := mpiJob(prof, intra)
+	const iters = 8
+	var rtt sim.Time
+	c.Env.Go("r0", func(p *sim.Proc) {
+		s := comms[0].Device().Port().Process().Space.Alloc(8)
+		r := comms[0].Device().Port().Process().Space.Alloc(8)
+		comms[0].Send(p, s, 1, 1, 0)
+		comms[0].Recv(p, r, 8, 1, 0)
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			comms[0].Send(p, s, 1, 1, 0)
+			comms[0].Recv(p, r, 8, 1, 0)
+		}
+		rtt = (p.Now() - start) / iters
+	})
+	c.Env.Go("r1", func(p *sim.Proc) {
+		s := comms[1].Device().Port().Process().Space.Alloc(8)
+		r := comms[1].Device().Port().Process().Space.Alloc(8)
+		for i := 0; i < iters+1; i++ {
+			comms[1].Recv(p, r, 8, 0, 0)
+			comms[1].Send(p, s, 1, 0, 0)
+		}
+	})
+	c.Env.RunUntil(c.Env.Now() + 10*sim.Second)
+	return rtt / 2
+}
+
+func mpiBandwidth(prof *hw.Profile, intra bool, size, msgs int) float64 {
+	c, comms := mpiJob(prof, intra)
+	var start, end sim.Time
+	c.Env.Go("r0", func(p *sim.Proc) {
+		va := comms[0].Device().Port().Process().Space.Alloc(size)
+		comms[0].Send(p, va, size, 1, 0)
+		start = p.Now()
+		for i := 0; i < msgs; i++ {
+			comms[0].Send(p, va, size, 1, 0)
+		}
+	})
+	c.Env.Go("r1", func(p *sim.Proc) {
+		va := comms[1].Device().Port().Process().Space.Alloc(size)
+		comms[1].Recv(p, va, size, 0, 0)
+		for i := 0; i < msgs; i++ {
+			comms[1].Recv(p, va, size, 0, 0)
+		}
+		end = p.Now()
+	})
+	c.Env.RunUntil(c.Env.Now() + 30*sim.Second)
+	return mbps(msgs*size, end-start)
+}
+
+func pvmJob(prof *hw.Profile, intra bool) (*cluster.Cluster, [2]*pvm.Task) {
+	nodes := 2
+	nodeB := 1
+	if intra {
+		nodeB = 0
+	}
+	c := cluster.New(cluster.Config{Nodes: nodes, Profile: prof, NIC: ibcl.DefaultNICConfig()})
+	sys := ibcl.NewSystem(c)
+	var ports [2]*ibcl.Port
+	c.Env.Go("setup", func(p *sim.Proc) {
+		ports[0], _ = sys.Open(p, c.Nodes[0], c.Nodes[0].Kernel.Spawn(), ibcl.Options{SystemBuffers: 64, SystemBufSize: eadi.EagerLimit})
+		ports[1], _ = sys.Open(p, c.Nodes[nodeB], c.Nodes[nodeB].Kernel.Spawn(), ibcl.Options{SystemBuffers: 64, SystemBufSize: eadi.EagerLimit})
+	})
+	c.Env.RunUntil(50 * sim.Millisecond)
+	addrs := []ibcl.Addr{ports[0].Addr(), ports[1].Addr()}
+	return c, [2]*pvm.Task{
+		pvm.NewTask(eadi.NewDevice(ports[0], 0, addrs)),
+		pvm.NewTask(eadi.NewDevice(ports[1], 1, addrs)),
+	}
+}
+
+func pvmLatency(prof *hw.Profile, intra bool) sim.Time {
+	c, tasks := pvmJob(prof, intra)
+	const iters = 8
+	var rtt sim.Time
+	c.Env.Go("t0", func(p *sim.Proc) {
+		ping := func() {
+			tasks[0].InitSend(pvm.DataRaw).PackInt64(1)
+			tasks[0].Send(p, pvm.Tid(1), 0)
+			tasks[0].Recv(p, pvm.Tid(1), 0)
+		}
+		ping()
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			ping()
+		}
+		rtt = (p.Now() - start) / iters
+	})
+	c.Env.Go("t1", func(p *sim.Proc) {
+		for i := 0; i < iters+1; i++ {
+			tasks[1].Recv(p, pvm.Tid(0), 0)
+			tasks[1].InitSend(pvm.DataRaw).PackInt64(1)
+			tasks[1].Send(p, pvm.Tid(0), 0)
+		}
+	})
+	c.Env.RunUntil(c.Env.Now() + 10*sim.Second)
+	return rtt / 2
+}
+
+func pvmBandwidth(prof *hw.Profile, intra bool, size, msgs int) float64 {
+	c, tasks := pvmJob(prof, intra)
+	var start, end sim.Time
+	c.Env.Go("t0", func(p *sim.Proc) {
+		va := tasks[0].Device().Port().Process().Space.Alloc(size)
+		send := func() {
+			tasks[0].InitSend(pvm.DataInPlace)
+			tasks[0].SetInPlace(va, size)
+			tasks[0].Send(p, pvm.Tid(1), 0)
+		}
+		send()
+		start = p.Now()
+		for i := 0; i < msgs; i++ {
+			send()
+		}
+	})
+	c.Env.Go("t1", func(p *sim.Proc) {
+		va := tasks[1].Device().Port().Process().Space.Alloc(size)
+		tasks[1].RecvInto(p, pvm.Tid(0), 0, va, size)
+		for i := 0; i < msgs; i++ {
+			tasks[1].RecvInto(p, pvm.Tid(0), 0, va, size)
+		}
+		end = p.Now()
+	})
+	c.Env.RunUntil(c.Env.Now() + 30*sim.Second)
+	return mbps(msgs*size, end-start)
+}

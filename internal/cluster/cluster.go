@@ -1,0 +1,85 @@
+// Package cluster assembles a complete simulated machine: a fabric
+// (Myrinet or nwrc 2-D mesh) plus one node per attachment point. It is
+// the root object every protocol package builds on.
+package cluster
+
+import (
+	"fmt"
+
+	"bcl/internal/fabric"
+	"bcl/internal/fabric/hetero"
+	"bcl/internal/fabric/mesh"
+	"bcl/internal/fabric/myrinet"
+	"bcl/internal/hw"
+	"bcl/internal/nic"
+	"bcl/internal/node"
+	"bcl/internal/sim"
+)
+
+// FabricKind selects the system-area network.
+type FabricKind string
+
+// Available fabrics.
+const (
+	Myrinet FabricKind = "myrinet"
+	Mesh    FabricKind = "mesh"
+	// Hetero gives every node both adapters: Myrinet among the lower
+	// half of the nodes and as the cross-cluster backbone, the nwrc
+	// mesh among the upper half — the paper's cluster-of-clusters
+	// scenario.
+	Hetero FabricKind = "hetero"
+)
+
+// Config describes the machine to build.
+type Config struct {
+	Nodes   int
+	Fabric  FabricKind
+	Profile *hw.Profile
+	NIC     nic.Config
+	Seed    uint64
+}
+
+// Cluster is a running simulated machine.
+type Cluster struct {
+	Env    *sim.Env
+	Prof   *hw.Profile
+	Fabric fabric.Fabric
+	Nodes  []*node.Node
+}
+
+// New builds a cluster. Zero-value config fields get DAWNING-3000
+// defaults: 2 nodes, Myrinet, seed 1.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 2
+	}
+	if cfg.Fabric == "" {
+		cfg.Fabric = Myrinet
+	}
+	if cfg.Profile == nil {
+		cfg.Profile = hw.DAWNING3000()
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	env := sim.NewEnv(cfg.Seed)
+	var fab fabric.Fabric
+	switch cfg.Fabric {
+	case Myrinet:
+		fab = myrinet.New(env, cfg.Profile, cfg.Nodes)
+	case Mesh:
+		fab = mesh.New(env, cfg.Profile, cfg.Nodes)
+	case Hetero:
+		fab = hetero.New(env, cfg.Profile, cfg.Nodes, nil)
+	default:
+		panic(fmt.Sprintf("cluster: unknown fabric %q", cfg.Fabric))
+	}
+	c := &Cluster{Env: env, Prof: cfg.Profile, Fabric: fab}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.Nodes = append(c.Nodes, node.New(env, cfg.Profile, i, fab, cfg.NIC))
+	}
+	return c
+}
+
+// Size returns the node count.
+func (c *Cluster) Size() int { return len(c.Nodes) }

@@ -1,0 +1,512 @@
+// Package eadi implements EADI-2, the Extended Abstract Device
+// Interface: the middle communication layer of the DAWNING-3000 stack
+// (Figure 1 of the paper) on which both MPI and PVM are built. It
+// turns BCL's port/channel primitives into tagged, matched message
+// passing:
+//
+//   - Eager protocol for small messages: the payload travels on the
+//     system channel; the receiver matches (source, context, tag)
+//     against posted receives, copying from the pool buffer into the
+//     user buffer (or into an unexpected-message queue).
+//   - Rendezvous for large messages: RTS/CTS handshake, then the data
+//     moves by chunked RMA writes into the receiver's registered
+//     buffer (inter-node) or as a single pipelined shared-memory
+//     message (intra-node), followed by a FIN.
+//   - Consumed system-pool buffers are returned to the NIC in batches
+//     to amortize the kernel trap each return costs.
+//
+// Threading rule: a Device must be driven by exactly one simulated
+// process (the MPI rule that a rank is single-threaded unless
+// MPI_THREAD_MULTIPLE is requested). Two processes blocking in the
+// progress engine of one device can steal each other's wake-ups.
+package eadi
+
+import (
+	"errors"
+	"fmt"
+
+	"bcl/internal/bcl"
+	"bcl/internal/mem"
+	"bcl/internal/nic"
+	"bcl/internal/sim"
+)
+
+// EagerLimit is the largest payload sent eagerly; larger messages use
+// rendezvous. It matches the system-pool buffer size.
+const EagerLimit = 4096
+
+// rmaChunk is the RMA write granularity of the rendezvous data path.
+const rmaChunk = 16384
+
+// returnBatch is how many consumed pool buffers accumulate before one
+// kernel trap returns them all.
+const returnBatch = 8
+
+// Matching costs (library CPU), calibrated so MPI-over-BCL lands at
+// the paper's 23.7 µs inter-node / 6.3 µs intra-node.
+const (
+	packCost  = 500 // sender builds the match header
+	matchCost = 600 // receiver searches the posted/unexpected queues
+)
+
+// AnySource and AnyTag are wildcard match values.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// message kinds carried in the BCL tag word.
+const (
+	kindEager = iota
+	kindRTS
+	kindCTS
+	kindFIN
+)
+
+// ErrTruncated reports a message longer than the posted buffer.
+var ErrTruncated = errors.New("eadi: message truncated")
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Len    int
+}
+
+// Device is one process's EADI endpoint: rank r of a job whose rank i
+// lives at addrs[i].
+type Device struct {
+	port  *bcl.Port
+	rank  int
+	addrs []bcl.Addr
+
+	posted     []*pendingRecv
+	unexpected []*inMsg
+	sends      map[int]*sendState
+	rndvRecvs  map[int]*rndvRecv // keyed by data channel
+	nextID     int
+	returns    []returnBuf
+
+	// Stats.
+	EagerSent, EagerRecv uint64
+	RndvSent, RndvRecv   uint64
+	UnexpectedMsgs       uint64
+}
+
+type pendingRecv struct {
+	src, ctx, tag int
+	va            mem.VAddr
+	n             int
+	done          bool
+	status        Status
+	err           error
+}
+
+type inMsg struct {
+	src, ctx, tag int
+	data          []byte // eager payload, already copied out of the pool
+	rts           *rtsInfo
+}
+
+type rtsInfo struct {
+	size   int
+	sendID int
+	src    int
+}
+
+type sendState struct {
+	id      int
+	ctsChan int
+	gotCTS  bool
+}
+
+type rndvRecv struct {
+	recv *pendingRecv
+	src  int
+	tag  int
+	ctx  int
+	size int
+}
+
+type returnBuf struct {
+	va mem.VAddr
+	n  int
+}
+
+// NewDevice wraps a BCL port as rank `rank` of the job laid out in
+// addrs.
+func NewDevice(port *bcl.Port, rank int, addrs []bcl.Addr) *Device {
+	return &Device{
+		port:      port,
+		rank:      rank,
+		addrs:     addrs,
+		sends:     make(map[int]*sendState),
+		rndvRecvs: make(map[int]*rndvRecv),
+	}
+}
+
+// Rank returns this device's rank.
+func (d *Device) Rank() int { return d.rank }
+
+// Size returns the job size.
+func (d *Device) Size() int { return len(d.addrs) }
+
+// Port returns the underlying BCL port.
+func (d *Device) Port() *bcl.Port { return d.port }
+
+// packTag packs (kind, ctx, tag, id) into BCL's 64-bit tag word:
+// kind in bits [0:4), context [4:20), tag [20:52), handshake id
+// [52:64). Ids wrap at 12 bits, which is safe because only a handful
+// of handshakes are in flight per peer at once.
+func packTag(kind, ctx, tag, id int) uint64 {
+	return uint64(kind)&0xf |
+		uint64(uint16(ctx))<<4 |
+		(uint64(tag)&0xffffffff)<<20 |
+		(uint64(id)&0xfff)<<52
+}
+
+func unpackTag(t uint64) (kind, ctx, tag, id int) {
+	kind = int(t & 0xf)
+	ctx = int(uint16(t >> 4))
+	tag = int(int32(uint32(t >> 20 & 0xffffffff)))
+	id = int(t >> 52)
+	return
+}
+
+// rankOf maps a BCL source address back to a rank.
+func (d *Device) rankOf(node, port int) int {
+	for i, a := range d.addrs {
+		if a.Node == node && a.Port == port {
+			return i
+		}
+	}
+	return -1
+}
+
+// Send transmits n bytes at va to (dst, ctx, tag), blocking until the
+// buffer is reusable.
+func (d *Device) Send(p *sim.Proc, dst, ctx, tag int, va mem.VAddr, n int) error {
+	p.Sleep(packCost)
+	if n <= EagerLimit {
+		return d.sendEager(p, dst, ctx, tag, va, n)
+	}
+	return d.sendRndv(p, dst, ctx, tag, va, n)
+}
+
+func (d *Device) sendEager(p *sim.Proc, dst, ctx, tag int, va mem.VAddr, n int) error {
+	d.EagerSent++
+	_, err := d.port.Send(p, d.addrs[dst], bcl.SystemChannel, va, n, packTag(kindEager, ctx, tag, 0))
+	if err != nil {
+		return err
+	}
+	ev := d.port.WaitSend(p)
+	if ev.Type == nic.EvSendFailed {
+		return fmt.Errorf("eadi: eager send to %d failed", dst)
+	}
+	return nil
+}
+
+func (d *Device) sendRndv(p *sim.Proc, dst, ctx, tag int, va mem.VAddr, n int) error {
+	d.RndvSent++
+	d.nextID++
+	st := &sendState{id: d.nextID & 0xfff}
+	d.sends[st.id] = st
+	defer delete(d.sends, st.id)
+
+	// RTS carries the size in its 8-byte payload.
+	hdr := d.port.Process().Space.Alloc(8)
+	putUint64(d.port.Process().Space, hdr, uint64(n))
+	if _, err := d.port.Send(p, d.addrs[dst], bcl.SystemChannel, hdr, 8,
+		packTag(kindRTS, ctx, tag, st.id)); err != nil {
+		return err
+	}
+	d.port.WaitSend(p)
+
+	// Drive progress until the CTS names the data channel.
+	for !st.gotCTS {
+		d.progress(p)
+	}
+
+	if d.addrs[dst].Node == d.port.Addr().Node {
+		// Intra-node: one pipelined shared-memory message straight
+		// into the posted buffer; its recv event completes the peer.
+		if _, err := d.port.Send(p, d.addrs[dst], st.ctsChan, va, n, packTag(kindFIN, ctx, tag, st.id)); err != nil {
+			return err
+		}
+		d.port.WaitSend(p)
+		return nil
+	}
+
+	// Inter-node: chunked RMA writes into the registered window, then
+	// a FIN (flows are ordered, so the FIN arrives after the data).
+	chunks := 0
+	for off := 0; off < n; off += rmaChunk {
+		ln := rmaChunk
+		if off+ln > n {
+			ln = n - off
+		}
+		if _, err := d.port.RMAWrite(p, d.addrs[dst], st.ctsChan, off, va+mem.VAddr(off), ln); err != nil {
+			return err
+		}
+		chunks++
+	}
+	for i := 0; i < chunks; i++ {
+		if ev := d.port.WaitSend(p); ev.Type == nic.EvSendFailed {
+			return fmt.Errorf("eadi: rendezvous data to %d failed", dst)
+		}
+	}
+	fin := d.port.Process().Space.Alloc(8)
+	putUint64(d.port.Process().Space, fin, uint64(st.ctsChan))
+	if _, err := d.port.Send(p, d.addrs[dst], bcl.SystemChannel, fin, 8,
+		packTag(kindFIN, ctx, tag, st.id)); err != nil {
+		return err
+	}
+	d.port.WaitSend(p)
+	return nil
+}
+
+// Recv blocks until a message matching (src, ctx, tag) — with
+// AnySource/AnyTag wildcards — lands in [va, va+n).
+func (d *Device) Recv(p *sim.Proc, src, ctx, tag int, va mem.VAddr, n int) (Status, error) {
+	p.Sleep(matchCost)
+	// Check the unexpected queue first.
+	for i, m := range d.unexpected {
+		if m.ctx != ctx || !matches(src, tag, m.src, m.tag) {
+			continue
+		}
+		d.unexpected = append(d.unexpected[:i], d.unexpected[i+1:]...)
+		if m.rts != nil {
+			return d.acceptRndv(p, m.rts, m.ctx, m.tag, va, n)
+		}
+		if len(m.data) > n {
+			return Status{}, ErrTruncated
+		}
+		d.port.Node().Memcpy(p, len(m.data))
+		if err := d.port.Process().Space.Write(va, m.data); err != nil {
+			return Status{}, err
+		}
+		d.EagerRecv++
+		return Status{Source: m.src, Tag: m.tag, Len: len(m.data)}, nil
+	}
+	pr := &pendingRecv{src: src, ctx: ctx, tag: tag, va: va, n: n}
+	d.posted = append(d.posted, pr)
+	for !pr.done {
+		d.progress(p)
+	}
+	return pr.status, pr.err
+}
+
+// Probe reports whether a matching message is available without
+// receiving it (non-blocking).
+func (d *Device) Probe(p *sim.Proc, src, ctx, tag int) (Status, bool) {
+	p.Sleep(matchCost)
+	for _, m := range d.unexpected {
+		if m.ctx != ctx || !matches(src, tag, m.src, m.tag) {
+			continue
+		}
+		ln := len(m.data)
+		if m.rts != nil {
+			ln = m.rts.size
+		}
+		return Status{Source: m.src, Tag: m.tag, Len: ln}, true
+	}
+	if ev, ok := d.port.TryRecv(p); ok {
+		d.handle(p, ev)
+		return d.Probe(p, src, ctx, tag)
+	}
+	return Status{}, false
+}
+
+func matches(wantSrc, wantTag, src, tag int) bool {
+	return (wantSrc == AnySource || wantSrc == src) &&
+		(wantTag == AnyTag || wantTag == tag)
+}
+
+// progress services one BCL event.
+func (d *Device) progress(p *sim.Proc) {
+	d.handle(p, d.port.WaitRecv(p))
+}
+
+func (d *Device) handle(p *sim.Proc, ev *nic.Event) {
+	if ev.Type != nic.EvRecvDone {
+		return
+	}
+	// Rendezvous data arriving on its channel (intra-node path)?
+	if rr, ok := d.rndvRecvs[ev.Channel]; ok && ev.Channel != bcl.SystemChannel {
+		delete(d.rndvRecvs, ev.Channel)
+		d.finishRndv(p, rr, ev.Len)
+		return
+	}
+	kind, ctx, tag, id := unpackTag(ev.Tag)
+	src := d.rankOf(ev.SrcNode, ev.SrcPort)
+	switch kind {
+	case kindEager:
+		d.deliverEager(p, ev, src, ctx, tag)
+	case kindRTS:
+		buf, _ := d.port.Process().Space.Read(ev.VA, 8)
+		size := int(getUint64(buf))
+		d.recycle(p, ev)
+		d.deliverRTS(p, &rtsInfo{size: size, sendID: id, src: src}, ctx, tag)
+	case kindCTS:
+		buf, _ := d.port.Process().Space.Read(ev.VA, 8)
+		ch := int(getUint64(buf))
+		d.recycle(p, ev)
+		if st, ok := d.sends[id]; ok {
+			st.ctsChan = ch
+			st.gotCTS = true
+		}
+	case kindFIN:
+		buf, _ := d.port.Process().Space.Read(ev.VA, 8)
+		ch := int(getUint64(buf))
+		d.recycle(p, ev)
+		if rr, ok := d.rndvRecvs[ch]; ok {
+			delete(d.rndvRecvs, ch)
+			d.finishRndv(p, rr, rr.size)
+		}
+	}
+}
+
+// deliverEager matches an arrived eager message or queues it.
+func (d *Device) deliverEager(p *sim.Proc, ev *nic.Event, src, ctx, tag int) {
+	p.Sleep(matchCost)
+	for i, pr := range d.posted {
+		if pr.ctx != ctx || !matches(pr.src, pr.tag, src, tag) {
+			continue
+		}
+		d.posted = append(d.posted[:i], d.posted[i+1:]...)
+		if ev.Len > pr.n {
+			pr.err = ErrTruncated
+		} else if ev.Len > 0 {
+			data, err := d.port.Process().Space.Read(ev.VA, ev.Len)
+			if err == nil {
+				d.port.Node().Memcpy(p, ev.Len)
+				err = d.port.Process().Space.Write(pr.va, data)
+			}
+			pr.err = err
+		}
+		pr.status = Status{Source: src, Tag: tag, Len: ev.Len}
+		pr.done = true
+		d.EagerRecv++
+		d.recycle(p, ev)
+		return
+	}
+	// Unexpected: copy out so the pool buffer can recycle.
+	d.UnexpectedMsgs++
+	var data []byte
+	if ev.Len > 0 {
+		data, _ = d.port.Process().Space.Read(ev.VA, ev.Len)
+		d.port.Node().Memcpy(p, ev.Len)
+	}
+	d.unexpected = append(d.unexpected, &inMsg{src: src, ctx: ctx, tag: tag, data: data})
+	d.recycle(p, ev)
+}
+
+// deliverRTS matches a rendezvous announcement or queues it.
+func (d *Device) deliverRTS(p *sim.Proc, rts *rtsInfo, ctx, tag int) {
+	p.Sleep(matchCost)
+	for i, pr := range d.posted {
+		if pr.ctx != ctx || !matches(pr.src, pr.tag, rts.src, tag) {
+			continue
+		}
+		d.posted = append(d.posted[:i], d.posted[i+1:]...)
+		st, err := d.acceptRndvInto(p, rts, ctx, tag, pr)
+		_ = st
+		if err != nil {
+			pr.err = err
+			pr.done = true
+		}
+		return
+	}
+	d.UnexpectedMsgs++
+	d.unexpected = append(d.unexpected, &inMsg{src: rts.src, ctx: ctx, tag: tag, rts: rts})
+}
+
+// acceptRndv handles an RTS found on the unexpected queue by a Recv.
+func (d *Device) acceptRndv(p *sim.Proc, rts *rtsInfo, ctx, tag int, va mem.VAddr, n int) (Status, error) {
+	pr := &pendingRecv{src: rts.src, ctx: ctx, tag: tag, va: va, n: n}
+	if _, err := d.acceptRndvInto(p, rts, ctx, tag, pr); err != nil {
+		return Status{}, err
+	}
+	for !pr.done {
+		d.progress(p)
+	}
+	return pr.status, pr.err
+}
+
+// acceptRndvInto arms the data path for a matched RTS and sends CTS.
+func (d *Device) acceptRndvInto(p *sim.Proc, rts *rtsInfo, ctx, tag int, pr *pendingRecv) (*rndvRecv, error) {
+	if rts.size > pr.n {
+		return nil, ErrTruncated
+	}
+	ch := d.port.CreateChannel()
+	srcAddr := d.addrs[rts.src]
+	var err error
+	if srcAddr.Node == d.port.Addr().Node {
+		err = d.port.PostRecv(p, ch, pr.va, rts.size)
+	} else {
+		err = d.port.RegisterOpen(p, ch, pr.va, rts.size)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rr := &rndvRecv{recv: pr, src: rts.src, tag: tag, ctx: ctx, size: rts.size}
+	d.rndvRecvs[ch] = rr
+	// CTS carries the channel id in its payload.
+	hdr := d.port.Process().Space.Alloc(8)
+	putUint64(d.port.Process().Space, hdr, uint64(ch))
+	if _, err := d.port.Send(p, srcAddr, bcl.SystemChannel, hdr, 8,
+		packTag(kindCTS, ctx, tag, rts.sendID)); err != nil {
+		return nil, err
+	}
+	d.port.WaitSend(p)
+	return rr, nil
+}
+
+func (d *Device) finishRndv(p *sim.Proc, rr *rndvRecv, n int) {
+	d.RndvRecv++
+	rr.recv.status = Status{Source: rr.src, Tag: rr.tag, Len: n}
+	rr.recv.done = true
+}
+
+// recycle queues a consumed system-pool buffer and, once a batch has
+// accumulated, returns them all in one kernel trap.
+func (d *Device) recycle(p *sim.Proc, ev *nic.Event) {
+	if ev.Channel != bcl.SystemChannel {
+		return
+	}
+	d.returns = append(d.returns, returnBuf{va: ev.VA, n: EagerLimit})
+	if len(d.returns) < returnBatch {
+		return
+	}
+	d.flushReturns(p)
+}
+
+// flushReturns returns every queued pool buffer in one trap (the BCL
+// kernel module accepts a vector of buffers).
+func (d *Device) flushReturns(p *sim.Proc) {
+	if len(d.returns) == 0 {
+		return
+	}
+	bufs := make([]bcl.SystemBuf, len(d.returns))
+	for i, r := range d.returns {
+		bufs[i] = bcl.SystemBuf{VA: r.va, Len: r.n}
+	}
+	d.port.ReturnSystemBuffers(p, bufs)
+	d.returns = d.returns[:0]
+}
+
+func putUint64(sp *mem.AddrSpace, va mem.VAddr, v uint64) {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	sp.Write(va, b)
+}
+
+func getUint64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8 && i < len(b); i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,121 @@
+package eadi
+
+import (
+	"testing"
+
+	"bcl/internal/sim"
+)
+
+func TestSendEagerNBRejectsOversize(t *testing.T) {
+	c, devs := world(t, 2, []int{0, 1})
+	var err error
+	c.Env.Go("p", func(p *sim.Proc) {
+		va := devs[0].Port().Process().Space.Alloc(EagerLimit + 1)
+		err = devs[0].SendEagerNB(p, 1, 0, 0, va, EagerLimit+1)
+	})
+	c.Env.RunUntil(c.Env.Now() + sim.Millisecond)
+	if err == nil {
+		t.Fatal("oversized nonblocking eager send accepted")
+	}
+}
+
+func TestPostRecvNBImmediateEagerMatch(t *testing.T) {
+	c, devs := world(t, 2, []int{0, 1})
+	a, b := devs[0], devs[1]
+	matched := false
+	c.Env.Go("a", func(p *sim.Proc) {
+		a.Send(p, 1, 0, 4, alloc(a, []byte("early!")), 6)
+	})
+	c.Env.Go("b", func(p *sim.Proc) {
+		p.Sleep(500 * sim.Microsecond)
+		// Pull the message onto the unexpected queue first.
+		for {
+			if _, ok := b.Probe(p, AnySource, 0, AnyTag); ok {
+				break
+			}
+			p.Sleep(10 * sim.Microsecond)
+		}
+		buf := b.Port().Process().Space.Alloc(64)
+		h := b.PostRecvNB(p, 0, 0, 4, buf, 64)
+		if !h.Done() {
+			t.Error("posting against a queued eager message did not complete immediately")
+			return
+		}
+		st, err := h.Status()
+		if err != nil || st.Len != 6 {
+			t.Errorf("status = %+v, %v", st, err)
+			return
+		}
+		matched = true
+	})
+	c.Env.RunUntil(sim.Second)
+	if !matched {
+		t.Fatal("immediate match path not taken")
+	}
+}
+
+func TestPostRecvNBTruncationFromUnexpected(t *testing.T) {
+	c, devs := world(t, 2, []int{0, 1})
+	a, b := devs[0], devs[1]
+	var herr error
+	c.Env.Go("a", func(p *sim.Proc) {
+		a.Send(p, 1, 0, 9, alloc(a, make([]byte, 500)), 500)
+	})
+	c.Env.Go("b", func(p *sim.Proc) {
+		p.Sleep(500 * sim.Microsecond)
+		for {
+			if _, ok := b.Probe(p, AnySource, 0, AnyTag); ok {
+				break
+			}
+			p.Sleep(10 * sim.Microsecond)
+		}
+		buf := b.Port().Process().Space.Alloc(64)
+		h := b.PostRecvNB(p, 0, 0, 9, buf, 64) // too small
+		_, herr = h.Status()
+	})
+	c.Env.RunUntil(sim.Second)
+	if herr != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", herr)
+	}
+}
+
+func TestDeviceAccessors(t *testing.T) {
+	c, devs := world(t, 2, []int{0, 1})
+	_ = c
+	if devs[0].Rank() != 0 || devs[1].Rank() != 1 {
+		t.Fatal("ranks wrong")
+	}
+	if devs[0].Size() != 2 {
+		t.Fatal("size wrong")
+	}
+	if devs[0].Port() == nil {
+		t.Fatal("port accessor nil")
+	}
+}
+
+func TestFlushReturnsEmptyNoop(t *testing.T) {
+	c, devs := world(t, 2, []int{0, 1})
+	c.Env.Go("p", func(p *sim.Proc) {
+		before := p.Now()
+		devs[0].flushReturns(p) // nothing queued: free
+		if p.Now() != before {
+			t.Error("empty flush charged time")
+		}
+	})
+	c.Env.RunUntil(c.Env.Now() + sim.Millisecond)
+}
+
+func TestTagPackingRoundTrip(t *testing.T) {
+	cases := []struct{ kind, ctx, tag, id int }{
+		{kindEager, 0, 0, 0},
+		{kindRTS, 7, 123456, 99},
+		{kindCTS, 65535, 1 << 30, 4095},
+		{kindFIN, 1, 42, 1},
+	}
+	for _, c := range cases {
+		k, x, g, i := unpackTag(packTag(c.kind, c.ctx, c.tag, c.id))
+		if k != c.kind || x != c.ctx || g != c.tag || i != c.id {
+			t.Fatalf("round trip %+v -> %d %d %d %d", c, k, x, g, i)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+// Package fabric models system-area-network fabrics: packets, links,
+// switches and routing. It provides the generic machinery — a wormhole
+// (cut-through) link engine with per-link contention, topology/routing
+// tables, and fault injection — used by the concrete topologies in the
+// myrinet and mesh subpackages.
+//
+// A packet's head ripples through its route paying one hop latency per
+// switch; each traversed link is occupied for the packet's full
+// serialization time starting when the head reaches it, so bandwidth
+// contention is modelled per link while latency stays cut-through.
+package fabric
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"bcl/internal/hw"
+	"bcl/internal/sim"
+)
+
+// PacketKind discriminates wire packets.
+type PacketKind uint8
+
+// Wire packet kinds.
+const (
+	KindData     PacketKind = iota // message payload fragment
+	KindAck                        // cumulative acknowledgement
+	KindNack                       // receiver cannot accept (no buffer); retransmit later
+	KindRMARead                    // RMA read request (open channel)
+	KindRMAWrite                   // RMA write payload fragment (open channel)
+)
+
+func (k PacketKind) String() string {
+	switch k {
+	case KindData:
+		return "DATA"
+	case KindAck:
+		return "ACK"
+	case KindNack:
+		return "NACK"
+	case KindRMARead:
+		return "RMA-READ"
+	case KindRMAWrite:
+		return "RMA-WRITE"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// HeaderBytes is the wire header size: route+kind+addressing+sequence.
+const HeaderBytes = 24
+
+// CRCBytes is the trailing checksum size.
+const CRCBytes = 4
+
+// Packet is one wire packet. Payload carries real bytes; CRC is a real
+// CRC-32 so that injected corruption is genuinely detected (or missed,
+// exactly as often as CRC-32 misses).
+type Packet struct {
+	Kind    PacketKind
+	Src     int // source node id
+	Dst     int // destination node id
+	Flow    uint32
+	SrcPort int
+	DstPort int
+	Channel int
+
+	MsgID   uint64 // sender-assigned message id
+	Seq     uint64 // per-flow wire sequence number
+	FragIdx int    // fragment index within the message
+	Frags   int    // total fragments in the message
+	Offset  int    // byte offset of this fragment in the message
+	MsgLen  int    // total message length
+	Tag     uint64 // upper-layer immediate word
+
+	AckSeq  uint64 // for ACK/NACK: cumulative sequence
+	Payload []byte
+	CRC     uint32
+
+	Sent sim.Time // injection timestamp (diagnostics)
+}
+
+// WireSize returns the serialized size in bytes.
+func (p *Packet) WireSize() int { return HeaderBytes + len(p.Payload) + CRCBytes }
+
+// Seal computes and stores the payload CRC.
+func (p *Packet) Seal() { p.CRC = crc32.ChecksumIEEE(p.Payload) }
+
+// Verify reports whether the payload matches the stored CRC.
+func (p *Packet) Verify() bool { return crc32.ChecksumIEEE(p.Payload) == p.CRC }
+
+// Fault is a fault-injection hook. It may mutate the packet (corrupt
+// bytes) and reports whether the packet should be dropped entirely.
+type Fault func(env *sim.Env, pkt *Packet) (drop bool)
+
+// DropEvery returns a Fault dropping every nth data packet.
+func DropEvery(n int) Fault {
+	count := 0
+	return func(_ *sim.Env, pkt *Packet) bool {
+		if pkt.Kind != KindData {
+			return false
+		}
+		count++
+		return count%n == 0
+	}
+}
+
+// CorruptEvery returns a Fault flipping a byte in every nth data
+// packet with a non-empty payload.
+func CorruptEvery(n int) Fault {
+	count := 0
+	return func(_ *sim.Env, pkt *Packet) bool {
+		if pkt.Kind != KindData || len(pkt.Payload) == 0 {
+			return false
+		}
+		count++
+		if count%n == 0 {
+			pkt.Payload[0] ^= 0xff
+		}
+		return false
+	}
+}
+
+// RandomLoss returns a Fault dropping data packets with probability p,
+// using the environment's deterministic RNG.
+func RandomLoss(p float64) Fault {
+	return func(env *sim.Env, pkt *Packet) bool {
+		if pkt.Kind != KindData {
+			return false
+		}
+		return env.Rand().Bool(p)
+	}
+}
+
+// Endpoint is a fabric attachment point for one NIC: an inbound packet
+// queue plus the outbound injection path.
+type Endpoint struct {
+	Node     int
+	RX       *sim.Queue[*Packet]
+	net      *Network
+	injectFn func(p *sim.Proc, pkt *Packet)
+}
+
+// NewInjectedEndpoint builds an endpoint whose injection path is
+// custom (composite fabrics use it to demultiplex across rails) and
+// whose RX queue is supplied by the caller.
+func NewInjectedEndpoint(node int, rx *sim.Queue[*Packet], inject func(p *sim.Proc, pkt *Packet)) *Endpoint {
+	return &Endpoint{Node: node, RX: rx, injectFn: inject}
+}
+
+// Inject sends pkt into the fabric. The calling process (the NIC send
+// engine) is occupied for the packet's serialization time on the
+// injection link — this is what limits a single sender's bandwidth —
+// after which the packet propagates through the route asynchronously.
+func (ep *Endpoint) Inject(p *sim.Proc, pkt *Packet) {
+	if ep.injectFn != nil {
+		ep.injectFn(p, pkt)
+		return
+	}
+	ep.net.inject(p, ep.Node, pkt)
+}
+
+// Fabric is a network connecting numbered nodes.
+type Fabric interface {
+	// Attach returns the endpoint for a node; each node has one NIC.
+	Attach(node int) *Endpoint
+	// Nodes returns the number of attachment points.
+	Nodes() int
+	// SetFault installs a fault-injection hook (nil clears it).
+	SetFault(f Fault)
+	// Name identifies the fabric type for traces and tables.
+	Name() string
+}
+
+// link is one directed physical channel.
+type link struct {
+	name string
+	res  *sim.Resource
+	bw   hw.Bps
+	lat  sim.Time // propagation + switch cut-through latency at this hop
+}
+
+// Network is the generic routed-fabric engine. Concrete topologies add
+// links and routes, then expose it through the Fabric interface.
+type Network struct {
+	env       *sim.Env
+	name      string
+	endpoints []*Endpoint
+	links     []*link
+	routes    map[[2]int][]int // (src,dst) -> link ids, including injection link
+	fault     Fault
+
+	delivered uint64
+	dropped   uint64
+}
+
+// NewNetwork returns an empty network for n nodes.
+func NewNetwork(env *sim.Env, name string, n int) *Network {
+	net := &Network{
+		env:    env,
+		name:   name,
+		routes: make(map[[2]int][]int),
+	}
+	for i := 0; i < n; i++ {
+		net.endpoints = append(net.endpoints, &Endpoint{
+			Node: i,
+			RX:   sim.NewQueue[*Packet](env, fmt.Sprintf("%s/rx%d", name, i), 0),
+			net:  net,
+		})
+	}
+	return net
+}
+
+// AddLink registers a directed link and returns its id.
+func (n *Network) AddLink(name string, bw hw.Bps, latency sim.Time) int {
+	id := len(n.links)
+	n.links = append(n.links, &link{
+		name: name,
+		res:  sim.NewResource(n.env, name, 1),
+		bw:   bw,
+		lat:  latency,
+	})
+	return id
+}
+
+// SetRoute fixes the link sequence from src to dst. The first link is
+// the injection link (NIC to first switch); the last delivers to the
+// destination NIC.
+func (n *Network) SetRoute(src, dst int, linkIDs []int) {
+	n.routes[[2]int{src, dst}] = linkIDs
+}
+
+// Route returns the link ids from src to dst (nil if none).
+func (n *Network) Route(src, dst int) []int { return n.routes[[2]int{src, dst}] }
+
+// Attach implements Fabric.
+func (n *Network) Attach(node int) *Endpoint { return n.endpoints[node] }
+
+// Nodes implements Fabric.
+func (n *Network) Nodes() int { return len(n.endpoints) }
+
+// Name implements Fabric.
+func (n *Network) Name() string { return n.name }
+
+// SetFault implements Fabric.
+func (n *Network) SetFault(f Fault) { n.fault = f }
+
+// Stats returns delivered and dropped packet counts.
+func (n *Network) Stats() (delivered, dropped uint64) { return n.delivered, n.dropped }
+
+// inject pushes pkt along its route. The caller holds the sending NIC;
+// it is blocked for the serialization time on the injection link.
+// Intra-node sends (src == dst, no route) deliver directly.
+func (n *Network) inject(p *sim.Proc, src int, pkt *Packet) {
+	pkt.Sent = n.env.Now()
+	if n.fault != nil {
+		if n.fault(n.env, pkt) {
+			n.dropped++
+			// The sender still pays the injection time: the bits left
+			// the NIC; they die somewhere in the fabric.
+			if route := n.routes[[2]int{src, pkt.Dst}]; len(route) > 0 {
+				first := n.links[route[0]]
+				first.res.Use(p, 1, hw.TransferTime(pkt.WireSize(), first.bw))
+			}
+			return
+		}
+	}
+	route, ok := n.routes[[2]int{src, pkt.Dst}]
+	if !ok {
+		panic(fmt.Sprintf("fabric %s: no route %d->%d", n.name, src, pkt.Dst))
+	}
+	if len(route) == 0 { // loopback
+		n.delivered++
+		n.endpoints[pkt.Dst].RX.Post(pkt)
+		return
+	}
+
+	// Serialize onto the injection link: the sender is occupied for the
+	// full packet time (this is the per-NIC bandwidth limit).
+	first := n.links[route[0]]
+	txTime := hw.TransferTime(pkt.WireSize(), first.bw)
+	first.res.Acquire(p, 1)
+	p.Sleep(txTime)
+	first.res.Release(1)
+
+	// The head is now one hop in; ripple through the remaining links
+	// asynchronously (cut-through). Each link is held for the packet's
+	// serialization time on that link.
+	n.env.Go(fmt.Sprintf("%s/pkt", n.name), func(fp *sim.Proc) {
+		fp.Sleep(first.lat)
+		for _, id := range route[1:] {
+			l := n.links[id]
+			l.res.Acquire(fp, 1)
+			t := hw.TransferTime(pkt.WireSize(), l.bw)
+			// Hold the link for the tail to pass, but let the head
+			// proceed after the hop latency.
+			n.env.After(t, func() { l.res.Release(1) })
+			fp.Sleep(l.lat)
+		}
+		// With equal link bandwidths the tail follows the head
+		// continuously, so after the last hop latency the whole packet
+		// has arrived (its serialization was paid once, at injection).
+		n.delivered++
+		n.endpoints[pkt.Dst].RX.Post(pkt)
+	})
+}

@@ -1,0 +1,271 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bcl/internal/hw"
+	"bcl/internal/sim"
+)
+
+// twoNode builds the smallest useful network: two nodes joined by one
+// switchless pair of directed links.
+func twoNode(env *sim.Env, bw hw.Bps, lat sim.Time) *Network {
+	n := NewNetwork(env, "test", 2)
+	ab := n.AddLink("a->b", bw, lat)
+	ba := n.AddLink("b->a", bw, lat)
+	n.SetRoute(0, 1, []int{ab})
+	n.SetRoute(1, 0, []int{ba})
+	n.SetRoute(0, 0, nil)
+	n.SetRoute(1, 1, nil)
+	return n
+}
+
+func TestPacketCRC(t *testing.T) {
+	p := &Packet{Payload: []byte("hello world")}
+	p.Seal()
+	if !p.Verify() {
+		t.Fatal("fresh packet fails CRC")
+	}
+	p.Payload[3] ^= 1
+	if p.Verify() {
+		t.Fatal("corrupted packet passes CRC")
+	}
+	if p.WireSize() != HeaderBytes+11+CRCBytes {
+		t.Fatalf("wire size = %d", p.WireSize())
+	}
+}
+
+func TestDeliveryAndTiming(t *testing.T) {
+	env := sim.NewEnv(1)
+	net := twoNode(env, 160*hw.MBps, 500)
+	var arrival sim.Time
+	var got *Packet
+	env.Go("rx", func(p *sim.Proc) {
+		got = net.Attach(1).RX.Recv(p)
+		arrival = p.Now()
+	})
+	env.Go("tx", func(p *sim.Proc) {
+		pkt := &Packet{Kind: KindData, Src: 0, Dst: 1, Payload: []byte("abc")}
+		pkt.Seal()
+		net.Attach(0).Inject(p, pkt)
+	})
+	env.Run()
+	if got == nil || string(got.Payload) != "abc" {
+		t.Fatal("payload not delivered intact")
+	}
+	// Expected: serialization of 31 bytes at 160 MB/s = 194 ns
+	// (rounded up), plus hop latency 500.
+	ser := hw.TransferTime(31, 160*hw.MBps)
+	want := ser + 500
+	if arrival != want {
+		t.Fatalf("arrival = %d, want %d", arrival, want)
+	}
+}
+
+func TestLoopbackDelivery(t *testing.T) {
+	env := sim.NewEnv(1)
+	net := twoNode(env, 160*hw.MBps, 500)
+	var arrival sim.Time
+	env.Go("rx", func(p *sim.Proc) {
+		net.Attach(0).RX.Recv(p)
+		arrival = p.Now()
+	})
+	env.Go("tx", func(p *sim.Proc) {
+		p.Sleep(7)
+		pkt := &Packet{Kind: KindData, Src: 0, Dst: 0}
+		net.Attach(0).Inject(p, pkt)
+	})
+	env.Run()
+	if arrival != 7 {
+		t.Fatalf("loopback arrival = %d, want 7 (immediate)", arrival)
+	}
+}
+
+func TestInjectionSerializesSender(t *testing.T) {
+	// Two back-to-back packets from the same sender must be spaced by
+	// their serialization time: the injection link is the bandwidth
+	// limit.
+	env := sim.NewEnv(1)
+	net := twoNode(env, 100*hw.MBps, 0)
+	payload := make([]byte, 1000-HeaderBytes-CRCBytes) // 1000-byte wire packets
+	var times []sim.Time
+	env.Go("rx", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			net.Attach(1).RX.Recv(p)
+			times = append(times, p.Now())
+		}
+	})
+	env.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			pkt := &Packet{Kind: KindData, Src: 0, Dst: 1, Payload: payload}
+			pkt.Seal()
+			net.Attach(0).Inject(p, pkt)
+		}
+	})
+	env.Run()
+	// 1000 bytes at 100 MB/s = 10 µs per packet.
+	if len(times) != 2 || times[1]-times[0] != 10*sim.Microsecond {
+		t.Fatalf("inter-arrival = %v, want 10 µs spacing", times)
+	}
+}
+
+func TestContentionOnSharedLink(t *testing.T) {
+	// Three senders into one destination share the final link; total
+	// goodput must be capped by that link.
+	env := sim.NewEnv(1)
+	n := NewNetwork(env, "star", 4)
+	bw := 100 * hw.MBps
+	var up, down [4]int
+	for i := 0; i < 4; i++ {
+		up[i] = n.AddLink("up", bw, 0)
+		down[i] = n.AddLink("down", bw, 0)
+	}
+	for s := 0; s < 4; s++ {
+		for d := 0; d < 4; d++ {
+			if s != d {
+				n.SetRoute(s, d, []int{up[s], down[d]})
+			}
+		}
+	}
+	const pktBytes = 10000
+	const perSender = 10
+	payload := make([]byte, pktBytes-HeaderBytes-CRCBytes)
+	var last sim.Time
+	env.Go("rx", func(p *sim.Proc) {
+		for i := 0; i < 3*perSender; i++ {
+			n.Attach(0).RX.Recv(p)
+			last = p.Now()
+		}
+	})
+	for s := 1; s <= 3; s++ {
+		src := s
+		env.Go("tx", func(p *sim.Proc) {
+			for i := 0; i < perSender; i++ {
+				pkt := &Packet{Kind: KindData, Src: src, Dst: 0, Payload: payload}
+				pkt.Seal()
+				n.Attach(src).Inject(p, pkt)
+			}
+		})
+	}
+	env.Run()
+	total := 3 * perSender * pktBytes
+	// Perfect sharing of the 100 MB/s down-link: 300 kB takes 3 ms.
+	goodput := float64(total) / (float64(last) / float64(sim.Second))
+	if goodput > 105e6 {
+		t.Fatalf("goodput %.1f MB/s exceeds shared link capacity", goodput/1e6)
+	}
+	if goodput < 80e6 {
+		t.Fatalf("goodput %.1f MB/s, shared link badly underutilized", goodput/1e6)
+	}
+}
+
+func TestFaultDrop(t *testing.T) {
+	env := sim.NewEnv(1)
+	net := twoNode(env, 160*hw.MBps, 100)
+	net.SetFault(DropEvery(2))
+	received := 0
+	env.Go("rx", func(p *sim.Proc) {
+		for {
+			if _, ok := net.Attach(1).RX.RecvTimeout(p, sim.Millisecond); !ok {
+				return
+			}
+			received++
+		}
+	})
+	env.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			pkt := &Packet{Kind: KindData, Src: 0, Dst: 1, Payload: []byte{byte(i)}}
+			pkt.Seal()
+			net.Attach(0).Inject(p, pkt)
+		}
+	})
+	env.Run()
+	if received != 5 {
+		t.Fatalf("received %d packets, want 5 (every 2nd dropped)", received)
+	}
+	delivered, dropped := net.Stats()
+	if delivered != 5 || dropped != 5 {
+		t.Fatalf("stats = %d/%d, want 5/5", delivered, dropped)
+	}
+}
+
+func TestFaultCorrupt(t *testing.T) {
+	env := sim.NewEnv(1)
+	net := twoNode(env, 160*hw.MBps, 100)
+	net.SetFault(CorruptEvery(3))
+	bad := 0
+	env.Go("rx", func(p *sim.Proc) {
+		for i := 0; i < 9; i++ {
+			pkt := net.Attach(1).RX.Recv(p)
+			if !pkt.Verify() {
+				bad++
+			}
+		}
+	})
+	env.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < 9; i++ {
+			pkt := &Packet{Kind: KindData, Src: 0, Dst: 1, Payload: []byte{1, 2, 3}}
+			pkt.Seal()
+			net.Attach(0).Inject(p, pkt)
+		}
+	})
+	env.Run()
+	if bad != 3 {
+		t.Fatalf("%d packets failed CRC, want 3", bad)
+	}
+}
+
+func TestRandomLossDeterministic(t *testing.T) {
+	run := func() uint64 {
+		env := sim.NewEnv(99)
+		net := twoNode(env, 160*hw.MBps, 100)
+		net.SetFault(RandomLoss(0.3))
+		env.Go("tx", func(p *sim.Proc) {
+			for i := 0; i < 100; i++ {
+				pkt := &Packet{Kind: KindData, Src: 0, Dst: 1}
+				net.Attach(0).Inject(p, pkt)
+			}
+		})
+		env.Go("rx", func(p *sim.Proc) {
+			for {
+				if _, ok := net.Attach(1).RX.RecvTimeout(p, sim.Millisecond); !ok {
+					return
+				}
+			}
+		})
+		env.Run()
+		_, dropped := net.Stats()
+		return dropped
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("loss count diverged between identical runs: %d vs %d", a, b)
+	}
+	if a == 0 || a == 100 {
+		t.Fatalf("dropped %d of 100 at p=0.3, implausible", a)
+	}
+}
+
+// Property: ACK/NACK packets pass through any fault hook untouched
+// (the built-in hooks only target data packets).
+func TestQuickFaultsSpareControlPackets(t *testing.T) {
+	f := func(nRaw uint8, kindRaw uint8) bool {
+		n := int(nRaw%5) + 2
+		kind := KindAck
+		if kindRaw%2 == 0 {
+			kind = KindNack
+		}
+		env := sim.NewEnv(uint64(nRaw))
+		for _, fault := range []Fault{DropEvery(n), CorruptEvery(n), RandomLoss(0.9)} {
+			pkt := &Packet{Kind: kind, Payload: []byte{42}}
+			if fault(env, pkt) || pkt.Payload[0] != 42 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

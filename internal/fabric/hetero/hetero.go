@@ -1,0 +1,114 @@
+// Package hetero builds a heterogeneous system-area network: every
+// node carries both a Myrinet adapter and an nwrc mesh adapter, and
+// each (source, destination) pair is routed over one of the two
+// physical networks by a configurable policy. This models the paper's
+// heterogeneous-network claim (and its PM2 reference): because the NIC
+// is transparent to user space under the semi-user-level architecture,
+// "binary code written in BCL ... can run on any combination of
+// networks supporting the BCL protocol" — a cluster of clusters whose
+// halves use different fabrics works unmodified.
+//
+// The composite exposes the ordinary fabric.Fabric interface: packets
+// injected at a node choose a rail by policy, and both rails' receive
+// sides merge into the node's single logical RX queue, so the NIC
+// firmware above is completely unaware that two networks exist.
+package hetero
+
+import (
+	"fmt"
+
+	"bcl/internal/fabric"
+	"bcl/internal/fabric/mesh"
+	"bcl/internal/fabric/myrinet"
+	"bcl/internal/hw"
+	"bcl/internal/sim"
+)
+
+// Policy picks a rail for a (src, dst) pair: 0 = Myrinet, 1 = mesh.
+type Policy func(src, dst int) int
+
+// SplitAt returns the policy of a "cluster of clusters": nodes below
+// the split talk Myrinet among themselves, nodes at or above the split
+// talk mesh among themselves, and cross-cluster traffic rides the
+// Myrinet backbone.
+func SplitAt(split int) Policy {
+	return func(src, dst int) int {
+		if src >= split && dst >= split {
+			return 1
+		}
+		return 0
+	}
+}
+
+// Fabric is the composite network.
+type Fabric struct {
+	env       *sim.Env
+	policy    Policy
+	rails     [2]fabric.Fabric
+	endpoints []*fabric.Endpoint
+	merged    []*sim.Queue[*fabric.Packet]
+
+	// Stats.
+	perRail [2]uint64
+}
+
+// New builds the composite for n nodes.
+func New(env *sim.Env, prof *hw.Profile, n int, policy Policy) *Fabric {
+	if policy == nil {
+		policy = SplitAt(n / 2)
+	}
+	f := &Fabric{env: env, policy: policy}
+	f.rails[0] = myrinet.New(env, prof, n)
+	f.rails[1] = mesh.New(env, prof, n)
+	for i := 0; i < n; i++ {
+		node := i
+		merged := sim.NewQueue[*fabric.Packet](env, fmt.Sprintf("hetero/rx%d", node), 0)
+		f.merged = append(f.merged, merged)
+		// Pump both rails' receive queues into the merged queue; the
+		// NIC above sees one stream (two physical ports feeding one
+		// logical adapter, as dual-rail NICs do).
+		for r := 0; r < 2; r++ {
+			rx := f.rails[r].Attach(node).RX
+			env.Go(fmt.Sprintf("hetero/pump%d.%d", node, r), func(p *sim.Proc) {
+				for {
+					merged.Send(p, rx.Recv(p))
+				}
+			})
+		}
+		f.endpoints = append(f.endpoints, f.newEndpoint(node))
+	}
+	return f
+}
+
+// newEndpoint builds the composite endpoint for a node. It reuses the
+// merged RX queue created in New.
+func (f *Fabric) newEndpoint(node int) *fabric.Endpoint {
+	return fabric.NewInjectedEndpoint(node, f.merged[node], func(p *sim.Proc, pkt *fabric.Packet) {
+		rail := f.policy(node, pkt.Dst)
+		if rail < 0 || rail > 1 {
+			panic(fmt.Sprintf("hetero: policy returned rail %d", rail))
+		}
+		f.perRail[rail]++
+		f.rails[rail].Attach(node).Inject(p, pkt)
+	})
+}
+
+// Attach implements fabric.Fabric.
+func (f *Fabric) Attach(node int) *fabric.Endpoint { return f.endpoints[node] }
+
+// Nodes implements fabric.Fabric.
+func (f *Fabric) Nodes() int { return len(f.endpoints) }
+
+// Name implements fabric.Fabric.
+func (f *Fabric) Name() string { return "hetero(myrinet+mesh)" }
+
+// SetFault installs the hook on both rails.
+func (f *Fabric) SetFault(hook fabric.Fault) {
+	f.rails[0].SetFault(hook)
+	f.rails[1].SetFault(hook)
+}
+
+// RailCounts reports how many packets each rail carried.
+func (f *Fabric) RailCounts() (myrinetPkts, meshPkts uint64) {
+	return f.perRail[0], f.perRail[1]
+}

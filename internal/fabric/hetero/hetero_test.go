@@ -1,0 +1,52 @@
+package hetero
+
+import (
+	"testing"
+
+	"bcl/internal/fabric"
+	"bcl/internal/hw"
+	"bcl/internal/sim"
+)
+
+func TestRailSelection(t *testing.T) {
+	env := sim.NewEnv(1)
+	f := New(env, hw.DAWNING3000(), 8, SplitAt(4))
+	send := func(src, dst int) {
+		env.Go("tx", func(p *sim.Proc) {
+			pkt := &fabric.Packet{Kind: fabric.KindData, Src: src, Dst: dst, Payload: []byte{1}}
+			pkt.Seal()
+			f.Attach(src).Inject(p, pkt)
+		})
+	}
+	recv := func(dst int, n int, got *int) {
+		env.Go("rx", func(p *sim.Proc) {
+			for i := 0; i < n; i++ {
+				f.Attach(dst).RX.Recv(p)
+				*got++
+			}
+		})
+	}
+	var lowGot, highGot, crossGot int
+	send(0, 1) // low half: Myrinet
+	recv(1, 1, &lowGot)
+	send(5, 6) // high half: mesh
+	recv(6, 1, &highGot)
+	send(1, 6) // cross-cluster: Myrinet backbone
+	recv(6, 1, &crossGot)
+	env.RunUntil(10 * sim.Millisecond)
+	if lowGot != 1 || highGot != 2-1 || crossGot+highGot != 2 {
+		t.Fatalf("deliveries: low=%d high=%d cross=%d", lowGot, highGot, crossGot)
+	}
+	myr, msh := f.RailCounts()
+	if myr != 2 || msh != 1 {
+		t.Fatalf("rail counts = %d/%d, want 2 myrinet + 1 mesh", myr, msh)
+	}
+}
+
+func TestHeteroName(t *testing.T) {
+	env := sim.NewEnv(1)
+	f := New(env, hw.DAWNING3000(), 4, nil)
+	if f.Name() != "hetero(myrinet+mesh)" || f.Nodes() != 4 {
+		t.Fatalf("meta: %s %d", f.Name(), f.Nodes())
+	}
+}

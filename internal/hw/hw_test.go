@@ -1,0 +1,131 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bcl/internal/sim"
+)
+
+func TestTransferTime(t *testing.T) {
+	cases := []struct {
+		n    int
+		bw   Bps
+		want sim.Time
+	}{
+		{0, 100 * MBps, 0},
+		{-5, 100 * MBps, 0},
+		{100, 100 * MBps, 1000},   // 100 B at 100 MB/s = 1 µs
+		{1, 1000 * MBps, 1},       // rounds up to 1 ns
+		{4096, 160 * MBps, 25600}, // one Myrinet packet
+	}
+	for _, c := range cases {
+		if got := TransferTime(c.n, c.bw); got != c.want {
+			t.Errorf("TransferTime(%d, %d) = %d, want %d", c.n, c.bw, got, c.want)
+		}
+	}
+}
+
+func TestTransferTimeBadBandwidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero bandwidth")
+		}
+	}()
+	TransferTime(1, 0)
+}
+
+func TestDAWNING3000PaperConstants(t *testing.T) {
+	p := DAWNING3000()
+	// Constants the paper states explicitly.
+	if p.PIOWriteWord != 240 {
+		t.Errorf("PIO write = %d, paper says 0.24 µs", p.PIOWriteWord)
+	}
+	if p.PIOReadWord != 980 {
+		t.Errorf("PIO read = %d, paper says 0.98 µs", p.PIOReadWord)
+	}
+	if p.MCPSendProc != 5650 {
+		t.Errorf("reliable proto = %d, paper says 5.65 µs", p.MCPSendProc)
+	}
+	if p.LinkBandwidth != 160*MBps {
+		t.Errorf("link = %d, Myrinet is 160 MB/s", p.LinkBandwidth)
+	}
+	if p.CPUsPerNode != 4 || p.PageSize != 4096 {
+		t.Error("node shape wrong")
+	}
+	// Derived identity: the host send path must sum to 7.04 µs.
+	send := p.UserCompose + p.TrapEnter + p.IoctlDispatch + p.SecurityCheck +
+		p.TranslateHit + p.PIOFill(p.SendDescWords) + p.TrapExit
+	if send != 7040 {
+		t.Errorf("host send path = %d ns, calibrated to 7040", send)
+	}
+	// Receive path = 1.01 µs.
+	if p.CompletionPoll+p.EventDecode != 1010 {
+		t.Errorf("receive path = %d, calibrated to 1010", p.CompletionPoll+p.EventDecode)
+	}
+	if p.SendComplete != 820 {
+		t.Errorf("send completion = %d, paper says 0.82 µs", p.SendComplete)
+	}
+}
+
+func TestScaleCPUAffectsOnlyHostCosts(t *testing.T) {
+	base := DAWNING3000()
+	half := base.ScaleCPU(0.5)
+	if half.TrapEnter != base.TrapEnter/2 || half.SecurityCheck != base.SecurityCheck/2 {
+		t.Error("host costs not scaled")
+	}
+	if half.MCPSendProc != base.MCPSendProc || half.LinkBandwidth != base.LinkBandwidth {
+		t.Error("NIC/link costs must not scale with host CPU")
+	}
+	if half.PIOWriteWord != base.PIOWriteWord {
+		t.Error("PIO is bus-bound, not CPU-bound")
+	}
+	if base.TrapEnter != 700 {
+		t.Error("ScaleCPU mutated the base profile")
+	}
+}
+
+func TestScalePIOAffectsOnlyPIO(t *testing.T) {
+	base := DAWNING3000()
+	fast := base.ScalePIO(0.25)
+	if fast.PIOWriteWord != base.PIOWriteWord/4 || fast.PIOReadWord != base.PIOReadWord/4 {
+		t.Error("PIO costs not scaled")
+	}
+	if fast.TrapEnter != base.TrapEnter || fast.MCPSendProc != base.MCPSendProc {
+		t.Error("non-PIO costs must not change")
+	}
+}
+
+func TestPackets(t *testing.T) {
+	p := DAWNING3000()
+	cases := map[int]int{0: 1, -1: 1, 1: 1, 4096: 1, 4097: 2, 131072: 32}
+	for n, want := range cases {
+		if got := p.Packets(n); got != want {
+			t.Errorf("Packets(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := DAWNING3000()
+	b := a.Clone()
+	b.MCPSendProc = 1
+	if a.MCPSendProc == 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+// Property: TransferTime is monotonic in n and antitonic in bandwidth.
+func TestQuickTransferTimeMonotonic(t *testing.T) {
+	f := func(nRaw uint16, bwRaw uint8) bool {
+		n := int(nRaw)
+		bw := Bps(int64(bwRaw%100)+1) * MBps
+		t1 := TransferTime(n, bw)
+		t2 := TransferTime(n+1, bw)
+		t3 := TransferTime(n, bw*2)
+		return t2 >= t1 && t3 <= t1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,348 @@
+// Package jiajia implements a compact software distributed shared
+// memory in the style of JIAJIA (Hu, Shi, Tang — reference [8] of the
+// paper and part of the DAWNING-3000 software stack in its Figure 1):
+// home-based lazy release consistency over BCL.
+//
+// The shared region is split into pages interleaved across ranks by
+// home; every rank registers its home pages as a BCL open channel, so
+// the data-plane is entirely one-sided:
+//
+//   - a page miss fetches the page from its home with an RMA read;
+//   - at release time, dirty pages are diffed against their twins and
+//     only the changed byte ranges are RMA-written back to the home —
+//     the multiple-writer protocol, so ranks writing disjoint parts of
+//     one page under different locks never lose updates;
+//   - locks and barriers go through a lock-manager process: a release
+//     records which pages the holder dirtied, and the next acquirer of
+//     the same lock receives exactly those pages as invalidations
+//     (lazy release consistency: coherence travels with
+//     synchronization, not with data).
+package jiajia
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"bcl/internal/bcl"
+	"bcl/internal/mem"
+	"bcl/internal/nic"
+	"bcl/internal/sim"
+)
+
+// PageSize is the coherence granularity.
+const PageSize = 4096
+
+// dsmChannel is the open channel id every rank binds its home pages
+// to.
+const dsmChannel = 77
+
+// Manager message opcodes (carried in the BCL tag).
+const (
+	opAcquire = iota + 1
+	opRelease
+	opBarrier
+	opGrant
+	opBarrierDone
+)
+
+// ErrOutOfRange guards region accesses.
+var ErrOutOfRange = errors.New("jiajia: access outside the shared region")
+
+// pageState tracks one page's local coherence state.
+type pageState int
+
+const (
+	pageInvalid pageState = iota
+	pageCached
+	pageDirty
+)
+
+// page is the local view of one shared page.
+type page struct {
+	state pageState
+	data  []byte // local working copy
+	twin  []byte // snapshot taken at the first write since last flush
+}
+
+// Instance is one rank's DSM endpoint.
+type Instance struct {
+	port    *bcl.Port
+	rank    int
+	ranks   int
+	mgr     bcl.Addr
+	homes   []bcl.Addr // rank -> port address
+	npages  int
+	size    int
+	pages   []page
+	homeWin mem.VAddr // local buffer backing the pages this rank homes
+	scratch mem.VAddr // staging for RMA and manager traffic
+	// sinceBarrier accumulates every page this rank dirtied since the
+	// last barrier (including pages already flushed at lock releases):
+	// a barrier must publish all of them, not just the final flush.
+	sinceBarrier map[int]bool
+
+	// Stats.
+	Misses    uint64
+	DiffBytes uint64
+	Fetches   uint64
+}
+
+// Rank returns this instance's rank.
+func (in *Instance) Rank() int { return in.rank }
+
+// Ranks returns the job size.
+func (in *Instance) Ranks() int { return in.ranks }
+
+// Size returns the shared-region size in bytes.
+func (in *Instance) Size() int { return in.size }
+
+// Port exposes the underlying BCL port (stats, tracing).
+func (in *Instance) Port() *bcl.Port { return in.port }
+
+// homeOf returns the home rank of a page.
+func (in *Instance) homeOf(pg int) int { return pg % in.ranks }
+
+// homeSlot returns the page's slot index within its home's window.
+func homeSlot(pg, ranks int) int { return pg / ranks }
+
+// Setup wires a set of already-opened ports into a DSM job over a
+// shared region of the given size, with mgrPort acting as the lock
+// manager. Call once; the returned instances are handed to the rank
+// bodies.
+func Setup(p *sim.Proc, ports []*bcl.Port, mgrPort *bcl.Port, size int) ([]*Instance, error) {
+	ranks := len(ports)
+	npages := (size + PageSize - 1) / PageSize
+	addrs := make([]bcl.Addr, ranks)
+	for i, pt := range ports {
+		addrs[i] = pt.Addr()
+	}
+	instances := make([]*Instance, ranks)
+	for r, pt := range ports {
+		in := &Instance{
+			port: pt, rank: r, ranks: ranks, mgr: mgrPort.Addr(),
+			homes: addrs, npages: npages, size: size,
+			pages:        make([]page, npages),
+			sinceBarrier: make(map[int]bool),
+		}
+		// Register the home window: enough slots for every page homed
+		// here (page r, r+ranks, r+2*ranks, ...).
+		slots := 0
+		for pg := r; pg < npages; pg += ranks {
+			slots++
+		}
+		if slots == 0 {
+			slots = 1
+		}
+		in.homeWin = pt.Process().Space.Alloc(slots * PageSize)
+		if err := pt.RegisterOpen(p, dsmChannel, in.homeWin, slots*PageSize); err != nil {
+			return nil, err
+		}
+		in.scratch = pt.Process().Space.Alloc(PageSize * 2)
+		instances[r] = in
+	}
+	// Launch the lock manager service.
+	env := mgrPort.Node().Env
+	env.Go("jiajia/manager", func(mp *sim.Proc) {
+		runManager(mp, mgrPort, ranks)
+	})
+	return instances, nil
+}
+
+// ----------------------------------------------------------- accesses
+
+// ensure makes page pg locally valid, fetching it from its home on a
+// miss (an RMA read — the home's host CPU is not involved).
+func (in *Instance) ensure(p *sim.Proc, pg int) error {
+	pd := &in.pages[pg]
+	if pd.state != pageInvalid {
+		return nil
+	}
+	in.Misses++
+	home := in.homeOf(pg)
+	if pd.data == nil {
+		pd.data = make([]byte, PageSize)
+	}
+	if home == in.rank {
+		// Local home: read straight from the window.
+		in.port.Node().Memcpy(p, PageSize)
+		data, err := in.port.Process().Space.Read(in.homeWin+mem.VAddr(homeSlot(pg, in.ranks)*PageSize), PageSize)
+		if err != nil {
+			return err
+		}
+		copy(pd.data, data)
+	} else {
+		in.Fetches++
+		off := homeSlot(pg, in.ranks) * PageSize
+		if err := in.port.RMARead(p, in.homes[home], dsmChannel, off, in.scratch, PageSize); err != nil {
+			return err
+		}
+		data, err := in.port.Process().Space.Read(in.scratch, PageSize)
+		if err != nil {
+			return err
+		}
+		copy(pd.data, data)
+	}
+	pd.state = pageCached
+	return nil
+}
+
+// Read copies n bytes at region offset off.
+func (in *Instance) Read(p *sim.Proc, off, n int) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > in.size {
+		return nil, fmt.Errorf("%w: [%d,%d)", ErrOutOfRange, off, off+n)
+	}
+	out := make([]byte, n)
+	done := 0
+	for done < n {
+		pg := (off + done) / PageSize
+		po := (off + done) % PageSize
+		if err := in.ensure(p, pg); err != nil {
+			return nil, err
+		}
+		chunk := PageSize - po
+		if chunk > n-done {
+			chunk = n - done
+		}
+		copy(out[done:], in.pages[pg].data[po:po+chunk])
+		done += chunk
+	}
+	return out, nil
+}
+
+// Write stores data at region offset off. The first write to a page
+// since its last flush snapshots a twin, so the release-time diff
+// touches only the bytes this rank actually changed.
+func (in *Instance) Write(p *sim.Proc, off int, data []byte) error {
+	if off < 0 || off+len(data) > in.size {
+		return fmt.Errorf("%w: [%d,%d)", ErrOutOfRange, off, off+len(data))
+	}
+	done := 0
+	for done < len(data) {
+		pg := (off + done) / PageSize
+		po := (off + done) % PageSize
+		if err := in.ensure(p, pg); err != nil {
+			return err
+		}
+		pd := &in.pages[pg]
+		if pd.state != pageDirty {
+			pd.twin = append(pd.twin[:0], pd.data...)
+			pd.state = pageDirty
+		}
+		chunk := PageSize - po
+		if chunk > len(data)-done {
+			chunk = len(data) - done
+		}
+		copy(pd.data[po:po+chunk], data[done:done+chunk])
+		done += chunk
+	}
+	return nil
+}
+
+// ReadUint64 and WriteUint64 are convenience accessors.
+func (in *Instance) ReadUint64(p *sim.Proc, off int) (uint64, error) {
+	b, err := in.Read(p, off, 8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// WriteUint64 stores v at region offset off.
+func (in *Instance) WriteUint64(p *sim.Proc, off int, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return in.Write(p, off, b[:])
+}
+
+// ------------------------------------------------------------- flush
+
+// flush pushes every dirty page's diff to its home and returns the
+// list of dirtied pages.
+func (in *Instance) flush(p *sim.Proc) ([]int, error) {
+	var dirtied []int
+	outstanding := 0
+	for pg := range in.pages {
+		pd := &in.pages[pg]
+		if pd.state != pageDirty {
+			continue
+		}
+		dirtied = append(dirtied, pg)
+		home := in.homeOf(pg)
+		base := homeSlot(pg, in.ranks) * PageSize
+		// Diff against the twin: contiguous changed spans.
+		spans := diffSpans(pd.twin, pd.data)
+		for _, s := range spans {
+			in.DiffBytes += uint64(s.n)
+			if home == in.rank {
+				in.port.Node().Memcpy(p, s.n)
+				if err := in.port.Process().Space.Write(
+					in.homeWin+mem.VAddr(base+s.off), pd.data[s.off:s.off+s.n]); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			// Stage the span in a fresh buffer (the NIC fetches it
+			// asynchronously, so the staging must stay untouched until
+			// the send event — a fresh buffer per span keeps the
+			// writes pipelined) and RMA-write it into the home window.
+			stage := in.port.Process().Space.Alloc(s.n)
+			if err := in.port.Process().Space.Write(stage, pd.data[s.off:s.off+s.n]); err != nil {
+				return nil, err
+			}
+			if _, err := in.port.RMAWrite(p, in.homes[home], dsmChannel, base+s.off, stage, s.n); err != nil {
+				return nil, err
+			}
+			outstanding++
+		}
+		pd.state = pageCached
+		pd.twin = pd.twin[:0]
+	}
+	for i := 0; i < outstanding; i++ {
+		if ev := in.port.WaitSend(p); ev.Type == nic.EvSendFailed {
+			return nil, fmt.Errorf("jiajia: diff write failed")
+		}
+	}
+	return dirtied, nil
+}
+
+// span is a contiguous changed byte range within a page.
+type span struct{ off, n int }
+
+// diffSpans returns the changed ranges of cur vs twin, merging gaps
+// smaller than 16 bytes (fewer, larger RMA writes).
+func diffSpans(twin, cur []byte) []span {
+	var out []span
+	i := 0
+	for i < len(cur) {
+		if i < len(twin) && twin[i] == cur[i] {
+			i++
+			continue
+		}
+		start := i
+		last := i
+		for i < len(cur) {
+			if i >= len(twin) || twin[i] != cur[i] {
+				last = i
+				i++
+				continue
+			}
+			// Unchanged byte: stop the span if the gap grows past 16.
+			if i-last >= 16 {
+				break
+			}
+			i++
+		}
+		out = append(out, span{off: start, n: last - start + 1})
+	}
+	return out
+}
+
+// invalidate drops the local copies of the listed pages.
+func (in *Instance) invalidate(pages []int) {
+	for _, pg := range pages {
+		if pg >= 0 && pg < in.npages {
+			in.pages[pg].state = pageInvalid
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package jiajia
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"bcl/internal/bcl"
+	"bcl/internal/cluster"
+	"bcl/internal/sim"
+)
+
+// dsmWorld opens ranks+1 ports (last one is the manager) and wires a
+// DSM over regionSize bytes.
+func dsmWorld(t *testing.T, nodes, ranks, regionSize int) (*cluster.Cluster, []*Instance) {
+	t.Helper()
+	c := cluster.New(cluster.Config{Nodes: nodes, NIC: bcl.DefaultNICConfig()})
+	sys := bcl.NewSystem(c)
+	var instances []*Instance
+	c.Env.Go("setup", func(p *sim.Proc) {
+		ports := make([]*bcl.Port, ranks)
+		for i := 0; i < ranks; i++ {
+			nd := c.Nodes[i%nodes]
+			pt, err := sys.Open(p, nd, nd.Kernel.Spawn(), bcl.Options{SystemBuffers: 64})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ports[i] = pt
+		}
+		mgrNode := c.Nodes[0]
+		mgrPort, err := sys.Open(p, mgrNode, mgrNode.Kernel.Spawn(), bcl.Options{SystemBuffers: 128})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		instances, err = Setup(p, ports, mgrPort, regionSize)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	c.Env.RunUntil(50 * sim.Millisecond)
+	if instances == nil {
+		t.Fatal("DSM setup failed")
+	}
+	return c, instances
+}
+
+func TestLockProtectedCounter(t *testing.T) {
+	const ranks = 4
+	const incrementsPer = 5
+	c, ins := dsmWorld(t, 4, ranks, 64*1024)
+	for r := 0; r < ranks; r++ {
+		in := ins[r]
+		c.Env.Go(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			for i := 0; i < incrementsPer; i++ {
+				if err := in.Acquire(p, 1); err != nil {
+					t.Error(err)
+					return
+				}
+				v, err := in.ReadUint64(p, 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := in.WriteUint64(p, 0, v+1); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := in.Release(p, 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+	}
+	c.Env.RunUntil(5 * sim.Second)
+	// Check the final value through a fresh acquire on rank 0.
+	var final uint64
+	c.Env.Go("check", func(p *sim.Proc) {
+		ins[0].Acquire(p, 1)
+		final, _ = ins[0].ReadUint64(p, 0)
+		ins[0].Release(p, 1)
+	})
+	c.Env.RunUntil(c.Env.Now() + sim.Second)
+	if final != ranks*incrementsPer {
+		t.Fatalf("counter = %d, want %d (lost updates!)", final, ranks*incrementsPer)
+	}
+}
+
+func TestBarrierPublishesWrites(t *testing.T) {
+	const ranks = 3
+	const n = 20 * 1024 // spans several pages across several homes
+	c, ins := dsmWorld(t, 3, ranks, n)
+	payload := make([]byte, n)
+	c.Env.Rand().Fill(payload)
+	results := make([][]byte, ranks)
+	for r := 0; r < ranks; r++ {
+		in := ins[r]
+		rank := r
+		c.Env.Go(fmt.Sprintf("rank%d", rank), func(p *sim.Proc) {
+			if rank == 0 {
+				if err := in.Write(p, 0, payload); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := in.Barrier(p); err != nil {
+				t.Error(err)
+				return
+			}
+			got, err := in.Read(p, 0, n)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[rank] = got
+		})
+	}
+	c.Env.RunUntil(10 * sim.Second)
+	for r := 0; r < ranks; r++ {
+		if !bytes.Equal(results[r], payload) {
+			t.Fatalf("rank %d read stale/corrupt data after barrier", r)
+		}
+	}
+}
+
+func TestMultipleWriterFalseSharing(t *testing.T) {
+	// Two ranks write disjoint halves of the SAME page under different
+	// locks; the diff-based multiple-writer protocol must merge both at
+	// the home without losing either.
+	const ranks = 2
+	c, ins := dsmWorld(t, 2, ranks, PageSize)
+	for r := 0; r < ranks; r++ {
+		in := ins[r]
+		rank := r
+		c.Env.Go(fmt.Sprintf("rank%d", rank), func(p *sim.Proc) {
+			half := make([]byte, PageSize/2)
+			for i := range half {
+				half[i] = byte(rank + 1)
+			}
+			if err := in.Acquire(p, 10+rank); err != nil { // different locks!
+				t.Error(err)
+				return
+			}
+			if err := in.Write(p, rank*PageSize/2, half); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := in.Release(p, 10+rank); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := in.Barrier(p); err != nil {
+				t.Error(err)
+				return
+			}
+			got, err := in.Read(p, 0, PageSize)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < PageSize/2; i++ {
+				if got[i] != 1 {
+					t.Errorf("rank %d: first half byte %d = %d, rank 0's write lost", rank, i, got[i])
+					return
+				}
+			}
+			for i := PageSize / 2; i < PageSize; i++ {
+				if got[i] != 2 {
+					t.Errorf("rank %d: second half byte %d = %d, rank 1's write lost", rank, i, got[i])
+					return
+				}
+			}
+		})
+	}
+	c.Env.RunUntil(10 * sim.Second)
+}
+
+func TestInvalidationsAreLazy(t *testing.T) {
+	// A rank that does NOT synchronize keeps reading its cached copy;
+	// only an acquire of the protecting lock reveals the new value.
+	const ranks = 2
+	c, ins := dsmWorld(t, 2, ranks, PageSize)
+	stale := uint64(999)
+	fresh := uint64(0)
+	c.Env.Go("writerFirst", func(p *sim.Proc) {
+		ins[0].Acquire(p, 1)
+		ins[0].WriteUint64(p, 0, 7)
+		ins[0].Release(p, 1)
+		p.Sleep(sim.Millisecond)
+		ins[0].Acquire(p, 1)
+		ins[0].WriteUint64(p, 0, 8)
+		ins[0].Release(p, 1)
+	})
+	c.Env.Go("reader", func(p *sim.Proc) {
+		p.Sleep(500 * sim.Microsecond)
+		ins[1].Acquire(p, 1)
+		v1, _ := ins[1].ReadUint64(p, 0) // sees 7
+		ins[1].Release(p, 1)
+		p.Sleep(2 * sim.Millisecond) // writer wrote 8 meanwhile
+		// Unsynchronized read: still cached.
+		stale, _ = ins[1].ReadUint64(p, 0)
+		ins[1].Acquire(p, 1)
+		fresh, _ = ins[1].ReadUint64(p, 0)
+		ins[1].Release(p, 1)
+		_ = v1
+	})
+	c.Env.RunUntil(5 * sim.Second)
+	if stale != 7 {
+		t.Fatalf("unsynchronized read = %d, expected the cached 7 (LRC laziness)", stale)
+	}
+	if fresh != 8 {
+		t.Fatalf("post-acquire read = %d, want 8", fresh)
+	}
+}
+
+func TestOutOfRangeRejected(t *testing.T) {
+	c, ins := dsmWorld(t, 2, 2, PageSize)
+	var rerr, werr error
+	c.Env.Go("p", func(p *sim.Proc) {
+		_, rerr = ins[0].Read(p, PageSize-4, 8)
+		werr = ins[0].Write(p, -1, []byte{1})
+	})
+	c.Env.RunUntil(sim.Second)
+	if rerr == nil || werr == nil {
+		t.Fatalf("out-of-range accepted: %v %v", rerr, werr)
+	}
+}
+
+func TestDiffSpans(t *testing.T) {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	copy(cur, twin)
+	cur[5] = 1
+	cur[6] = 2
+	cur[40] = 3
+	spans := diffSpans(twin, cur)
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v, want 2", spans)
+	}
+	if spans[0].off != 5 || spans[0].n != 2 {
+		t.Fatalf("first span = %+v", spans[0])
+	}
+	if spans[1].off != 40 || spans[1].n != 1 {
+		t.Fatalf("second span = %+v", spans[1])
+	}
+	// Nearby changes merge.
+	cur2 := make([]byte, 64)
+	cur2[0] = 1
+	cur2[10] = 1 // gap of 9 < 16: merged
+	if spans := diffSpans(make([]byte, 64), cur2); len(spans) != 1 {
+		t.Fatalf("near spans not merged: %+v", spans)
+	}
+	// Identical pages: no spans.
+	if spans := diffSpans(twin, twin); len(spans) != 0 {
+		t.Fatalf("identical diff = %+v", spans)
+	}
+}

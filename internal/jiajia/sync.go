@@ -1,0 +1,247 @@
+package jiajia
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bcl/internal/bcl"
+	"bcl/internal/sim"
+)
+
+// Synchronization: locks and barriers through the manager process.
+// Coherence metadata rides on the synchronization messages, which is
+// the essence of lazy release consistency — a rank learns which pages
+// went stale exactly when it acquires the lock that protected them.
+
+// pagesToBytes encodes a page list as little-endian uint32s.
+func pagesToBytes(pages []int) []byte {
+	b := make([]byte, 4*len(pages))
+	for i, pg := range pages {
+		binary.LittleEndian.PutUint32(b[i*4:], uint32(pg))
+	}
+	return b
+}
+
+func bytesToPages(b []byte) []int {
+	out := make([]int, 0, len(b)/4)
+	for i := 0; i+4 <= len(b); i += 4 {
+		out = append(out, int(binary.LittleEndian.Uint32(b[i:])))
+	}
+	return out
+}
+
+// mgrTag packs (op, lock, rank) into the BCL tag word.
+func mgrTag(op, lock, rank int) uint64 {
+	return uint64(op)&0xff | uint64(uint16(lock))<<8 | uint64(uint16(rank))<<24
+}
+
+func unpackMgrTag(t uint64) (op, lock, rank int) {
+	return int(t & 0xff), int(uint16(t >> 8)), int(uint16(t >> 24))
+}
+
+// sendToMgr ships a page list to the manager with the given opcode.
+func (in *Instance) sendToMgr(p *sim.Proc, op, lock int, pages []int) error {
+	payload := pagesToBytes(pages)
+	if len(payload) > PageSize*2 {
+		// Chunk enormous invalidation lists; in practice a release
+		// dirties far fewer pages than two pages' worth of ids.
+		payload = payload[:PageSize*2]
+	}
+	if err := in.port.Process().Space.Write(in.scratch, payload); err != nil {
+		return err
+	}
+	if _, err := in.port.Send(p, in.mgr, bcl.SystemChannel, in.scratch, len(payload),
+		mgrTag(op, lock, in.rank)); err != nil {
+		return err
+	}
+	in.port.WaitSend(p)
+	return nil
+}
+
+// waitMgr blocks for a manager reply with the wanted opcode and
+// returns its page list.
+func (in *Instance) waitMgr(p *sim.Proc, wantOp int) ([]int, error) {
+	for {
+		ev := in.port.WaitRecv(p)
+		op, _, _ := unpackMgrTag(ev.Tag)
+		data, err := in.port.Process().Space.Read(ev.VA, ev.Len)
+		if err != nil {
+			return nil, err
+		}
+		in.port.ReturnSystemBuffer(p, ev.VA, 4096)
+		if op == wantOp {
+			return bytesToPages(data), nil
+		}
+		// Unexpected op: protocol error in this compact DSM.
+		return nil, fmt.Errorf("jiajia: expected op %d, got %d", wantOp, op)
+	}
+}
+
+// Acquire takes the lock and applies the invalidations that arrived
+// with the grant.
+func (in *Instance) Acquire(p *sim.Proc, lock int) error {
+	if err := in.sendToMgr(p, opAcquire, lock, nil); err != nil {
+		return err
+	}
+	inval, err := in.waitMgr(p, opGrant)
+	if err != nil {
+		return err
+	}
+	in.invalidate(inval)
+	return nil
+}
+
+// Release flushes this rank's dirty pages to their homes and hands the
+// lock back, reporting what was dirtied.
+func (in *Instance) Release(p *sim.Proc, lock int) error {
+	dirtied, err := in.flush(p)
+	if err != nil {
+		return err
+	}
+	for _, pg := range dirtied {
+		in.sinceBarrier[pg] = true
+	}
+	return in.sendToMgr(p, opRelease, lock, dirtied)
+}
+
+// Barrier flushes, waits for every rank, and applies the union of
+// everyone else's dirtied pages.
+func (in *Instance) Barrier(p *sim.Proc) error {
+	dirtied, err := in.flush(p)
+	if err != nil {
+		return err
+	}
+	for _, pg := range dirtied {
+		in.sinceBarrier[pg] = true
+	}
+	all := make([]int, 0, len(in.sinceBarrier))
+	for pg := range in.sinceBarrier {
+		all = append(all, pg)
+	}
+	in.sinceBarrier = make(map[int]bool)
+	if err := in.sendToMgr(p, opBarrier, 0, all); err != nil {
+		return err
+	}
+	inval, err := in.waitMgr(p, opBarrierDone)
+	if err != nil {
+		return err
+	}
+	in.invalidate(inval)
+	return nil
+}
+
+// ------------------------------------------------------------ manager
+
+// lockState is the manager's view of one lock.
+type lockState struct {
+	held    bool
+	holder  int
+	waiters []int
+	// pending[r] is the set of pages rank r must invalidate at its
+	// next acquire of this lock.
+	pending map[int]map[int]bool
+}
+
+// runManager services acquire/release/barrier requests forever.
+func runManager(p *sim.Proc, port *bcl.Port, ranks int) {
+	// rank -> port address, learned from each rank's first message.
+	rankAddrs := make(map[int]bcl.Addr)
+	locks := make(map[int]*lockState)
+	lockOf := func(id int) *lockState {
+		l, ok := locks[id]
+		if !ok {
+			l = &lockState{pending: make(map[int]map[int]bool)}
+			locks[id] = l
+		}
+		return l
+	}
+	scratch := port.Process().Space.Alloc(PageSize * 2)
+	reply := func(rank, op, lock int, pages []int) {
+		payload := pagesToBytes(pages)
+		port.Process().Space.Write(scratch, payload)
+		// The manager knows every rank's address from the sender info
+		// of their first message; replies reuse it (stored below).
+
+		port.Send(p, rankAddrs[rank], bcl.SystemChannel, scratch, len(payload), mgrTag(op, lock, 0))
+		port.WaitSend(p)
+	}
+	grant := func(l *lockState, lock, rank int) {
+		l.held = true
+		l.holder = rank
+		var inval []int
+		for pg := range l.pending[rank] {
+			inval = append(inval, pg)
+		}
+		delete(l.pending, rank)
+		reply(rank, opGrant, lock, inval)
+	}
+
+	// Barrier state.
+	arrived := 0
+	perRankDirty := make(map[int]map[int]bool)
+
+	for {
+		ev := port.WaitRecv(p)
+		op, lock, rank := unpackMgrTag(ev.Tag)
+		data, _ := port.Process().Space.Read(ev.VA, ev.Len)
+		port.ReturnSystemBuffer(p, ev.VA, 4096)
+		rankAddrs[rank] = bcl.Addr{Node: ev.SrcNode, Port: ev.SrcPort}
+		pages := bytesToPages(data)
+		switch op {
+		case opAcquire:
+			l := lockOf(lock)
+			if l.held {
+				l.waiters = append(l.waiters, rank)
+			} else {
+				grant(l, lock, rank)
+			}
+		case opRelease:
+			l := lockOf(lock)
+			// Everyone except the releaser must eventually invalidate
+			// what it dirtied.
+			for r := 0; r < ranks; r++ {
+				if r == rank {
+					continue
+				}
+				if l.pending[r] == nil {
+					l.pending[r] = make(map[int]bool)
+				}
+				for _, pg := range pages {
+					l.pending[r][pg] = true
+				}
+			}
+			l.held = false
+			if len(l.waiters) > 0 {
+				next := l.waiters[0]
+				l.waiters = l.waiters[1:]
+				grant(l, lock, next)
+			}
+		case opBarrier:
+			if perRankDirty[rank] == nil {
+				perRankDirty[rank] = make(map[int]bool)
+			}
+			for _, pg := range pages {
+				perRankDirty[rank][pg] = true
+			}
+			arrived++
+			if arrived == ranks {
+				// Release everyone: each rank invalidates the union of
+				// what the OTHERS dirtied.
+				for r := 0; r < ranks; r++ {
+					var inval []int
+					for or, set := range perRankDirty {
+						if or == r {
+							continue
+						}
+						for pg := range set {
+							inval = append(inval, pg)
+						}
+					}
+					reply(r, opBarrierDone, 0, inval)
+				}
+				arrived = 0
+				perRankDirty = make(map[int]map[int]bool)
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package klc
+
+import (
+	"bytes"
+	"testing"
+
+	"bcl/internal/cluster"
+	"bcl/internal/sim"
+)
+
+func setup(t *testing.T) (*cluster.Cluster, *Socket, *Socket) {
+	t.Helper()
+	c := cluster.New(cluster.Config{Nodes: 2, NIC: NICConfig()})
+	sys := NewSystem(c)
+	var a, b *Socket
+	c.Env.Go("setup", func(p *sim.Proc) {
+		var err error
+		a, err = sys.Open(p, c.Nodes[0], c.Nodes[0].Kernel.Spawn())
+		if err != nil {
+			t.Error(err)
+		}
+		b, err = sys.Open(p, c.Nodes[1], c.Nodes[1].Kernel.Spawn())
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	c.Env.RunUntil(10 * sim.Millisecond)
+	if a == nil || b == nil {
+		t.Fatal("setup failed")
+	}
+	return c, a, b
+}
+
+func TestKernelLevelRoundTrip(t *testing.T) {
+	c, a, b := setup(t)
+	payload := []byte("through the kernel, twice")
+	var got []byte
+	var oneWay sim.Time
+	var sentAt sim.Time
+	c.Env.Go("a", func(p *sim.Proc) {
+		va := a.proc.Space.Alloc(len(payload))
+		a.proc.Space.Write(va, payload)
+		sentAt = p.Now()
+		if err := a.SendTo(p, b.Addr(), va, len(payload)); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Env.Go("b", func(p *sim.Proc) {
+		va := b.proc.Space.Alloc(4096)
+		n, src, err := b.Recv(p, va, 4096)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		oneWay = p.Now() - sentAt
+		if src != a.Addr() || n != len(payload) {
+			t.Errorf("recv meta: n=%d src=%v", n, src)
+		}
+		got, _ = b.proc.Space.Read(va, n)
+	})
+	c.Env.RunUntil(sim.Second)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q", got)
+	}
+	// Kernel-level: traps both sides, interrupt, copies — tens of µs.
+	if oneWay < 40*sim.Microsecond || oneWay > 120*sim.Microsecond {
+		t.Fatalf("kernel-level one-way = %.1f µs, want 40-120 µs", float64(oneWay)/1000)
+	}
+	if oneWay < 35*sim.Microsecond {
+		t.Fatal("kernel-level latency implausibly close to semi-user-level")
+	}
+}
+
+func TestInterruptAndTrapAccounting(t *testing.T) {
+	c, a, b := setup(t)
+	k0, k1 := c.Nodes[0].Kernel, c.Nodes[1].Kernel
+	t0 := k0.Stats().Traps
+	t1 := k1.Stats().Traps
+	i1 := k1.Stats().Interrupts
+	const msgs = 5
+	c.Env.Go("a", func(p *sim.Proc) {
+		va := a.proc.Space.Alloc(128)
+		for i := 0; i < msgs; i++ {
+			a.SendTo(p, b.Addr(), va, 128)
+		}
+	})
+	c.Env.Go("b", func(p *sim.Proc) {
+		va := b.proc.Space.Alloc(4096)
+		for i := 0; i < msgs; i++ {
+			b.Recv(p, va, 4096)
+		}
+	})
+	c.Env.RunUntil(sim.Second)
+	if got := k0.Stats().Traps - t0; got != msgs {
+		t.Fatalf("sender traps = %d, want %d (one per send)", got, msgs)
+	}
+	if got := k1.Stats().Traps - t1; got != msgs {
+		t.Fatalf("receiver traps = %d, want %d (one per recv)", got, msgs)
+	}
+	if got := k1.Stats().Interrupts - i1; got < msgs {
+		t.Fatalf("interrupts = %d, want >= %d (one per datagram)", got, msgs)
+	}
+}
+
+func TestLargeMessageFragmentsAndReassembles(t *testing.T) {
+	c, a, b := setup(t)
+	const n = 100 * 1000 // 25 datagrams
+	payload := make([]byte, n)
+	c.Env.Rand().Fill(payload)
+	var got []byte
+	c.Env.Go("a", func(p *sim.Proc) {
+		va := a.proc.Space.Alloc(n)
+		a.proc.Space.Write(va, payload)
+		if err := a.SendTo(p, b.Addr(), va, n); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Env.Go("b", func(p *sim.Proc) {
+		va := b.proc.Space.Alloc(n)
+		cnt, _, err := b.Recv(p, va, n)
+		if err != nil || cnt != n {
+			t.Errorf("recv %d, %v", cnt, err)
+			return
+		}
+		got, _ = b.proc.Space.Read(va, n)
+	})
+	c.Env.RunUntil(5 * sim.Second)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("large kernel-level message corrupted")
+	}
+}
+
+func TestSecurityChecksStillApply(t *testing.T) {
+	c, a, b := setup(t)
+	var err error
+	c.Env.Go("a", func(p *sim.Proc) {
+		err = a.SendTo(p, b.Addr(), 1<<40, 64) // wild pointer
+	})
+	c.Env.RunUntil(sim.Millisecond)
+	if err == nil {
+		t.Fatal("kernel accepted a wild pointer")
+	}
+	if c.Nodes[0].Kernel.Stats().SecurityRejects == 0 {
+		t.Fatal("no security reject recorded")
+	}
+}

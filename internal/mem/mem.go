@@ -1,0 +1,300 @@
+// Package mem models host physical memory and per-process virtual
+// address spaces with real byte storage. DMA engines and the kernel's
+// pin-down machinery operate on these structures, so data integrity is
+// testable end to end: what the NIC DMAs out of one process's pages is
+// byte-for-byte what lands in the peer's.
+//
+// The model is deliberately simple — 4 KB pages, lazily allocated
+// frames, a bump allocator per address space — but translation,
+// bounds checking and pinning are real: an unmapped access faults, and
+// DMA is only legal against pinned frames.
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VAddr is a virtual address within one process's address space.
+type VAddr int64
+
+// PAddr is a physical (bus) address within one node's memory.
+type PAddr int64
+
+// ErrFault is returned for accesses to unmapped virtual addresses.
+var ErrFault = errors.New("mem: page fault: address not mapped")
+
+// ErrNotPinned is returned when DMA touches an unpinned frame.
+var ErrNotPinned = errors.New("mem: DMA to unpinned frame")
+
+// Memory is one node's physical memory: a set of lazily allocated
+// page frames addressed by physical address.
+type Memory struct {
+	pageSize  int
+	nextFrame int64
+	frames    map[int64][]byte // frame number -> page contents
+	pinned    map[int64]int    // frame number -> pin count
+	pinnedNow int64
+	pinnedMax int64
+}
+
+// NewMemory returns an empty physical memory with the given page size.
+func NewMemory(pageSize int) *Memory {
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		panic(fmt.Sprintf("mem: page size %d not a positive power of two", pageSize))
+	}
+	return &Memory{
+		pageSize: pageSize,
+		frames:   make(map[int64][]byte),
+		pinned:   make(map[int64]int),
+	}
+}
+
+// PageSize returns the page size in bytes.
+func (m *Memory) PageSize() int { return m.pageSize }
+
+// allocFrame grabs a fresh physical frame and returns its number.
+func (m *Memory) allocFrame() int64 {
+	f := m.nextFrame
+	m.nextFrame++
+	m.frames[f] = make([]byte, m.pageSize)
+	return f
+}
+
+func (m *Memory) frameOf(pa PAddr) (frame int64, off int) {
+	return int64(pa) / int64(m.pageSize), int(int64(pa) % int64(m.pageSize))
+}
+
+// ReadPhys copies len(buf) bytes starting at physical address pa into
+// buf. All touched frames must exist.
+func (m *Memory) ReadPhys(pa PAddr, buf []byte) error {
+	return m.physOp(pa, buf, false, func(page []byte, off int, b []byte) {
+		copy(b, page[off:])
+	})
+}
+
+// WritePhys copies buf into physical memory starting at pa.
+func (m *Memory) WritePhys(pa PAddr, buf []byte) error {
+	return m.physOp(pa, buf, false, func(page []byte, off int, b []byte) {
+		copy(page[off:], b)
+	})
+}
+
+// DMARead is ReadPhys but requires every touched frame to be pinned,
+// as real DMA does.
+func (m *Memory) DMARead(pa PAddr, buf []byte) error {
+	return m.physOp(pa, buf, true, func(page []byte, off int, b []byte) {
+		copy(b, page[off:])
+	})
+}
+
+// DMAWrite is WritePhys but requires pinned frames.
+func (m *Memory) DMAWrite(pa PAddr, buf []byte) error {
+	return m.physOp(pa, buf, true, func(page []byte, off int, b []byte) {
+		copy(page[off:], b)
+	})
+}
+
+func (m *Memory) physOp(pa PAddr, buf []byte, needPin bool, op func(page []byte, off int, b []byte)) error {
+	done := 0
+	for done < len(buf) {
+		frame, off := m.frameOf(pa + PAddr(done))
+		page, ok := m.frames[frame]
+		if !ok {
+			return fmt.Errorf("%w: phys %#x", ErrFault, int64(pa)+int64(done))
+		}
+		if needPin && m.pinned[frame] == 0 {
+			return fmt.Errorf("%w: frame %d", ErrNotPinned, frame)
+		}
+		n := m.pageSize - off
+		if n > len(buf)-done {
+			n = len(buf) - done
+		}
+		op(page, off, buf[done:done+n])
+		done += n
+	}
+	return nil
+}
+
+// PinFrame increments the pin count of the frame containing pa.
+func (m *Memory) PinFrame(pa PAddr) error {
+	frame, _ := m.frameOf(pa)
+	if _, ok := m.frames[frame]; !ok {
+		return fmt.Errorf("%w: phys %#x", ErrFault, int64(pa))
+	}
+	if m.pinned[frame] == 0 {
+		m.pinnedNow++
+		if m.pinnedNow > m.pinnedMax {
+			m.pinnedMax = m.pinnedNow
+		}
+	}
+	m.pinned[frame]++
+	return nil
+}
+
+// UnpinFrame decrements the pin count of the frame containing pa.
+func (m *Memory) UnpinFrame(pa PAddr) error {
+	frame, _ := m.frameOf(pa)
+	if m.pinned[frame] == 0 {
+		return fmt.Errorf("mem: unpin of unpinned frame %d", frame)
+	}
+	m.pinned[frame]--
+	if m.pinned[frame] == 0 {
+		delete(m.pinned, frame)
+		m.pinnedNow--
+	}
+	return nil
+}
+
+// PinnedPages returns the number of currently pinned frames and the
+// historical maximum.
+func (m *Memory) PinnedPages() (now, max int64) { return m.pinnedNow, m.pinnedMax }
+
+// AddrSpace is one process's virtual address space: a page table over
+// a Memory plus a bump allocator. Virtual address 0 is kept unmapped
+// so it can serve as a null pointer in tests.
+type AddrSpace struct {
+	mem   *Memory
+	table map[int64]int64 // virtual page -> physical frame
+	brk   VAddr
+}
+
+// NewAddrSpace returns an empty address space over mem.
+func NewAddrSpace(mem *Memory) *AddrSpace {
+	return &AddrSpace{
+		mem:   mem,
+		table: make(map[int64]int64),
+		brk:   VAddr(mem.pageSize), // skip page zero
+	}
+}
+
+// Mem returns the underlying physical memory.
+func (a *AddrSpace) Mem() *Memory { return a.mem }
+
+// Alloc maps n bytes of fresh zeroed memory and returns its base
+// virtual address. The region is page-aligned and contiguous in
+// virtual space (physical frames are arbitrary, as on a real machine).
+func (a *AddrSpace) Alloc(n int) VAddr {
+	if n <= 0 {
+		n = 1
+	}
+	base := a.brk
+	pages := (n + a.mem.pageSize - 1) / a.mem.pageSize
+	for i := 0; i < pages; i++ {
+		vpage := int64(base)/int64(a.mem.pageSize) + int64(i)
+		a.table[vpage] = a.mem.allocFrame()
+	}
+	a.brk += VAddr(pages * a.mem.pageSize)
+	return base
+}
+
+// Mapped reports whether the whole range [va, va+n) is mapped.
+func (a *AddrSpace) Mapped(va VAddr, n int) bool {
+	if n <= 0 {
+		n = 1
+	}
+	first := int64(va) / int64(a.mem.pageSize)
+	last := (int64(va) + int64(n) - 1) / int64(a.mem.pageSize)
+	for p := first; p <= last; p++ {
+		if _, ok := a.table[p]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Translate returns the physical address backing va, or ErrFault.
+func (a *AddrSpace) Translate(va VAddr) (PAddr, error) {
+	vpage := int64(va) / int64(a.mem.pageSize)
+	off := int64(va) % int64(a.mem.pageSize)
+	frame, ok := a.table[vpage]
+	if !ok {
+		return 0, fmt.Errorf("%w: virt %#x", ErrFault, int64(va))
+	}
+	return PAddr(frame*int64(a.mem.pageSize) + off), nil
+}
+
+// Segment is a physically contiguous piece of a translated buffer:
+// what a scatter/gather DMA descriptor entry holds.
+type Segment struct {
+	Phys PAddr
+	Len  int
+}
+
+// Segments translates the virtual range [va, va+n) into a list of
+// physical segments, splitting at page boundaries.
+func (a *AddrSpace) Segments(va VAddr, n int) ([]Segment, error) {
+	if n <= 0 {
+		// Zero-length messages still need one (empty) descriptor slot;
+		// translate the base for validity.
+		pa, err := a.Translate(va)
+		if err != nil {
+			return nil, err
+		}
+		return []Segment{{Phys: pa, Len: 0}}, nil
+	}
+	var segs []Segment
+	done := 0
+	for done < n {
+		pa, err := a.Translate(va + VAddr(done))
+		if err != nil {
+			return nil, err
+		}
+		off := int(int64(pa) % int64(a.mem.pageSize))
+		chunk := a.mem.pageSize - off
+		if chunk > n-done {
+			chunk = n - done
+		}
+		// Merge physically contiguous pages into one segment.
+		if len(segs) > 0 && segs[len(segs)-1].Phys+PAddr(segs[len(segs)-1].Len) == pa {
+			segs[len(segs)-1].Len += chunk
+		} else {
+			segs = append(segs, Segment{Phys: pa, Len: chunk})
+		}
+		done += chunk
+	}
+	return segs, nil
+}
+
+// Read copies n bytes at virtual address va into a new slice.
+func (a *AddrSpace) Read(va VAddr, n int) ([]byte, error) {
+	buf := make([]byte, n)
+	segs, err := a.Segments(va, n)
+	if err != nil {
+		return nil, err
+	}
+	done := 0
+	for _, s := range segs {
+		if err := a.mem.ReadPhys(s.Phys, buf[done:done+s.Len]); err != nil {
+			return nil, err
+		}
+		done += s.Len
+	}
+	return buf, nil
+}
+
+// Write copies buf into the address space at va.
+func (a *AddrSpace) Write(va VAddr, buf []byte) error {
+	segs, err := a.Segments(va, len(buf))
+	if err != nil {
+		return err
+	}
+	done := 0
+	for _, s := range segs {
+		if err := a.mem.WritePhys(s.Phys, buf[done:done+s.Len]); err != nil {
+			return err
+		}
+		done += s.Len
+	}
+	return nil
+}
+
+// Pages returns the count of virtual pages spanned by [va, va+n).
+func (a *AddrSpace) Pages(va VAddr, n int) int {
+	if n <= 0 {
+		return 1
+	}
+	first := int64(va) / int64(a.mem.pageSize)
+	last := (int64(va) + int64(n) - 1) / int64(a.mem.pageSize)
+	return int(last - first + 1)
+}

@@ -1,0 +1,109 @@
+package mem
+
+import "container/list"
+
+// PinTable is the kernel's pin-down buffer page table: a cache of
+// pinned virtual-to-physical translations keyed by (process, virtual
+// page). On the semi-user-level send path the kernel looks the buffer
+// pages up here; a hit means the page is already pinned and translated
+// (cheap), a miss walks the page table, pins the frame, and inserts
+// the entry, evicting (and unpinning) the least recently used entry if
+// the table is full.
+//
+// This is the paper's argument for kernel-side translation: the host
+// has enough memory for a big table, unlike the NIC's small SRAM.
+type PinTable struct {
+	capacity int
+	entries  map[pinKey]*list.Element
+	lru      *list.List // front = most recent; values are *pinEntry
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type pinKey struct {
+	pid   int
+	vpage int64
+}
+
+type pinEntry struct {
+	key   pinKey
+	phys  PAddr // physical base of the frame
+	space *AddrSpace
+}
+
+// NewPinTable returns a pin-down table holding at most capacity page
+// entries (capacity <= 0 means unbounded, as a host-resident table
+// effectively is).
+func NewPinTable(capacity int) *PinTable {
+	return &PinTable{
+		capacity: capacity,
+		entries:  make(map[pinKey]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Lookup resolves one virtual page of a process's buffer. It returns
+// the physical base address of the frame and whether the lookup hit
+// the cache; on a miss it walks the page table, pins the frame and
+// caches the translation. The caller charges the appropriate time for
+// hit vs miss.
+func (t *PinTable) Lookup(pid int, space *AddrSpace, vpage int64) (PAddr, bool, error) {
+	key := pinKey{pid: pid, vpage: vpage}
+	if el, ok := t.entries[key]; ok {
+		t.hits++
+		t.lru.MoveToFront(el)
+		return el.Value.(*pinEntry).phys, true, nil
+	}
+	t.misses++
+	pa, err := space.Translate(VAddr(vpage * int64(space.mem.pageSize)))
+	if err != nil {
+		return 0, false, err
+	}
+	if err := space.mem.PinFrame(pa); err != nil {
+		return 0, false, err
+	}
+	if t.capacity > 0 && t.lru.Len() >= t.capacity {
+		t.evictOldest()
+	}
+	el := t.lru.PushFront(&pinEntry{key: key, phys: pa, space: space})
+	t.entries[key] = el
+	return pa, false, nil
+}
+
+func (t *PinTable) evictOldest() {
+	el := t.lru.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*pinEntry)
+	t.lru.Remove(el)
+	delete(t.entries, e.key)
+	t.evictions++
+	// Best effort: the frame was pinned by us, so unpin cannot fail.
+	_ = e.space.mem.UnpinFrame(e.phys)
+}
+
+// Invalidate drops every entry belonging to pid (process exit),
+// unpinning the frames.
+func (t *PinTable) Invalidate(pid int) {
+	for el := t.lru.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*pinEntry)
+		if e.key.pid == pid {
+			t.lru.Remove(el)
+			delete(t.entries, e.key)
+			_ = e.space.mem.UnpinFrame(e.phys)
+		}
+		el = next
+	}
+}
+
+// Len returns the number of cached (pinned) pages.
+func (t *PinTable) Len() int { return t.lru.Len() }
+
+// Stats returns cache hits, misses and evictions.
+func (t *PinTable) Stats() (hits, misses, evictions uint64) {
+	return t.hits, t.misses, t.evictions
+}

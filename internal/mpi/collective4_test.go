@@ -1,0 +1,46 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"bcl/internal/sim"
+)
+
+// TestCollectivePhases4Ranks guards against the same-parity Sendrecv
+// deadlock that once wedged the dissemination barrier at 4 ranks.
+func TestCollectivePhases4Ranks(t *testing.T) {
+	c, comms := job(t, 4, []int{0, 1, 2, 3})
+	phase := make([]string, 4)
+	for i := range comms {
+		r := i
+		c.Env.Go(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			phase[r] = "barrier"
+			if err := comms[r].Barrier(p); err != nil {
+				t.Error(err)
+			}
+			phase[r] = "allreduce"
+			sp := comms[r].space()
+			send := sp.Alloc(1024)
+			recv := sp.Alloc(1024)
+			if err := comms[r].Allreduce(p, send, recv, 128, Float64, Sum); err != nil {
+				t.Error(err)
+			}
+			phase[r] = "bcast"
+			if err := comms[r].Bcast(p, recv, 1024, 1); err != nil {
+				t.Error(err)
+			}
+			phase[r] = "barrier2"
+			if err := comms[r].Barrier(p); err != nil {
+				t.Error(err)
+			}
+			phase[r] = "done"
+		})
+	}
+	c.Env.RunUntil(10 * sim.Second)
+	for r, ph := range phase {
+		if ph != "done" {
+			t.Errorf("rank %d stuck in %s", r, ph)
+		}
+	}
+}

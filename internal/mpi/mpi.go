@@ -1,0 +1,385 @@
+// Package mpi implements a compact MPI-style message passing library
+// over EADI-2, mirroring the DAWNING-3000 software stack (paper
+// Figure 1: MPI -> EADI-2 -> BCL). It provides blocking point-to-point
+// operations with tag/source matching and wildcards, communicator
+// contexts, and the classic collective algorithms (dissemination
+// barrier, binomial broadcast and reduce, ring allgather).
+//
+// Reductions operate on real data in simulated process memory: the
+// bytes are read, decoded, combined and written back, so collective
+// results are verifiable, not just timed.
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"bcl/internal/eadi"
+	"bcl/internal/mem"
+	"bcl/internal/sim"
+)
+
+// Wildcards, mirroring eadi's.
+const (
+	AnySource = eadi.AnySource
+	AnyTag    = eadi.AnyTag
+)
+
+// internalTag is the base of the tag space reserved for collectives.
+const internalTag = 1 << 24
+
+// Datatype describes the element type of a reduction.
+type Datatype int
+
+// Supported datatypes.
+const (
+	Float64 Datatype = iota
+	Int64
+)
+
+// Size returns the element size in bytes.
+func (d Datatype) Size() int { return 8 }
+
+// Op is a reduction operator.
+type Op int
+
+// Supported reduction operators.
+const (
+	Sum Op = iota
+	Max
+	Min
+)
+
+// Status describes a completed receive.
+type Status = eadi.Status
+
+// Comm is a communicator: a context over the job's process group.
+type Comm struct {
+	dev *eadi.Device
+	ctx int
+}
+
+// World wraps an EADI device as the world communicator (context 0).
+func World(dev *eadi.Device) *Comm { return &Comm{dev: dev, ctx: 0} }
+
+// Dup returns a communicator with a fresh context, isolating its
+// traffic from the parent's.
+func (c *Comm) Dup(ctx int) *Comm { return &Comm{dev: c.dev, ctx: ctx} }
+
+// Rank returns the caller's rank.
+func (c *Comm) Rank() int { return c.dev.Rank() }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.dev.Size() }
+
+// Device returns the underlying EADI device.
+func (c *Comm) Device() *eadi.Device { return c.dev }
+
+func (c *Comm) space() *mem.AddrSpace { return c.dev.Port().Process().Space }
+
+// Send transmits n bytes at va to rank dst with the given tag,
+// blocking until the buffer is reusable.
+func (c *Comm) Send(p *sim.Proc, va mem.VAddr, n, dst, tag int) error {
+	if dst == c.Rank() {
+		// Self-send still goes through the device (intra path).
+		return c.dev.Send(p, dst, c.ctx, tag, va, n)
+	}
+	return c.dev.Send(p, dst, c.ctx, tag, va, n)
+}
+
+// Recv blocks until a matching message lands in [va, va+n).
+func (c *Comm) Recv(p *sim.Proc, va mem.VAddr, n, src, tag int) (Status, error) {
+	return c.dev.Recv(p, src, c.ctx, tag, va, n)
+}
+
+// Sendrecv exchanges messages with two peers without deadlocking. The
+// operation order is decided by comparing ranks: the lower-ranked end
+// of each send edge sends first, the higher-ranked end receives first.
+// In any communication cycle (pairwise exchange, shifted rings, the
+// dissemination pattern) the wrap-around edge therefore has exactly
+// one receive-first node, which breaks the wait cycle even when every
+// message is a blocking rendezvous.
+func (c *Comm) Sendrecv(p *sim.Proc, sendVA mem.VAddr, sendN, dst, sendTag int,
+	recvVA mem.VAddr, recvN, src, recvTag int) (Status, error) {
+	if c.Rank() < dst {
+		if err := c.Send(p, sendVA, sendN, dst, sendTag); err != nil {
+			return Status{}, err
+		}
+		return c.Recv(p, recvVA, recvN, src, recvTag)
+	}
+	st, err := c.Recv(p, recvVA, recvN, src, recvTag)
+	if err != nil {
+		return st, err
+	}
+	return st, c.Send(p, sendVA, sendN, dst, sendTag)
+}
+
+// Barrier blocks until every rank has entered it (dissemination
+// algorithm: ceil(log2 n) rounds of pairwise notifications).
+func (c *Comm) Barrier(p *sim.Proc) error {
+	size := c.Size()
+	if size == 1 {
+		return nil
+	}
+	rank := c.Rank()
+	token := c.space().Alloc(8)
+	for k := 1; k < size; k <<= 1 {
+		dst := (rank + k) % size
+		src := (rank - k + size) % size
+		tag := internalTag + 1000 + k
+		if _, err := c.Sendrecv(p, token, 1, dst, tag, token, 1, src, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast distributes n bytes at va from root to every rank (binomial
+// tree).
+func (c *Comm) Bcast(p *sim.Proc, va mem.VAddr, n, root int) error {
+	size := c.Size()
+	if size == 1 {
+		return nil
+	}
+	// Rotate so the root is virtual rank 0.
+	vrank := (c.Rank() - root + size) % size
+	tag := internalTag + 2000
+	// Receive from parent (highest set bit), then forward to children.
+	if vrank != 0 {
+		mask := 1
+		for mask <= vrank {
+			mask <<= 1
+		}
+		mask >>= 1
+		parent := ((vrank - mask) + root) % size
+		if _, err := c.Recv(p, va, n, parent, tag); err != nil {
+			return err
+		}
+	}
+	for mask := nextPow2(vrank + 1); mask < size; mask <<= 1 {
+		child := vrank + mask
+		if child >= size {
+			break
+		}
+		if err := c.Send(p, va, n, (child+root)%size, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func nextPow2(v int) int {
+	m := 1
+	for m < v {
+		m <<= 1
+	}
+	return m
+}
+
+// Reduce combines count elements from sendVA across all ranks into
+// recvVA at root (binomial tree).
+func (c *Comm) Reduce(p *sim.Proc, sendVA, recvVA mem.VAddr, count int, dt Datatype, op Op, root int) error {
+	size := c.Size()
+	n := count * dt.Size()
+	sp := c.space()
+	// Work in a local accumulator.
+	acc := sp.Alloc(n)
+	buf, err := sp.Read(sendVA, n)
+	if err != nil {
+		return err
+	}
+	if err := sp.Write(acc, buf); err != nil {
+		return err
+	}
+	vrank := (c.Rank() - root + size) % size
+	tag := internalTag + 3000
+	tmp := sp.Alloc(n)
+	// Receive from children (low bits), combine, send to parent.
+	for mask := 1; mask < size; mask <<= 1 {
+		if vrank&mask != 0 {
+			parent := ((vrank &^ mask) + root) % size
+			if err := c.Send(p, acc, n, parent, tag); err != nil {
+				return err
+			}
+			break
+		}
+		child := vrank | mask
+		if child >= size {
+			continue
+		}
+		if _, err := c.Recv(p, tmp, n, (child+root)%size, tag); err != nil {
+			return err
+		}
+		if err := c.combine(p, acc, tmp, count, dt, op); err != nil {
+			return err
+		}
+	}
+	if c.Rank() == root {
+		data, err := sp.Read(acc, n)
+		if err != nil {
+			return err
+		}
+		c.dev.Port().Node().Memcpy(p, n)
+		return sp.Write(recvVA, data)
+	}
+	return nil
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast.
+func (c *Comm) Allreduce(p *sim.Proc, sendVA, recvVA mem.VAddr, count int, dt Datatype, op Op) error {
+	if err := c.Reduce(p, sendVA, recvVA, count, dt, op, 0); err != nil {
+		return err
+	}
+	return c.Bcast(p, recvVA, count*dt.Size(), 0)
+}
+
+// combine applies op element-wise: acc = acc (op) tmp. The arithmetic
+// is real; the CPU cost is a memcpy-rate pass over the operands.
+func (c *Comm) combine(p *sim.Proc, acc, tmp mem.VAddr, count int, dt Datatype, op Op) error {
+	n := count * dt.Size()
+	c.dev.Port().Node().Memcpy(p, 2*n) // read both operands, write one
+	sp := c.space()
+	a, err := sp.Read(acc, n)
+	if err != nil {
+		return err
+	}
+	b, err := sp.Read(tmp, n)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < count; i++ {
+		off := i * 8
+		switch dt {
+		case Float64:
+			x := math.Float64frombits(binary.LittleEndian.Uint64(a[off:]))
+			y := math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+			binary.LittleEndian.PutUint64(a[off:], math.Float64bits(applyF(op, x, y)))
+		case Int64:
+			x := int64(binary.LittleEndian.Uint64(a[off:]))
+			y := int64(binary.LittleEndian.Uint64(b[off:]))
+			binary.LittleEndian.PutUint64(a[off:], uint64(applyI(op, x, y)))
+		}
+	}
+	return sp.Write(acc, a)
+}
+
+func applyF(op Op, x, y float64) float64 {
+	switch op {
+	case Sum:
+		return x + y
+	case Max:
+		return math.Max(x, y)
+	case Min:
+		return math.Min(x, y)
+	}
+	panic(fmt.Sprintf("mpi: unknown op %d", op))
+}
+
+func applyI(op Op, x, y int64) int64 {
+	switch op {
+	case Sum:
+		return x + y
+	case Max:
+		if x > y {
+			return x
+		}
+		return y
+	case Min:
+		if x < y {
+			return x
+		}
+		return y
+	}
+	panic(fmt.Sprintf("mpi: unknown op %d", op))
+}
+
+// Gather collects n bytes from every rank into root's buffer (laid out
+// by rank).
+func (c *Comm) Gather(p *sim.Proc, sendVA mem.VAddr, n int, recvVA mem.VAddr, root int) error {
+	tag := internalTag + 4000
+	if c.Rank() != root {
+		return c.Send(p, sendVA, n, root, tag)
+	}
+	sp := c.space()
+	for r := 0; r < c.Size(); r++ {
+		slot := recvVA + mem.VAddr(r*n)
+		if r == root {
+			data, err := sp.Read(sendVA, n)
+			if err != nil {
+				return err
+			}
+			c.dev.Port().Node().Memcpy(p, n)
+			if err := sp.Write(slot, data); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := c.Recv(p, slot, n, r, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scatter distributes per-rank slices of root's buffer.
+func (c *Comm) Scatter(p *sim.Proc, sendVA mem.VAddr, n int, recvVA mem.VAddr, root int) error {
+	tag := internalTag + 5000
+	if c.Rank() != root {
+		_, err := c.Recv(p, recvVA, n, root, tag)
+		return err
+	}
+	sp := c.space()
+	for r := 0; r < c.Size(); r++ {
+		slot := sendVA + mem.VAddr(r*n)
+		if r == root {
+			data, err := sp.Read(slot, n)
+			if err != nil {
+				return err
+			}
+			c.dev.Port().Node().Memcpy(p, n)
+			if err := sp.Write(recvVA, data); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := c.Send(p, slot, n, r, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Allgather shares each rank's n bytes with everyone (ring algorithm:
+// size-1 steps, each forwarding the newest block).
+func (c *Comm) Allgather(p *sim.Proc, sendVA mem.VAddr, n int, recvVA mem.VAddr) error {
+	size := c.Size()
+	rank := c.Rank()
+	sp := c.space()
+	// Own block into place.
+	data, err := sp.Read(sendVA, n)
+	if err != nil {
+		return err
+	}
+	c.dev.Port().Node().Memcpy(p, n)
+	if err := sp.Write(recvVA+mem.VAddr(rank*n), data); err != nil {
+		return err
+	}
+	if size == 1 {
+		return nil
+	}
+	right := (rank + 1) % size
+	left := (rank - 1 + size) % size
+	tag := internalTag + 6000
+	for step := 0; step < size-1; step++ {
+		sendBlock := (rank - step + size) % size
+		recvBlock := (rank - step - 1 + size) % size
+		_, err := c.Sendrecv(p,
+			recvVA+mem.VAddr(sendBlock*n), n, right, tag+step,
+			recvVA+mem.VAddr(recvBlock*n), n, left, tag+step)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

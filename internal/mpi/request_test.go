@@ -1,0 +1,218 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+
+	"bcl/internal/mem"
+	"bcl/internal/sim"
+)
+
+func TestIsendIrecvEager(t *testing.T) {
+	c, comms := job(t, 2, []int{0, 1})
+	payload := []byte("nonblocking eager")
+	var got []byte
+	c.Env.Go("r1", func(p *sim.Proc) {
+		buf := comms[1].space().Alloc(64)
+		req, err := comms[1].Irecv(p, buf, 64, 0, 5)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Overlap "computation" with communication.
+		p.Sleep(100 * sim.Microsecond)
+		st, err := req.Wait(p)
+		if err != nil || st.Len != len(payload) || st.Tag != 5 {
+			t.Errorf("wait: %+v %v", st, err)
+			return
+		}
+		got, _ = comms[1].space().Read(buf, st.Len)
+	})
+	c.Env.Go("r0", func(p *sim.Proc) {
+		va := writeBytes(comms[0], payload)
+		req, err := comms[0].Isend(p, va, len(payload), 1, 5)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(50 * sim.Microsecond)
+		if _, err := req.Wait(p); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Env.RunUntil(sim.Second)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestIsendRendezvousCompletesInWait(t *testing.T) {
+	c, comms := job(t, 2, []int{0, 1})
+	const n = 40 * 1024
+	payload := make([]byte, n)
+	c.Env.Rand().Fill(payload)
+	var got []byte
+	c.Env.Go("r1", func(p *sim.Proc) {
+		buf := comms[1].space().Alloc(n)
+		req, _ := comms[1].Irecv(p, buf, n, 0, 9)
+		st, err := req.Wait(p)
+		if err != nil || st.Len != n {
+			t.Errorf("recv wait: %+v %v", st, err)
+			return
+		}
+		got, _ = comms[1].space().Read(buf, n)
+	})
+	c.Env.Go("r0", func(p *sim.Proc) {
+		va := writeBytes(comms[0], payload)
+		req, err := comms[0].Isend(p, va, n, 1, 9)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := req.Wait(p); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Env.RunUntil(5 * sim.Second)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("rendezvous isend corrupted")
+	}
+}
+
+func TestIrecvMatchesUnexpected(t *testing.T) {
+	c, comms := job(t, 2, []int{0, 1})
+	var done1, done2 bool
+	c.Env.Go("r0", func(p *sim.Proc) {
+		va := writeBytes(comms[0], []byte("early"))
+		comms[0].Send(p, va, 5, 1, 1)
+		done1 = true
+	})
+	c.Env.Go("r1", func(p *sim.Proc) {
+		p.Sleep(2 * sim.Millisecond) // message lands unexpected
+		// Drive progress so it reaches the unexpected queue.
+		buf := comms[1].space().Alloc(64)
+		req, _ := comms[1].Irecv(p, buf, 64, 0, 1)
+		st, err := req.Wait(p)
+		if err == nil && st.Len == 5 {
+			done2 = true
+		}
+	})
+	c.Env.RunUntil(sim.Second)
+	if !done1 || !done2 {
+		t.Fatalf("done = %v %v", done1, done2)
+	}
+}
+
+func TestRequestTestPolling(t *testing.T) {
+	c, comms := job(t, 2, []int{0, 1})
+	polledFalse := false
+	completed := false
+	c.Env.Go("r1", func(p *sim.Proc) {
+		buf := comms[1].space().Alloc(64)
+		req, _ := comms[1].Irecv(p, buf, 64, 0, 2)
+		if _, ok, _ := req.Test(p); !ok {
+			polledFalse = true
+		}
+		for {
+			if _, ok, _ := req.Test(p); ok {
+				completed = true
+				return
+			}
+			p.Sleep(10 * sim.Microsecond)
+		}
+	})
+	c.Env.Go("r0", func(p *sim.Proc) {
+		p.Sleep(200 * sim.Microsecond)
+		va := writeBytes(comms[0], []byte("late"))
+		comms[0].Send(p, va, 4, 1, 2)
+	})
+	c.Env.RunUntil(sim.Second)
+	if !polledFalse || !completed {
+		t.Fatalf("test-polling: polledFalse=%v completed=%v", polledFalse, completed)
+	}
+}
+
+func TestWaitallManyRequests(t *testing.T) {
+	c, comms := job(t, 2, []int{0, 1})
+	const k = 8
+	ok := false
+	c.Env.Go("r1", func(p *sim.Proc) {
+		var reqs []*Request
+		var addrs []mem.VAddr
+		for i := 0; i < k; i++ {
+			buf := comms[1].space().Alloc(64)
+			addrs = append(addrs, buf)
+			r, _ := comms[1].Irecv(p, buf, 64, 0, i)
+			reqs = append(reqs, r)
+		}
+		if err := Waitall(p, reqs); err != nil {
+			t.Error(err)
+			return
+		}
+		ok = true
+		for i, a := range addrs {
+			data, _ := comms[1].space().Read(a, 1)
+			if int(data[0]) != i {
+				t.Errorf("slot %d holds %d", i, data[0])
+			}
+		}
+	})
+	c.Env.Go("r0", func(p *sim.Proc) {
+		var reqs []*Request
+		for i := 0; i < k; i++ {
+			va := writeBytes(comms[0], []byte{byte(i)})
+			r, err := comms[0].Isend(p, va, 1, 1, i)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			reqs = append(reqs, r)
+		}
+		if err := Waitall(p, reqs); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Env.RunUntil(sim.Second)
+	if !ok {
+		t.Fatal("waitall did not complete")
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	c, comms := job(t, 2, []int{0, 1, 0, 1})
+	size := len(comms)
+	n := 128
+	results := make([][]byte, size)
+	for i := range comms {
+		r := i
+		c.Env.Go("rank", func(p *sim.Proc) {
+			sp := comms[r].space()
+			send := sp.Alloc(n * size)
+			recv := sp.Alloc(n * size)
+			blocks := make([]byte, n*size)
+			for j := 0; j < size; j++ {
+				for b := 0; b < n; b++ {
+					blocks[j*n+b] = byte(r*16 + j)
+				}
+			}
+			sp.Write(send, blocks)
+			if err := comms[r].Alltoall(p, send, n, recv); err != nil {
+				t.Error(err)
+				return
+			}
+			results[r], _ = sp.Read(recv, n*size)
+		})
+	}
+	c.Env.RunUntil(10 * sim.Second)
+	for r := 0; r < size; r++ {
+		if results[r] == nil {
+			t.Fatalf("rank %d incomplete", r)
+		}
+		for j := 0; j < size; j++ {
+			// Rank r's slot j holds rank j's block r.
+			if results[r][j*n] != byte(j*16+r) {
+				t.Fatalf("rank %d slot %d = %d, want %d", r, j, results[r][j*n], j*16+r)
+			}
+		}
+	}
+}

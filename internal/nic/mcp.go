@@ -1,0 +1,689 @@
+package nic
+
+import (
+	"fmt"
+
+	"bcl/internal/fabric"
+	"bcl/internal/mem"
+	"bcl/internal/sim"
+)
+
+// This file is the MCP (Message Control Program): the firmware running
+// on the NIC's control processor. Three engines share the card:
+//
+//   - sendEngine drains the send request queue, fetches payload from
+//     host memory by DMA (double-buffered so the fetch of fragment k+1
+//     overlaps the injection of fragment k), packetises, seals a CRC,
+//     and injects — per-message protocol processing plus per-fragment
+//     processing serialise with link injection, which sets the ~146
+//     MB/s plateau the paper measures against the 160 MB/s link.
+//   - recvEngine drains the fabric RX queue: CRC check, go-back-N
+//     sequencing, payload DMA into the posted buffer, cumulative ACKs,
+//     completion events (DMAed to user event queues, or interrupts in
+//     kernel-level mode), and the target side of RMA.
+//   - retxEngine replays unacknowledged packets when a flow's
+//     retransmission timer fires or a NACK arrives.
+//
+// All three charge their processing to the single LANai processor
+// resource, so send and receive traffic genuinely contend on the card.
+
+// pending is an unacknowledged transmitted packet retained for
+// retransmission. pkt holds the pristine payload; wire copies are
+// cloned so that in-fabric corruption cannot damage the retained copy.
+type pending struct {
+	pkt      *fabric.Packet
+	desc     *SendDesc
+	lastFrag bool
+	sram     int
+}
+
+// txFlow is the sender-side reliability state toward one remote node.
+type txFlow struct {
+	dst     int
+	nextSeq uint64
+	unacked []*pending
+	retries int
+	timer   *sim.Timer
+	window  *sim.Cond
+}
+
+// rxFlow is the receiver-side sequencing state from one remote node.
+type rxFlow struct {
+	src    int
+	expect uint64
+	asm    map[uint64]*rxAssembly
+}
+
+// rxAssembly tracks one in-progress incoming message.
+type rxAssembly struct {
+	desc       *RecvDesc
+	port       *Port
+	got        int
+	frags      int
+	baseOffset int  // extra offset into desc (RMA writes)
+	recvEvent  bool // post EvRecvDone on completion
+	sysBuf     bool // buffer came from the system pool
+}
+
+// where labels this NIC in trace spans.
+func (n *NIC) where() string { return fmt.Sprintf("nic%d", n.node) }
+
+func (n *NIC) flowTo(dst int) *txFlow {
+	f, ok := n.tx[dst]
+	if !ok {
+		f = &txFlow{dst: dst, window: sim.NewCond(n.env)}
+		n.tx[dst] = f
+	}
+	return f
+}
+
+func (n *NIC) flowFrom(src int) *rxFlow {
+	f, ok := n.rx[src]
+	if !ok {
+		f = &rxFlow{src: src, asm: make(map[uint64]*rxAssembly)}
+		n.rx[src] = f
+	}
+	return f
+}
+
+// ---------------------------------------------------------------- send
+
+// fetchJob is one fragment staged in NIC SRAM, flowing from the fetch
+// engine to the injection engine. The two engines form a pipeline so
+// the host-DMA fetch of fragment (or message) k+1 overlaps the link
+// injection of k — across message boundaries too, which matters for
+// upper layers that issue many chunk-sized messages back to back.
+type fetchJob struct {
+	desc     *SendDesc
+	fragIdx  int
+	frags    int
+	payload  []byte
+	sram     int
+	lastFrag bool
+	err      error
+}
+
+func (n *NIC) sendEngine(p *sim.Proc) {
+	// The fetch half: drain the send request queue, stage payload
+	// fragments into SRAM by host DMA, hand them to the injector.
+	for {
+		d := n.sendQ.Recv(p)
+		n.stats.MsgsSent++
+		if d.Kind == DescRMARead {
+			// A read request is a single control packet: no payload.
+			n.fetchQ.Send(p, fetchJob{desc: d, frags: 1, lastFrag: true})
+			continue
+		}
+		frags := n.prof.Packets(d.Len)
+		for i := 0; i < frags; i++ {
+			lo := i * n.prof.MaxPacket
+			hi := lo + n.prof.MaxPacket
+			if hi > d.Len {
+				hi = d.Len
+			}
+			if hi < lo {
+				hi = lo
+			}
+			buf, err := n.fetchRange(p, d, lo, hi-lo)
+			sram := len(buf)
+			if sram > 0 {
+				n.sram.Acquire(p, sram)
+			}
+			n.fetchQ.Send(p, fetchJob{
+				desc: d, fragIdx: i, frags: frags, payload: buf,
+				sram: sram, lastFrag: i == frags-1, err: err,
+			})
+			if err != nil {
+				break
+			}
+		}
+	}
+}
+
+// injectEngine is the injection half of the send pipeline.
+func (n *NIC) injectEngine(p *sim.Proc) {
+	skipMsg := uint64(0) // message being dropped after a fetch error
+	for {
+		j := n.fetchQ.Recv(p)
+		d := j.desc
+		if j.err != nil {
+			// Bad host descriptor (fault/unpinned). Surface a send
+			// failure; the kernel path validates before posting, so
+			// this fires mainly for the user-level architecture.
+			if j.sram > 0 {
+				n.sram.Release(j.sram)
+			}
+			skipMsg = d.MsgID
+			n.failMessage(p, d)
+			continue
+		}
+		if d.MsgID == skipMsg && d.MsgID != 0 {
+			if j.sram > 0 {
+				n.sram.Release(j.sram)
+			}
+			continue
+		}
+		flow := n.flowTo(d.DstNode)
+		if d.Kind == DescRMARead {
+			n.cpu.Use(p, 1, n.prof.MCPSendProc)
+			pkt := &fabric.Packet{
+				Kind: fabric.KindRMARead, Src: n.node, Dst: d.DstNode,
+				SrcPort: d.SrcPort, DstPort: d.DstPort, Channel: d.Channel,
+				MsgID: d.MsgID, Frags: 1, MsgLen: d.Len, Offset: d.Offset,
+				Tag: uint64(d.ReplyChannel),
+			}
+			pkt.Seal()
+			n.transmit(p, flow, pkt, d, true, 0)
+			continue
+		}
+		kind := fabric.KindData
+		if d.Kind == DescRMAWrite {
+			kind = fabric.KindRMAWrite
+		}
+		cost := n.prof.MCPPacketProc
+		stage := "nic: packet processing"
+		if j.fragIdx == 0 {
+			cost = n.prof.MCPDescFetch + n.prof.MCPSendProc
+			stage = "nic: send proc (reliable protocol)"
+		}
+		n.Tracer.Do(p, stage, n.where(), func() { n.cpu.Use(p, 1, cost) })
+		pkt := &fabric.Packet{
+			Kind: kind, Src: n.node, Dst: d.DstNode,
+			SrcPort: d.SrcPort, DstPort: d.DstPort, Channel: d.Channel,
+			MsgID: d.MsgID, FragIdx: j.fragIdx, Frags: j.frags, MsgLen: d.Len,
+			Offset: d.Offset + j.fragIdx*n.prof.MaxPacket, Tag: d.Tag,
+			Payload: j.payload,
+		}
+		pkt.Seal()
+		n.Tracer.Do(p, "nic: inject to network", n.where(), func() {
+			n.transmit(p, flow, pkt, d, j.lastFrag, j.sram)
+		})
+	}
+}
+
+// fetchRange DMAs [lo, lo+ln) of the descriptor's buffer from host
+// memory into a fresh NIC buffer, charging bus time (and, in
+// NIC-translated mode, translation cache costs).
+func (n *NIC) fetchRange(p *sim.Proc, d *SendDesc, lo, ln int) ([]byte, error) {
+	if ln == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, ln)
+	segs, err := n.resolve(p, d.Segs, d.VA, d.Space, lo, ln)
+	if err != nil {
+		return nil, err
+	}
+	done := 0
+	for _, s := range segs {
+		n.busDMA(p, s.Len)
+		if err := n.hmem.DMARead(s.Phys, buf[done:done+s.Len]); err != nil {
+			return nil, err
+		}
+		done += s.Len
+	}
+	return buf, nil
+}
+
+// resolve produces the physical segments for byte range [lo, lo+ln) of
+// a buffer, either by slicing the host-translated scatter/gather list
+// or by translating on the card.
+func (n *NIC) resolve(p *sim.Proc, segs []mem.Segment, va mem.VAddr, space *mem.AddrSpace, lo, ln int) ([]mem.Segment, error) {
+	if n.cfg.Translate == HostTranslated || segs != nil {
+		return sliceSegs(segs, lo, ln), nil
+	}
+	if space == nil {
+		return nil, fmt.Errorf("nic%d: NIC-translated descriptor without address space", n.node)
+	}
+	pageSize := int64(space.Mem().PageSize())
+	var out []mem.Segment
+	addr := int64(va) + int64(lo)
+	left := ln
+	for left > 0 {
+		vpage := addr / pageSize
+		off := addr % pageSize
+		pa, hit, err := n.tlb.lookup(space, vpage)
+		if err != nil {
+			return nil, err
+		}
+		if hit {
+			n.stats.TLBHits++
+			n.cpu.Use(p, 1, n.prof.NICTranslateLook)
+		} else {
+			n.stats.TLBMisses++
+			n.cpu.Use(p, 1, n.prof.NICTranslateLook+n.prof.NICTranslateMiss)
+		}
+		chunk := int(pageSize - off)
+		if chunk > left {
+			chunk = left
+		}
+		out = append(out, mem.Segment{Phys: pa + mem.PAddr(off), Len: chunk})
+		addr += int64(chunk)
+		left -= chunk
+	}
+	return out, nil
+}
+
+// sliceSegs cuts the byte range [lo, lo+ln) out of a scatter/gather
+// list.
+func sliceSegs(segs []mem.Segment, lo, ln int) []mem.Segment {
+	var out []mem.Segment
+	pos := 0
+	for _, s := range segs {
+		if ln <= 0 {
+			break
+		}
+		segEnd := pos + s.Len
+		if segEnd <= lo {
+			pos = segEnd
+			continue
+		}
+		start := 0
+		if lo > pos {
+			start = lo - pos
+		}
+		take := s.Len - start
+		if take > ln {
+			take = ln
+		}
+		out = append(out, mem.Segment{Phys: s.Phys + mem.PAddr(start), Len: take})
+		ln -= take
+		lo += take
+		pos = segEnd
+	}
+	return out
+}
+
+// transmit runs the reliability window and injects the packet.
+func (n *NIC) transmit(p *sim.Proc, flow *txFlow, pkt *fabric.Packet, d *SendDesc, lastFrag bool, sram int) {
+	if !n.cfg.Reliable {
+		n.inject(p, pkt)
+		if sram > 0 {
+			n.sram.Release(sram)
+		}
+		if lastFrag && !d.NoEvent {
+			// Fire-and-forget: declare success at injection.
+			n.postEvent(p, d.SrcPort, EvSendDone, d, 0)
+		}
+		return
+	}
+	for len(flow.unacked) >= n.cfg.Window {
+		flow.window.Wait(p)
+	}
+	pkt.Seq = flow.nextSeq
+	flow.nextSeq++
+	flow.unacked = append(flow.unacked, &pending{pkt: pkt, desc: d, lastFrag: lastFrag, sram: sram})
+	if flow.timer == nil {
+		n.armTimer(flow)
+	}
+	n.inject(p, wireCopy(pkt))
+}
+
+// inject pushes one packet into the fabric, counting it.
+func (n *NIC) inject(p *sim.Proc, pkt *fabric.Packet) {
+	n.stats.PacketsSent++
+	n.stats.BytesSent += uint64(len(pkt.Payload))
+	n.ep.Inject(p, pkt)
+}
+
+// wireCopy clones a packet so in-fabric corruption cannot reach the
+// retained retransmission copy.
+func wireCopy(pkt *fabric.Packet) *fabric.Packet {
+	c := *pkt
+	if len(pkt.Payload) > 0 {
+		c.Payload = append([]byte(nil), pkt.Payload...)
+	}
+	return &c
+}
+
+func (n *NIC) armTimer(f *txFlow) {
+	if f.timer != nil {
+		f.timer.Cancel()
+	}
+	f.timer = n.env.After(n.prof.RetransmitTimeout, func() {
+		f.timer = nil
+		n.retxQ.Post(f)
+	})
+}
+
+func (n *NIC) wakeWindow(f *txFlow) { f.window.Broadcast() }
+
+// ---------------------------------------------------------- retransmit
+
+func (n *NIC) retxEngine(p *sim.Proc) {
+	for {
+		f := n.retxQ.Recv(p)
+		if len(f.unacked) == 0 {
+			continue
+		}
+		f.retries++
+		if f.retries > n.cfg.MaxRetries {
+			n.failFlow(p, f)
+			continue
+		}
+		for _, pd := range f.unacked {
+			n.cpu.Use(p, 1, n.prof.MCPPacketProc)
+			n.stats.Retransmits++
+			n.inject(p, wireCopy(pd.pkt))
+		}
+		n.armTimer(f)
+	}
+}
+
+// failFlow abandons every in-flight message on a flow after retry
+// exhaustion, reporting EvSendFailed once per message.
+func (n *NIC) failFlow(p *sim.Proc, f *txFlow) {
+	seen := make(map[uint64]bool)
+	for _, pd := range f.unacked {
+		if pd.sram > 0 {
+			n.sram.Release(pd.sram)
+		}
+		if !seen[pd.pkt.MsgID] && !pd.desc.NoEvent {
+			seen[pd.pkt.MsgID] = true
+			n.postEvent(p, pd.desc.SrcPort, EvSendFailed, pd.desc, 0)
+		}
+	}
+	f.unacked = nil
+	f.retries = 0
+	if f.timer != nil {
+		f.timer.Cancel()
+		f.timer = nil
+	}
+	n.wakeWindow(f)
+}
+
+// failMessage reports a send failure detected before injection (bad
+// descriptor).
+func (n *NIC) failMessage(p *sim.Proc, d *SendDesc) {
+	if !d.NoEvent {
+		n.postEvent(p, d.SrcPort, EvSendFailed, d, 0)
+	}
+}
+
+// ------------------------------------------------------------- receive
+
+func (n *NIC) recvEngine(p *sim.Proc) {
+	for {
+		pkt := n.ep.RX.Recv(p)
+		n.stats.PacketsRecv++
+		switch pkt.Kind {
+		case fabric.KindAck:
+			n.handleAck(p, pkt)
+		case fabric.KindNack:
+			n.handleNack(p, pkt)
+		case fabric.KindData, fabric.KindRMAWrite, fabric.KindRMARead:
+			n.handleData(p, pkt)
+		default:
+			panic(fmt.Sprintf("nic%d: unknown packet kind %v", n.node, pkt.Kind))
+		}
+	}
+}
+
+func (n *NIC) handleAck(p *sim.Proc, pkt *fabric.Packet) {
+	n.cpu.Use(p, 1, n.prof.MCPAckProc)
+	f := n.flowTo(pkt.Src)
+	progress := false
+	for len(f.unacked) > 0 && f.unacked[0].pkt.Seq <= pkt.AckSeq {
+		pd := f.unacked[0]
+		f.unacked = f.unacked[1:]
+		progress = true
+		if pd.sram > 0 {
+			n.sram.Release(pd.sram)
+		}
+		if pd.lastFrag && !pd.desc.NoEvent {
+			n.postEvent(p, pd.desc.SrcPort, EvSendDone, pd.desc, 0)
+		}
+	}
+	if progress {
+		f.retries = 0
+		n.wakeWindow(f)
+	}
+	if f.timer != nil {
+		f.timer.Cancel()
+		f.timer = nil
+	}
+	if len(f.unacked) > 0 {
+		n.armTimer(f)
+	}
+}
+
+func (n *NIC) handleNack(p *sim.Proc, pkt *fabric.Packet) {
+	n.cpu.Use(p, 1, n.prof.MCPAckProc)
+	n.stats.NACKs++
+	f := n.flowTo(pkt.Src)
+	if len(f.unacked) == 0 {
+		return
+	}
+	// Back off briefly, then go-back-N from the NACKed point; the
+	// receiver's expected sequence has not advanced.
+	if f.timer != nil {
+		f.timer.Cancel()
+	}
+	f.timer = n.env.After(n.prof.RetransmitTimeout/4, func() {
+		f.timer = nil
+		n.retxQ.Post(f)
+	})
+}
+
+func (n *NIC) handleData(p *sim.Proc, pkt *fabric.Packet) {
+	n.Tracer.Do(p, "nic: recv processing", n.where(), func() {
+		n.cpu.Use(p, 1, n.prof.MCPRecvProc)
+	})
+	if !pkt.Verify() {
+		n.stats.CRCDrops++
+		return // silence; sender's timer recovers
+	}
+	f := n.flowFrom(pkt.Src)
+	if n.cfg.Reliable {
+		if pkt.Seq < f.expect {
+			// Duplicate of something already delivered: re-ACK.
+			n.stats.SeqDrops++
+			n.sendAck(p, pkt.Src, f.expect-1)
+			return
+		}
+		if pkt.Seq > f.expect {
+			// Gap: go-back-N discards until the sender rewinds.
+			n.stats.SeqDrops++
+			return
+		}
+	}
+
+	if pkt.Kind == fabric.KindRMARead {
+		if ok := n.handleRMARead(p, pkt); !ok {
+			n.sendNack(p, pkt)
+			return
+		}
+		if n.cfg.Reliable {
+			f.expect++
+			n.sendAck(p, pkt.Src, pkt.Seq)
+		}
+		return
+	}
+
+	asm, err := n.assemblyFor(p, f, pkt)
+	if err != nil {
+		n.stats.NoBufferDrops++
+		if n.cfg.Reliable {
+			n.sendNack(p, pkt)
+		}
+		return
+	}
+
+	// Copy the payload into the host buffer by DMA.
+	if len(pkt.Payload) > 0 {
+		off := asm.baseOffset + pkt.Offset
+		segs, rerr := n.resolve(p, asm.desc.Segs, asm.desc.VA, asm.desc.Space, off, len(pkt.Payload))
+		if rerr != nil {
+			n.stats.NoBufferDrops++
+			if n.cfg.Reliable {
+				n.sendNack(p, pkt)
+			}
+			return
+		}
+		done := 0
+		for _, s := range segs {
+			n.busDMA(p, s.Len)
+			if werr := n.hmem.DMAWrite(s.Phys, pkt.Payload[done:done+s.Len]); werr != nil {
+				n.stats.NoBufferDrops++
+				if n.cfg.Reliable {
+					n.sendNack(p, pkt)
+				}
+				return
+			}
+			done += s.Len
+		}
+	}
+	n.stats.BytesReceived += uint64(len(pkt.Payload))
+
+	if n.cfg.Reliable {
+		f.expect++
+		n.sendAck(p, pkt.Src, pkt.Seq)
+	}
+
+	asm.got++
+	if asm.got == asm.frags {
+		delete(f.asm, pkt.MsgID)
+		n.stats.MsgsReceived++
+		if asm.recvEvent {
+			ev := &Event{
+				Type: EvRecvDone, Port: pkt.DstPort, Channel: pkt.Channel,
+				MsgID: pkt.MsgID, Len: pkt.MsgLen, Tag: pkt.Tag,
+				SrcNode: pkt.Src, SrcPort: pkt.SrcPort, VA: asm.desc.VA,
+				Stamp: n.env.Now(),
+			}
+			n.deliverEvent(p, asm.port, asm.port.RecvEvQ, ev)
+		}
+	}
+}
+
+// assemblyFor finds or creates the assembly record for a message,
+// resolving the target buffer on its first fragment.
+func (n *NIC) assemblyFor(p *sim.Proc, f *rxFlow, pkt *fabric.Packet) (*rxAssembly, error) {
+	if asm, ok := f.asm[pkt.MsgID]; ok {
+		return asm, nil
+	}
+	// Resolving the destination channel state costs firmware time once
+	// per message.
+	n.cpu.Use(p, 1, n.prof.MCPChannelLookup)
+	port, ok := n.ports[pkt.DstPort]
+	if !ok {
+		return nil, fmt.Errorf("nic%d: port %d not registered", n.node, pkt.DstPort)
+	}
+	asm := &rxAssembly{port: port, frags: pkt.Frags, recvEvent: true}
+
+	switch {
+	case pkt.Kind == fabric.KindRMAWrite:
+		d, okc := port.open[pkt.Channel]
+		if !okc {
+			return nil, fmt.Errorf("nic%d: open channel %d not registered", n.node, pkt.Channel)
+		}
+		base := pkt.Offset - pkt.FragIdx*n.prof.MaxPacket // message base offset in remote buffer
+		if base < 0 || base+pkt.MsgLen > d.Len {
+			return nil, fmt.Errorf("nic%d: RMA write out of bounds", n.node)
+		}
+		asm.desc = d
+		asm.recvEvent = false
+		// RMA fragments carry absolute buffer offsets already.
+		asm.baseOffset = 0
+	case pkt.Channel == 0:
+		// Channel 0 is the system channel: grab a pool buffer.
+		d, okb := port.system.TryRecv()
+		if !okb {
+			return nil, fmt.Errorf("nic%d: system pool empty on port %d", n.node, pkt.DstPort)
+		}
+		if pkt.MsgLen > d.Len {
+			return nil, fmt.Errorf("nic%d: message too large for system buffer", n.node)
+		}
+		asm.desc = d
+		asm.sysBuf = true
+	default:
+		d, okc := port.normal[pkt.Channel]
+		if !okc {
+			return nil, fmt.Errorf("nic%d: channel %d not armed on port %d", n.node, pkt.Channel, pkt.DstPort)
+		}
+		if pkt.MsgLen > d.Len {
+			return nil, fmt.Errorf("nic%d: message exceeds posted buffer", n.node)
+		}
+		asm.desc = d
+		// A normal channel consumes its posting.
+		delete(port.normal, pkt.Channel)
+	}
+	f.asm[pkt.MsgID] = asm
+	return asm, nil
+}
+
+// handleRMARead services a read request: it fabricates a send
+// descriptor over the registered open buffer and queues it to its own
+// send engine. Reports false if the request is invalid.
+func (n *NIC) handleRMARead(p *sim.Proc, pkt *fabric.Packet) bool {
+	port, ok := n.ports[pkt.DstPort]
+	if !ok {
+		return false
+	}
+	d, ok := port.open[pkt.Channel]
+	if !ok {
+		return false
+	}
+	if pkt.Offset < 0 || pkt.Offset+pkt.MsgLen > d.Len {
+		return false
+	}
+	reply := &SendDesc{
+		Kind:    DescData,
+		MsgID:   n.NextMsgID(),
+		SrcPort: pkt.DstPort,
+		DstNode: pkt.Src,
+		DstPort: pkt.SrcPort,
+		Channel: int(pkt.Tag), // the initiator's reply channel
+		Len:     pkt.MsgLen,
+		Segs:    sliceSegs(d.Segs, pkt.Offset, pkt.MsgLen),
+		VA:      d.VA + mem.VAddr(pkt.Offset),
+		Space:   d.Space,
+		NoEvent: true,
+	}
+	n.sendQ.Post(reply)
+	return true
+}
+
+func (n *NIC) sendAck(p *sim.Proc, dst int, seq uint64) {
+	ack := &fabric.Packet{Kind: fabric.KindAck, Src: n.node, Dst: dst, AckSeq: seq}
+	ack.Seal()
+	n.ep.Inject(p, ack)
+}
+
+func (n *NIC) sendNack(p *sim.Proc, cause *fabric.Packet) {
+	nack := &fabric.Packet{Kind: fabric.KindNack, Src: n.node, Dst: cause.Src, AckSeq: cause.Seq}
+	nack.Seal()
+	n.ep.Inject(p, nack)
+}
+
+// ------------------------------------------------------------- events
+
+// postEvent builds and delivers a sender-side event for a descriptor.
+func (n *NIC) postEvent(p *sim.Proc, portID int, t EventType, d *SendDesc, ln int) {
+	port, ok := n.ports[portID]
+	if !ok {
+		return
+	}
+	ev := &Event{
+		Type: t, Port: portID, Channel: d.Channel, MsgID: d.MsgID,
+		Len: d.Len, Tag: d.Tag, SrcNode: n.node, SrcPort: d.SrcPort,
+		Stamp: n.env.Now(),
+	}
+	n.deliverEvent(p, port, port.SendEvQ, ev)
+}
+
+// deliverEvent charges the completion-path costs and hands the event
+// to the host: DMA into the user event queue, or an interrupt.
+func (n *NIC) deliverEvent(p *sim.Proc, port *Port, q *sim.Queue[*Event], ev *Event) {
+	n.Tracer.Do(p, "nic: completion event DMA", n.where(), func() {
+		n.cpu.Use(p, 1, n.prof.MCPEventDMA)
+		n.Bus.Use(p, 1, n.prof.EventBusTime)
+	})
+	if n.cfg.Completion == Interrupt {
+		n.stats.Interrupts++
+		if n.InterruptHandler != nil {
+			n.InterruptHandler(ev)
+		}
+		return
+	}
+	q.Post(ev)
+}

@@ -1,0 +1,356 @@
+// Package nic models the system-area-network interface card: a
+// Myrinet-like adapter with a LANai-class control processor, local
+// SRAM, host-DMA engines and a link port, running the MCP (Message
+// Control Program) firmware implemented in mcp.go.
+//
+// One NIC implementation serves every communication architecture in
+// the repository; Config selects the behavioural axes that distinguish
+// them:
+//
+//   - Translate: descriptors carry host-translated physical segments
+//     (semi-user-level and kernel-level — the kernel translated on the
+//     send path) or virtual addresses the NIC must translate itself
+//     through its small on-board cache (user-level, as in U-Net/VMMC).
+//   - Completion: events are DMAed to user-space event queues that the
+//     process polls (semi-user and user-level) or raised as host
+//     interrupts (kernel-level).
+//   - Reliable: the firmware runs the ACK/timeout go-back-N protocol
+//     with CRC checking and retransmission (BCL, GM) or fire-and-forget
+//     (the BIP-like comparator, which omits flow control and error
+//     correction).
+package nic
+
+import (
+	"fmt"
+
+	"bcl/internal/fabric"
+	"bcl/internal/hw"
+	"bcl/internal/mem"
+	"bcl/internal/sim"
+	"bcl/internal/trace"
+)
+
+// TranslateMode says who resolves virtual addresses for DMA.
+type TranslateMode uint8
+
+// Translation modes.
+const (
+	HostTranslated TranslateMode = iota // descriptors carry physical segments
+	NICTranslated                       // NIC resolves via its on-board cache
+)
+
+// CompletionMode says how the host learns about message events.
+type CompletionMode uint8
+
+// Completion modes.
+const (
+	UserEventQueue CompletionMode = iota // DMA events into polled user-space queues
+	Interrupt                            // raise a host interrupt per event
+)
+
+// Config selects the firmware behaviour for one NIC.
+type Config struct {
+	Translate  TranslateMode
+	Completion CompletionMode
+	Reliable   bool
+	Window     int // go-back-N window (packets); 0 means default 32
+	MaxRetries int // timeouts before a message is failed; 0 means default 10
+	TLBEntries int // NIC translation cache size (NICTranslated); 0 means 256
+}
+
+// DescKind discriminates send descriptors.
+type DescKind uint8
+
+// Send descriptor kinds.
+const (
+	DescData     DescKind = iota // ordinary message to a channel
+	DescRMAWrite                 // one-sided write into an open channel
+	DescRMARead                  // one-sided read request from an open channel
+)
+
+// SendDesc is a send request descriptor as the host writes it into the
+// NIC's send request queue.
+type SendDesc struct {
+	Kind    DescKind
+	MsgID   uint64
+	SrcPort int
+	DstNode int
+	DstPort int
+	Channel int
+	Len     int
+	Tag     uint64
+	Offset  int // RMA: byte offset within the remote open buffer
+
+	// Host-translated mode: physical scatter/gather list.
+	Segs []mem.Segment
+	// NIC-translated mode: virtual buffer, resolved on the card.
+	VA    mem.VAddr
+	Space *mem.AddrSpace
+
+	// ReplyChannel receives the data of an RMA read at the initiator.
+	ReplyChannel int
+	// NoEvent suppresses the sender completion event (internal
+	// firmware-generated traffic such as RMA read replies).
+	NoEvent bool
+}
+
+// RecvDesc describes a posted receive buffer (or an open-channel
+// registration) on the NIC.
+type RecvDesc struct {
+	Len   int
+	Segs  []mem.Segment
+	VA    mem.VAddr
+	Space *mem.AddrSpace
+}
+
+// EventType discriminates completion events.
+type EventType uint8
+
+// Completion event types.
+const (
+	EvRecvDone EventType = iota
+	EvSendDone
+	EvSendFailed
+)
+
+func (t EventType) String() string {
+	switch t {
+	case EvRecvDone:
+		return "RECV"
+	case EvSendDone:
+		return "SEND"
+	case EvSendFailed:
+		return "SEND-FAILED"
+	}
+	return fmt.Sprintf("event(%d)", uint8(t))
+}
+
+// Event is a completion record the MCP DMAs into a user-space event
+// queue (or hands to the interrupt handler in kernel-level mode).
+type Event struct {
+	Type    EventType
+	Port    int
+	Channel int
+	MsgID   uint64
+	Len     int
+	Tag     uint64
+	SrcNode int
+	SrcPort int
+	VA      mem.VAddr // receive buffer base (for the library's benefit)
+	Stamp   sim.Time
+}
+
+// Port is the NIC-resident state of one BCL-style communication port:
+// its event queues (conceptually rings in pinned user memory) and
+// channel tables.
+type Port struct {
+	ID      int
+	SendEvQ *sim.Queue[*Event]
+	RecvEvQ *sim.Queue[*Event]
+
+	normal map[int]*RecvDesc     // posted normal-channel buffers
+	open   map[int]*RecvDesc     // registered open-channel (RMA) buffers
+	system *sim.Queue[*RecvDesc] // pre-posted system-channel pool (FIFO)
+}
+
+// TakeRecv removes and returns the buffer posted on a normal channel.
+// The intra-node delivery path uses it so that local and remote
+// messages consume the same posting.
+func (p *Port) TakeRecv(channel int) (*RecvDesc, bool) {
+	d, ok := p.normal[channel]
+	if ok {
+		delete(p.normal, channel)
+	}
+	return d, ok
+}
+
+// TakeSystemBuffer pops the next system-pool buffer (shared between
+// the firmware and the intra-node path).
+func (p *Port) TakeSystemBuffer() (*RecvDesc, bool) {
+	return p.system.TryRecv()
+}
+
+// SystemPoolLen returns the number of free system-pool buffers.
+func (p *Port) SystemPoolLen() int { return p.system.Len() }
+
+// Stats aggregates NIC counters for tables and assertions.
+type Stats struct {
+	MsgsSent      uint64
+	MsgsReceived  uint64
+	PacketsSent   uint64
+	PacketsRecv   uint64
+	Retransmits   uint64
+	CRCDrops      uint64
+	SeqDrops      uint64
+	NoBufferDrops uint64
+	NACKs         uint64
+	Interrupts    uint64
+	TLBHits       uint64
+	TLBMisses     uint64
+	BytesSent     uint64
+	BytesReceived uint64
+}
+
+// NIC is one adapter instance.
+type NIC struct {
+	env  *sim.Env
+	prof *hw.Profile
+	cfg  Config
+	node int
+	ep   *fabric.Endpoint
+	hmem *mem.Memory
+
+	// Shared device resources.
+	Bus    *sim.Resource // PCI bus (host side shares it for PIO)
+	cpu    *sim.Resource // LANai control processor
+	sram   *sim.Resource // NIC buffer memory, in bytes
+	sendQ  *sim.Queue[*SendDesc]
+	fetchQ *sim.Queue[fetchJob]
+	retxQ  *sim.Queue[*txFlow]
+	ports  map[int]*Port
+	tx     map[int]*txFlow
+	rx     map[int]*rxFlow
+	nextID uint64
+
+	// InterruptHandler is invoked (in scheduler context) for each
+	// event when Config.Completion == Interrupt. The kernel model
+	// installs it; it must not block — it should schedule work.
+	InterruptHandler func(*Event)
+
+	// Tracer, when set, records firmware stage spans (send processing,
+	// injection, receive processing, completion DMA) for the timeline
+	// figures. A nil tracer records nothing.
+	Tracer *trace.Tracer
+
+	tlb *nicTLB
+
+	stats Stats
+}
+
+// New builds a NIC for the given node attached to the fabric endpoint.
+func New(env *sim.Env, prof *hw.Profile, cfg Config, node int, ep *fabric.Endpoint, hostMem *mem.Memory) *NIC {
+	if cfg.Window == 0 {
+		cfg.Window = 32
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 10
+	}
+	if cfg.TLBEntries == 0 {
+		cfg.TLBEntries = 256
+	}
+	n := &NIC{
+		env:    env,
+		prof:   prof,
+		cfg:    cfg,
+		node:   node,
+		ep:     ep,
+		hmem:   hostMem,
+		Bus:    sim.NewResource(env, fmt.Sprintf("pci%d", node), 1),
+		cpu:    sim.NewResource(env, fmt.Sprintf("lanai%d", node), 1),
+		sram:   sim.NewResource(env, fmt.Sprintf("sram%d", node), prof.NICMemBytes),
+		sendQ:  sim.NewQueue[*SendDesc](env, fmt.Sprintf("nic%d/sendq", node), 0),
+		fetchQ: sim.NewQueue[fetchJob](env, fmt.Sprintf("nic%d/fetchq", node), 2),
+		retxQ:  sim.NewQueue[*txFlow](env, fmt.Sprintf("nic%d/retxq", node), 0),
+		ports:  make(map[int]*Port),
+		tx:     make(map[int]*txFlow),
+		rx:     make(map[int]*rxFlow),
+		tlb:    newNICTLB(cfg.TLBEntries),
+	}
+	env.Go(fmt.Sprintf("nic%d/send-engine", node), n.sendEngine)
+	env.Go(fmt.Sprintf("nic%d/inject-engine", node), n.injectEngine)
+	env.Go(fmt.Sprintf("nic%d/recv-engine", node), n.recvEngine)
+	env.Go(fmt.Sprintf("nic%d/retx-engine", node), n.retxEngine)
+	return n
+}
+
+// Node returns the node id this NIC serves.
+func (n *NIC) Node() int { return n.node }
+
+// Stats returns a snapshot of the NIC counters.
+func (n *NIC) Stats() Stats { return n.stats }
+
+// Profile returns the timing profile the NIC uses.
+func (n *NIC) Profile() *hw.Profile { return n.prof }
+
+// NextMsgID hands out a card-unique message id.
+func (n *NIC) NextMsgID() uint64 {
+	n.nextID++
+	return n.nextID
+}
+
+// RegisterPort creates NIC-side state for a port. The host pays the
+// setup cost before calling.
+func (n *NIC) RegisterPort(id int) *Port {
+	if _, dup := n.ports[id]; dup {
+		panic(fmt.Sprintf("nic%d: port %d registered twice", n.node, id))
+	}
+	p := &Port{
+		ID:      id,
+		SendEvQ: sim.NewQueue[*Event](n.env, fmt.Sprintf("nic%d/p%d/sendev", n.node, id), 0),
+		RecvEvQ: sim.NewQueue[*Event](n.env, fmt.Sprintf("nic%d/p%d/recvev", n.node, id), 0),
+		normal:  make(map[int]*RecvDesc),
+		open:    make(map[int]*RecvDesc),
+		system:  sim.NewQueue[*RecvDesc](n.env, fmt.Sprintf("nic%d/p%d/syspool", n.node, id), 0),
+	}
+	n.ports[id] = p
+	return p
+}
+
+// ClosePort tears down a port's NIC state.
+func (n *NIC) ClosePort(id int) { delete(n.ports, id) }
+
+// LookupPort returns the NIC state for a port, if registered.
+func (n *NIC) LookupPort(id int) (*Port, bool) {
+	p, ok := n.ports[id]
+	return p, ok
+}
+
+// PostSend enqueues a send descriptor into the NIC's send request
+// queue, blocking if the queue is full (the host spins on the queue
+// head in that case). The caller has already paid the PIO cost of
+// filling the descriptor.
+func (n *NIC) PostSend(p *sim.Proc, d *SendDesc) {
+	n.sendQ.Send(p, d)
+}
+
+// PostRecv binds a receive buffer to a normal channel. One buffer may
+// be outstanding per channel; rebinding while armed is a protocol
+// error the NIC rejects.
+func (n *NIC) PostRecv(port, channel int, d *RecvDesc) error {
+	pt, ok := n.ports[port]
+	if !ok {
+		return fmt.Errorf("nic%d: post recv on unregistered port %d", n.node, port)
+	}
+	if _, armed := pt.normal[channel]; armed {
+		return fmt.Errorf("nic%d: port %d channel %d already armed", n.node, port, channel)
+	}
+	pt.normal[channel] = d
+	return nil
+}
+
+// AddSystemBuffer appends a buffer to the port's system-channel pool.
+func (n *NIC) AddSystemBuffer(port int, d *RecvDesc) error {
+	pt, ok := n.ports[port]
+	if !ok {
+		return fmt.Errorf("nic%d: system buffer on unregistered port %d", n.node, port)
+	}
+	pt.system.Post(d)
+	return nil
+}
+
+// RegisterOpen binds a buffer to an open (RMA) channel.
+func (n *NIC) RegisterOpen(port, channel int, d *RecvDesc) error {
+	pt, ok := n.ports[port]
+	if !ok {
+		return fmt.Errorf("nic%d: open channel on unregistered port %d", n.node, port)
+	}
+	pt.open[channel] = d
+	return nil
+}
+
+// busDMA occupies the PCI bus for a DMA of n bytes (plus engine setup)
+// and returns after the transfer time has elapsed.
+func (n *NIC) busDMA(p *sim.Proc, bytes int) {
+	d := n.prof.DMASetup + hw.TransferTime(bytes, n.prof.PCIBandwidth)
+	n.Bus.Use(p, 1, d)
+}

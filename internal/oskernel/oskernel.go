@@ -1,0 +1,220 @@
+// Package oskernel models the host operating system kernel as the
+// semi-user-level architecture uses it: protected-mode crossings
+// (traps) with realistic costs, an ioctl-style dispatch into the BCL
+// kernel module, security checks that really reject bad requests, the
+// pin-down buffer page table for virtual-to-physical translation, and
+// interrupt dispatch for the kernel-level comparator.
+//
+// The package is deliberately mechanism-only: the BCL kernel module's
+// command set lives in the bcl package, the socket layer of the
+// kernel-level comparator in klc. Both compose the primitives here.
+package oskernel
+
+import (
+	"errors"
+	"fmt"
+
+	"bcl/internal/hw"
+	"bcl/internal/mem"
+	"bcl/internal/sim"
+)
+
+// Security errors returned by kernel checks.
+var (
+	ErrBadPID    = errors.New("oskernel: request from unregistered process")
+	ErrBadBuffer = errors.New("oskernel: buffer not mapped in caller's address space")
+	ErrBadTarget = errors.New("oskernel: invalid destination")
+	ErrNotOwner  = errors.New("oskernel: resource owned by another process")
+)
+
+// Stats counts protection-domain crossings and kernel work, feeding
+// Table 1.
+type Stats struct {
+	Traps           uint64
+	Ioctls          uint64
+	Interrupts      uint64
+	SecurityRejects uint64
+	PagesPinned     uint64
+	ContextSwitches uint64
+}
+
+// Process is a kernel-visible process: an id bound to an address
+// space.
+type Process struct {
+	PID   int
+	Space *mem.AddrSpace
+}
+
+// Kernel is one node's operating system instance.
+type Kernel struct {
+	env   *sim.Env
+	prof  *hw.Profile
+	node  int
+	mem   *mem.Memory
+	pins  *mem.PinTable
+	procs map[int]*Process
+	next  int
+	stats Stats
+}
+
+// New boots a kernel over the node's physical memory.
+func New(env *sim.Env, prof *hw.Profile, node int, m *mem.Memory) *Kernel {
+	return &Kernel{
+		env:   env,
+		prof:  prof,
+		node:  node,
+		mem:   m,
+		pins:  mem.NewPinTable(0), // host-resident: effectively unbounded
+		procs: make(map[int]*Process),
+		next:  100,
+	}
+}
+
+// Env returns the simulation environment.
+func (k *Kernel) Env() *sim.Env { return k.env }
+
+// Profile returns the timing profile.
+func (k *Kernel) Profile() *hw.Profile { return k.prof }
+
+// Node returns the node id.
+func (k *Kernel) Node() int { return k.node }
+
+// Stats returns a snapshot of kernel counters.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// PinTable exposes the pin-down page table (for stats in reports).
+func (k *Kernel) PinTable() *mem.PinTable { return k.pins }
+
+// Spawn creates a process with a fresh address space.
+func (k *Kernel) Spawn() *Process {
+	k.next++
+	p := &Process{PID: k.next, Space: mem.NewAddrSpace(k.mem)}
+	k.procs[p.PID] = p
+	return p
+}
+
+// Exit tears a process down, dropping its pinned pages.
+func (k *Kernel) Exit(p *Process) {
+	k.pins.Invalidate(p.PID)
+	delete(k.procs, p.PID)
+}
+
+// Trap performs a user-to-kernel crossing: it charges the entry cost
+// and ioctl dispatch, runs body in kernel context, and charges the
+// exit cost. body returns the syscall result.
+func (k *Kernel) Trap(p *sim.Proc, body func() error) error {
+	k.stats.Traps++
+	k.stats.Ioctls++
+	p.Sleep(k.prof.TrapEnter + k.prof.IoctlDispatch)
+	err := body()
+	p.Sleep(k.prof.TrapExit)
+	return err
+}
+
+// CheckRequest performs the BCL kernel module's parameter validation:
+// the calling PID must be registered, the buffer must lie entirely in
+// the caller's address space, and the destination must exist. It
+// charges the check cost and counts rejects.
+func (k *Kernel) CheckRequest(p *sim.Proc, pid int, va mem.VAddr, n int, dstNode, clusterNodes int) error {
+	p.Sleep(k.prof.SecurityCheck)
+	proc, ok := k.procs[pid]
+	if !ok {
+		k.stats.SecurityRejects++
+		return fmt.Errorf("%w: pid %d", ErrBadPID, pid)
+	}
+	if n > 0 || va != 0 {
+		if !proc.Space.Mapped(va, n) {
+			k.stats.SecurityRejects++
+			return fmt.Errorf("%w: va %#x+%d", ErrBadBuffer, int64(va), n)
+		}
+	}
+	if dstNode < 0 || dstNode >= clusterNodes {
+		k.stats.SecurityRejects++
+		return fmt.Errorf("%w: node %d", ErrBadTarget, dstNode)
+	}
+	return nil
+}
+
+// TranslateAndPin walks the pin-down page table for every page of
+// [va, va+n), charging hit or miss+pin costs, and returns the physical
+// scatter/gather list (adjacent frames merged).
+func (k *Kernel) TranslateAndPin(p *sim.Proc, pid int, space *mem.AddrSpace, va mem.VAddr, n int) ([]mem.Segment, error) {
+	pageSize := int64(k.mem.PageSize())
+	end := int64(va) + int64(n)
+	if n <= 0 {
+		end = int64(va) + 1
+	}
+	var segs []mem.Segment
+	for addr := int64(va); addr < end; {
+		vpage := addr / pageSize
+		off := addr % pageSize
+		base, hit, err := k.pins.Lookup(pid, space, vpage)
+		if err != nil {
+			return nil, err
+		}
+		if hit {
+			p.Sleep(k.prof.TranslateHit)
+		} else {
+			p.Sleep(k.prof.TranslateMiss + k.prof.PinPage)
+			k.stats.PagesPinned++
+		}
+		chunk := pageSize - off
+		if chunk > end-addr {
+			chunk = end - addr
+		}
+		pa := base + mem.PAddr(off)
+		if len(segs) > 0 && segs[len(segs)-1].Phys+mem.PAddr(segs[len(segs)-1].Len) == pa {
+			segs[len(segs)-1].Len += int(chunk)
+		} else {
+			segs = append(segs, mem.Segment{Phys: pa, Len: int(chunk)})
+		}
+		addr += chunk
+	}
+	if n <= 0 && len(segs) == 1 {
+		segs[0].Len = 0
+	}
+	return segs, nil
+}
+
+// PIOFillCost returns the PIO time for a descriptor of the given
+// scatter/gather length: the base descriptor words plus two words
+// (address + length) per segment beyond the first.
+func (k *Kernel) PIOFillCost(baseWords, nSegs int) sim.Time {
+	words := baseWords
+	if nSegs > 1 {
+		words += 2 * (nSegs - 1)
+	}
+	return k.prof.PIOFill(words)
+}
+
+// Interrupt dispatches a device interrupt: entry cost, handler body,
+// then a context switch to whatever process the handler woke. The
+// handler runs in a fresh kernel process context.
+func (k *Kernel) Interrupt(name string, handler func(p *sim.Proc)) {
+	k.stats.Interrupts++
+	k.env.Go(name, func(p *sim.Proc) {
+		p.Sleep(k.prof.InterruptEnter)
+		handler(p)
+		p.Sleep(k.prof.InterruptHandle)
+	})
+}
+
+// WakeProcess charges the scheduler cost of switching a blocked
+// process back onto a CPU (used by the kernel-level receive path).
+func (k *Kernel) WakeProcess(p *sim.Proc) {
+	k.stats.ContextSwitches++
+	p.Sleep(k.prof.ContextSwitch)
+}
+
+// CopyToUser models copy_to_user: a kernel/user crossing copy at the
+// syscall-copy bandwidth (used by the kernel-level comparator).
+func (k *Kernel) CopyToUser(p *sim.Proc, space *mem.AddrSpace, va mem.VAddr, data []byte) error {
+	p.Sleep(hw.TransferTime(len(data), k.prof.SyscallCopy))
+	return space.Write(va, data)
+}
+
+// CopyFromUser models copy_from_user.
+func (k *Kernel) CopyFromUser(p *sim.Proc, space *mem.AddrSpace, va mem.VAddr, n int) ([]byte, error) {
+	p.Sleep(hw.TransferTime(n, k.prof.SyscallCopy))
+	return space.Read(va, n)
+}

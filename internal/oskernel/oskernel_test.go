@@ -1,0 +1,227 @@
+package oskernel
+
+import (
+	"errors"
+	"testing"
+
+	"bcl/internal/hw"
+	"bcl/internal/mem"
+	"bcl/internal/sim"
+)
+
+func newKernel() (*sim.Env, *Kernel) {
+	env := sim.NewEnv(1)
+	prof := hw.DAWNING3000()
+	m := mem.NewMemory(prof.PageSize)
+	return env, New(env, prof, 0, m)
+}
+
+func TestTrapChargesAndCounts(t *testing.T) {
+	env, k := newKernel()
+	prof := k.Profile()
+	var inKernelAt, afterAt sim.Time
+	env.Go("p", func(p *sim.Proc) {
+		start := p.Now()
+		err := k.Trap(p, func() error {
+			inKernelAt = p.Now() - start
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		afterAt = p.Now() - start
+	})
+	env.Run()
+	if inKernelAt != prof.TrapEnter+prof.IoctlDispatch {
+		t.Fatalf("entry cost = %d, want %d", inKernelAt, prof.TrapEnter+prof.IoctlDispatch)
+	}
+	if afterAt != prof.TrapEnter+prof.IoctlDispatch+prof.TrapExit {
+		t.Fatalf("total cost = %d", afterAt)
+	}
+	if s := k.Stats(); s.Traps != 1 || s.Ioctls != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestTrapPropagatesError(t *testing.T) {
+	env, k := newKernel()
+	sentinel := errors.New("boom")
+	var got error
+	env.Go("p", func(p *sim.Proc) {
+		got = k.Trap(p, func() error { return sentinel })
+	})
+	env.Run()
+	if got != sentinel {
+		t.Fatalf("err = %v", got)
+	}
+}
+
+func TestCheckRequestValidation(t *testing.T) {
+	env, k := newKernel()
+	proc := k.Spawn()
+	va := proc.Space.Alloc(4096)
+	env.Go("p", func(p *sim.Proc) {
+		// Good request.
+		if err := k.CheckRequest(p, proc.PID, va, 100, 1, 4); err != nil {
+			t.Errorf("valid request rejected: %v", err)
+		}
+		// Unknown PID.
+		if err := k.CheckRequest(p, 424242, va, 100, 1, 4); !errors.Is(err, ErrBadPID) {
+			t.Errorf("bad pid error = %v", err)
+		}
+		// Unmapped buffer.
+		if err := k.CheckRequest(p, proc.PID, 1<<40, 100, 1, 4); !errors.Is(err, ErrBadBuffer) {
+			t.Errorf("bad buffer error = %v", err)
+		}
+		// Buffer overruns its mapping.
+		if err := k.CheckRequest(p, proc.PID, va, 8192, 1, 4); !errors.Is(err, ErrBadBuffer) {
+			t.Errorf("overrun error = %v", err)
+		}
+		// Bad node.
+		if err := k.CheckRequest(p, proc.PID, va, 100, 9, 4); !errors.Is(err, ErrBadTarget) {
+			t.Errorf("bad node error = %v", err)
+		}
+		if err := k.CheckRequest(p, proc.PID, va, 100, -1, 4); !errors.Is(err, ErrBadTarget) {
+			t.Errorf("negative node error = %v", err)
+		}
+	})
+	env.Run()
+	if s := k.Stats(); s.SecurityRejects != 5 {
+		t.Fatalf("rejects = %d, want 5", s.SecurityRejects)
+	}
+}
+
+func TestTranslateAndPinCosts(t *testing.T) {
+	env, k := newKernel()
+	prof := k.Profile()
+	proc := k.Spawn()
+	va := proc.Space.Alloc(3 * 4096)
+	env.Go("p", func(p *sim.Proc) {
+		start := p.Now()
+		segs, err := k.TranslateAndPin(p, proc.PID, proc.Space, va, 3*4096)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cold := p.Now() - start
+		want := 3 * (prof.TranslateMiss + prof.PinPage)
+		if cold != want {
+			t.Errorf("cold translate = %d, want %d", cold, want)
+		}
+		total := 0
+		for _, s := range segs {
+			total += s.Len
+		}
+		if total != 3*4096 {
+			t.Errorf("segments cover %d bytes", total)
+		}
+		// Second pass: all hits.
+		start = p.Now()
+		if _, err := k.TranslateAndPin(p, proc.PID, proc.Space, va, 3*4096); err != nil {
+			t.Error(err)
+		}
+		warm := p.Now() - start
+		if warm != 3*prof.TranslateHit {
+			t.Errorf("warm translate = %d, want %d", warm, 3*prof.TranslateHit)
+		}
+	})
+	env.Run()
+	if s := k.Stats(); s.PagesPinned != 3 {
+		t.Fatalf("pages pinned = %d, want 3", s.PagesPinned)
+	}
+}
+
+func TestZeroLengthTranslate(t *testing.T) {
+	env, k := newKernel()
+	proc := k.Spawn()
+	va := proc.Space.Alloc(64)
+	env.Go("p", func(p *sim.Proc) {
+		segs, err := k.TranslateAndPin(p, proc.PID, proc.Space, va, 0)
+		if err != nil || len(segs) != 1 || segs[0].Len != 0 {
+			t.Errorf("zero-length = %+v, %v", segs, err)
+		}
+	})
+	env.Run()
+}
+
+func TestExitInvalidatesPins(t *testing.T) {
+	env, k := newKernel()
+	proc := k.Spawn()
+	va := proc.Space.Alloc(2 * 4096)
+	m := proc.Space.Mem()
+	env.Go("p", func(p *sim.Proc) {
+		if _, err := k.TranslateAndPin(p, proc.PID, proc.Space, va, 2*4096); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Run()
+	if now, _ := m.PinnedPages(); now != 2 {
+		t.Fatalf("pinned before exit = %d", now)
+	}
+	k.Exit(proc)
+	if now, _ := m.PinnedPages(); now != 0 {
+		t.Fatalf("pinned after exit = %d, want 0", now)
+	}
+}
+
+func TestPIOFillCostScalesWithSegments(t *testing.T) {
+	_, k := newKernel()
+	prof := k.Profile()
+	one := k.PIOFillCost(15, 1)
+	three := k.PIOFillCost(15, 3)
+	if one != 15*prof.PIOWriteWord {
+		t.Fatalf("1-seg cost = %d", one)
+	}
+	if three != one+4*prof.PIOWriteWord {
+		t.Fatalf("3-seg cost = %d, want +4 words", three)
+	}
+}
+
+func TestInterruptDispatch(t *testing.T) {
+	env, k := newKernel()
+	prof := k.Profile()
+	var handlerAt, doneAt sim.Time
+	k.Interrupt("test-isr", func(p *sim.Proc) {
+		handlerAt = p.Now()
+		p.Sleep(100)
+	})
+	end := env.Run()
+	doneAt = end
+	if handlerAt != prof.InterruptEnter {
+		t.Fatalf("handler ran at %d, want after entry cost %d", handlerAt, prof.InterruptEnter)
+	}
+	if doneAt != prof.InterruptEnter+100+prof.InterruptHandle {
+		t.Fatalf("isr finished at %d", doneAt)
+	}
+	if s := k.Stats(); s.Interrupts != 1 {
+		t.Fatalf("interrupts = %d", s.Interrupts)
+	}
+}
+
+func TestCopyToFromUser(t *testing.T) {
+	env, k := newKernel()
+	proc := k.Spawn()
+	va := proc.Space.Alloc(4096)
+	payload := []byte("crossing the boundary")
+	var back []byte
+	var copyTime sim.Time
+	env.Go("p", func(p *sim.Proc) {
+		start := p.Now()
+		if err := k.CopyToUser(p, proc.Space, va, payload); err != nil {
+			t.Error(err)
+		}
+		copyTime = p.Now() - start
+		var err error
+		back, err = k.CopyFromUser(p, proc.Space, va, len(payload))
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	env.Run()
+	if string(back) != string(payload) {
+		t.Fatalf("round trip = %q", back)
+	}
+	if copyTime <= 0 {
+		t.Fatal("copy charged no time")
+	}
+}

@@ -1,0 +1,222 @@
+package pvm
+
+import (
+	"errors"
+	"fmt"
+
+	"bcl/internal/sim"
+)
+
+// PVM group operations. Real PVM kept group membership in a group
+// server; here rank 0's task doubles as the coordinator (like the
+// Barrier implementation), tracking named groups and assigning
+// instance numbers. Members of a group can barrier and broadcast
+// within it.
+
+// group-protocol tags (within the reserved internal space).
+const (
+	tagJoin      = 1<<23 + 100
+	tagJoinReply = 1<<23 + 101
+	tagGBarrier  = 1<<23 + 102
+	tagGBarrierG = 1<<23 + 103
+)
+
+// ErrNotInGroup is returned for group ops before joining.
+var ErrNotInGroup = errors.New("pvm: task has not joined this group")
+
+// groupView is a member's local view of a group.
+type groupView struct {
+	inum    int   // this task's instance number within the group
+	members []int // TIDs by instance number, as of join time
+}
+
+// ensureGroups lazily initializes group state.
+func (t *Task) ensureGroups() {
+	if t.groups == nil {
+		t.groups = make(map[string]*groupView)
+	}
+	if t.dev.Rank() == 0 && t.coord == nil {
+		t.coord = make(map[string][]int)
+	}
+	t.ensureBarrierState()
+}
+
+func (t *Task) ensureBarrierState() {
+	if t.dev.Rank() == 0 && t.barrierArrived == nil {
+		t.barrierArrived = make(map[string][]int)
+	}
+}
+
+// JoinGroup registers the task in a named group and returns its
+// instance number. The coordinator (task 0) serializes joins; a task
+// must not join the same group twice.
+//
+// Membership semantics are PVM's static-snapshot style: group
+// collectives use the membership as of each member's join, so groups
+// should be fully joined (e.g. followed by Barrier) before use.
+func (t *Task) JoinGroup(p *sim.Proc, name string) (int, error) {
+	t.ensureGroups()
+	if _, dup := t.groups[name]; dup {
+		return 0, fmt.Errorf("pvm: already in group %q", name)
+	}
+	if t.dev.Rank() == 0 {
+		// Coordinator joins locally.
+		t.coord[name] = append(t.coord[name], t.MyTid())
+		gv := &groupView{inum: len(t.coord[name]) - 1, members: append([]int(nil), t.coord[name]...)}
+		t.groups[name] = gv
+		return gv.inum, nil
+	}
+	t.InitSend(DataDefault).PackString(name)
+	if err := t.Send(p, Tid(0), tagJoin); err != nil {
+		return 0, err
+	}
+	reply, err := t.Recv(p, Tid(0), tagJoinReply)
+	if err != nil {
+		return 0, err
+	}
+	inum64, err := reply.UnpackInt64()
+	if err != nil {
+		return 0, err
+	}
+	count, err := reply.UnpackInt64()
+	if err != nil {
+		return 0, err
+	}
+	gv := &groupView{inum: int(inum64)}
+	for i := int64(0); i < count; i++ {
+		tid, uerr := reply.UnpackInt64()
+		if uerr != nil {
+			return 0, uerr
+		}
+		gv.members = append(gv.members, int(tid))
+	}
+	t.groups[name] = gv
+	return gv.inum, nil
+}
+
+// ServeGroups processes pending group-protocol requests at the
+// coordinator (task 0). Coordinator tasks must call it while other
+// tasks join or barrier — typically in a loop interleaved with their
+// own work, or via the convenience of CoordinateUntil.
+func (t *Task) ServeGroups(p *sim.Proc) (served bool, err error) {
+	t.ensureGroups()
+	if n, ok := t.Probe(p, AnyTid, tagJoin); ok && n >= 0 {
+		msg, rerr := t.Recv(p, AnyTid, tagJoin)
+		if rerr != nil {
+			return false, rerr
+		}
+		name, uerr := msg.UnpackString()
+		if uerr != nil {
+			return false, uerr
+		}
+		t.coord[name] = append(t.coord[name], msg.Src)
+		inum := len(t.coord[name]) - 1
+		b := t.InitSend(DataDefault).PackInt64(int64(inum)).PackInt64(int64(len(t.coord[name])))
+		for _, tid := range t.coord[name] {
+			b.PackInt64(int64(tid))
+		}
+		return true, t.Send(p, msg.Src, tagJoinReply)
+	}
+	if _, ok := t.Probe(p, AnyTid, tagGBarrier); ok {
+		msg, rerr := t.Recv(p, AnyTid, tagGBarrier)
+		if rerr != nil {
+			return false, rerr
+		}
+		name, _ := msg.UnpackString()
+		want, _ := msg.UnpackInt64()
+		t.barrierArrived[name] = append(t.barrierArrived[name], msg.Src)
+		if len(t.barrierArrived[name]) == int(want) {
+			for _, tid := range t.barrierArrived[name] {
+				if tid == t.MyTid() {
+					continue // the coordinator's own arrival needs no message
+				}
+				t.InitSend(DataDefault)
+				if serr := t.Send(p, tid, tagGBarrierG); serr != nil {
+					return false, serr
+				}
+			}
+			t.barrierArrived[name] = nil
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// GroupBarrier blocks until `count` members of the group have entered
+// it. Task 0 (the coordinator) must be serving; if the caller IS the
+// coordinator, it serves inline while waiting.
+func (t *Task) GroupBarrier(p *sim.Proc, name string, count int) error {
+	t.ensureGroups()
+	if _, ok := t.groups[name]; !ok {
+		return ErrNotInGroup
+	}
+	if t.dev.Rank() == 0 {
+		// Coordinator: register own arrival, then serve until released.
+		t.ensureBarrierState()
+		t.barrierArrived[name] = append(t.barrierArrived[name], t.MyTid())
+		for len(t.barrierArrived[name]) != 0 && len(t.barrierArrived[name]) < count {
+			if _, err := t.ServeGroups(p); err != nil {
+				return err
+			}
+			p.Sleep(10 * sim.Microsecond)
+		}
+		if arr := t.barrierArrived[name]; len(arr) >= count {
+			for _, tid := range arr {
+				if tid == t.MyTid() {
+					continue
+				}
+				t.InitSend(DataDefault)
+				if err := t.Send(p, tid, tagGBarrierG); err != nil {
+					return err
+				}
+			}
+			t.barrierArrived[name] = nil
+		}
+		return nil
+	}
+	t.InitSend(DataDefault).PackString(name).PackInt64(int64(count))
+	if err := t.Send(p, Tid(0), tagGBarrier); err != nil {
+		return err
+	}
+	_, err := t.dev.Recv(p, 0, pvmContext, tagGBarrierG, t.staging, 8)
+	return err
+}
+
+// GroupBcast sends the active buffer to every member of the group
+// except the caller (pvm_bcast semantics).
+func (t *Task) GroupBcast(p *sim.Proc, name string, msgtag int) error {
+	t.ensureGroups()
+	gv, ok := t.groups[name]
+	if !ok {
+		return ErrNotInGroup
+	}
+	for _, tid := range gv.members {
+		if tid == t.MyTid() {
+			continue
+		}
+		if err := t.Send(p, tid, msgtag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GetInstance returns the caller's instance number in the group.
+func (t *Task) GetInstance(name string) (int, error) {
+	t.ensureGroups()
+	gv, ok := t.groups[name]
+	if !ok {
+		return 0, ErrNotInGroup
+	}
+	return gv.inum, nil
+}
+
+// GroupSize returns the membership count as of this task's join.
+func (t *Task) GroupSize(name string) (int, error) {
+	t.ensureGroups()
+	gv, ok := t.groups[name]
+	if !ok {
+		return 0, ErrNotInGroup
+	}
+	return len(gv.members), nil
+}

@@ -1,0 +1,128 @@
+package pvm
+
+import (
+	"fmt"
+	"testing"
+
+	"bcl/internal/sim"
+)
+
+func TestGroupJoinBarrierBcast(t *testing.T) {
+	const tasks = 4
+	c, tks := vm(t, 2, []int{0, 1, 0, 1})
+	results := make([]string, tasks)
+	inums := make([]int, tasks)
+	for i := 0; i < tasks; i++ {
+		tk := tks[i]
+		id := i
+		c.Env.Go(fmt.Sprintf("task%d", id), func(p *sim.Proc) {
+			inum, err := tk.JoinGroup(p, "workers")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			inums[id] = inum
+			// Coordinator must serve joins/barriers from the others.
+			if err := tk.GroupBarrier(p, "workers", tasks); err != nil {
+				t.Error(err)
+				return
+			}
+			if id == 0 {
+				// Instance 0 broadcasts to the (now complete) group. The
+				// coordinator joined first, so its membership snapshot
+				// is only itself; refresh by using the coordinator's
+				// authoritative list: it IS the coordinator, whose
+				// coord map has everyone.
+				tk.groups["workers"].members = append([]int(nil), tk.coord["workers"]...)
+				tk.InitSend(DataDefault).PackString("group hello")
+				if err := tk.GroupBcast(p, "workers", 42); err != nil {
+					t.Error(err)
+					return
+				}
+				results[0] = "sender"
+			} else {
+				msg, err := tk.Recv(p, AnyTid, 42)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[id], _ = msg.UnpackString()
+			}
+		})
+	}
+	c.Env.RunUntil(10 * sim.Second)
+	if results[0] != "sender" {
+		t.Fatal("coordinator stuck")
+	}
+	seen := map[int]bool{}
+	for id := 1; id < tasks; id++ {
+		if results[id] != "group hello" {
+			t.Fatalf("task %d got %q", id, results[id])
+		}
+		if seen[inums[id]] {
+			t.Fatalf("duplicate instance number %d", inums[id])
+		}
+		seen[inums[id]] = true
+	}
+}
+
+func TestGroupErrors(t *testing.T) {
+	c, tks := vm(t, 2, []int{0, 1})
+	var notIn, dup error
+	c.Env.Go("t0", func(p *sim.Proc) {
+		notIn = tks[0].GroupBcast(p, "ghost", 1)
+		if _, err := tks[0].JoinGroup(p, "g"); err != nil {
+			t.Error(err)
+		}
+		_, dup = tks[0].JoinGroup(p, "g")
+	})
+	c.Env.RunUntil(sim.Second)
+	if notIn != ErrNotInGroup {
+		t.Fatalf("bcast before join: %v", notIn)
+	}
+	if dup == nil {
+		t.Fatal("double join accepted")
+	}
+}
+
+func TestGroupInstanceAndSize(t *testing.T) {
+	c, tks := vm(t, 2, []int{0, 1, 0})
+	var sizes [3]int
+	for i := 0; i < 3; i++ {
+		tk := tks[i]
+		id := i
+		c.Env.Go(fmt.Sprintf("t%d", id), func(p *sim.Proc) {
+			// Join in a staggered but deterministic order.
+			p.Sleep(sim.Time(id) * 300 * sim.Microsecond)
+			if _, err := tk.JoinGroup(p, "g"); err != nil {
+				t.Error(err)
+				return
+			}
+			if id == 0 {
+				// Serve the later joiners.
+				for served := 0; served < 2; {
+					ok, err := tk.ServeGroups(p)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if ok {
+						served++
+					}
+					p.Sleep(20 * sim.Microsecond)
+				}
+			}
+			n, err := tk.GroupSize("g")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sizes[id] = n
+		})
+	}
+	c.Env.RunUntil(10 * sim.Second)
+	// Join snapshots grow with join order: 1, 2, 3 members.
+	if sizes[0] != 1 || sizes[1] != 2 || sizes[2] != 3 {
+		t.Fatalf("snapshot sizes = %v, want [1 2 3]", sizes)
+	}
+}

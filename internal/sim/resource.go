@@ -1,0 +1,121 @@
+package sim
+
+import "fmt"
+
+// Resource is a counted resource with FIFO admission: a CPU, a bus, a
+// DMA engine. Acquire blocks the calling process until the requested
+// units are available; waiters are admitted strictly in arrival order
+// (head-of-line blocking, like a real bus arbiter).
+type Resource struct {
+	env     *Env
+	name    string
+	cap     int
+	inUse   int
+	waiters []resWaiter
+
+	// Stats.
+	acquires  uint64
+	waitTotal Time
+	busyTotal Time
+	lastBusy  Time
+}
+
+type resWaiter struct {
+	p     *Proc
+	n     int
+	since Time
+}
+
+// NewResource returns a resource with the given capacity (units).
+func NewResource(env *Env, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{env: env, name: name, cap: capacity}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Cap returns the resource capacity.
+func (r *Resource) Cap() int { return r.cap }
+
+// InUse returns the units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Acquire blocks p until n units are available and takes them.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n <= 0 || n > r.cap {
+		panic(fmt.Sprintf("sim: acquire %d of %q (cap %d)", n, r.name, r.cap))
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.cap {
+		r.grant(n, 0)
+		return
+	}
+	r.waiters = append(r.waiters, resWaiter{p: p, n: n, since: r.env.now})
+	p.park()
+}
+
+// TryAcquire takes n units if immediately available, reporting whether
+// it succeeded. It never blocks and never jumps the waiter queue.
+func (r *Resource) TryAcquire(n int) bool {
+	if n <= 0 || n > r.cap {
+		panic(fmt.Sprintf("sim: try-acquire %d of %q (cap %d)", n, r.name, r.cap))
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.cap {
+		r.grant(n, 0)
+		return true
+	}
+	return false
+}
+
+func (r *Resource) grant(n int, waited Time) {
+	if r.inUse == 0 {
+		r.lastBusy = r.env.now
+	}
+	r.inUse += n
+	r.acquires++
+	r.waitTotal += waited
+}
+
+// Release returns n units and admits as many queued waiters as now
+// fit, in FIFO order.
+func (r *Resource) Release(n int) {
+	if n <= 0 || n > r.inUse {
+		panic(fmt.Sprintf("sim: release %d of %q (in use %d)", n, r.name, r.inUse))
+	}
+	r.inUse -= n
+	if r.inUse == 0 {
+		r.busyTotal += r.env.now - r.lastBusy
+	}
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		if r.inUse+w.n > r.cap {
+			break
+		}
+		r.waiters = r.waiters[1:]
+		r.grant(w.n, r.env.now-w.since)
+		r.env.wakeSoon(w.p)
+	}
+}
+
+// Use acquires n units, sleeps for d, and releases: the common pattern
+// of occupying a device for a fixed service time.
+func (r *Resource) Use(p *Proc, n int, d Time) {
+	r.Acquire(p, n)
+	p.Sleep(d)
+	r.Release(n)
+}
+
+// QueueLen returns the number of waiting processes.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Stats returns (acquisitions, total wait time, total busy time).
+// Busy time counts intervals during which at least one unit was held.
+func (r *Resource) Stats() (acquires uint64, waitTotal, busyTotal Time) {
+	busy := r.busyTotal
+	if r.inUse > 0 {
+		busy += r.env.now - r.lastBusy
+	}
+	return r.acquires, r.waitTotal, busy
+}

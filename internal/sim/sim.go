@@ -1,0 +1,215 @@
+// Package sim implements a deterministic discrete-event simulation
+// kernel with a process model, in the style of SimPy or OMNeT++.
+//
+// The kernel maintains a virtual clock in integer nanoseconds and an
+// event queue ordered by (time, insertion sequence). Simulated
+// activities are either plain callbacks (Env.At / Env.After) or
+// processes: goroutines created with Env.Go that may block on the
+// kernel's synchronization primitives (Proc.Sleep, Queue.Recv,
+// Resource.Acquire, Signal.Wait, ...).
+//
+// Exactly one process goroutine runs at a time; the scheduler and the
+// running process hand control back and forth over channels, so there
+// is never concurrent access to simulation state and every run with
+// the same inputs produces the identical event order. Wall-clock time
+// plays no role: a simulated microsecond costs whatever the host needs
+// to execute the model code.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point on the virtual clock, in nanoseconds.
+type Time = int64
+
+// Handy duration units, all in nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// Forever is a time later than any schedulable event; waiting until
+// Forever blocks a process for the rest of the simulation.
+const Forever Time = 1<<63 - 1
+
+// event is a scheduled callback.
+type event struct {
+	t      Time
+	seq    uint64
+	fn     func()
+	index  int  // heap index, -1 once popped
+	dead   bool // cancelled
+	frozen bool // already executing or executed
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Env is a simulation environment: one virtual clock, one event queue,
+// and the set of processes and primitives attached to it. An Env is
+// not safe for concurrent use from goroutines outside its control; all
+// interaction must happen from process goroutines it scheduled or from
+// the goroutine that calls Run.
+type Env struct {
+	now     Time
+	seq     uint64
+	pq      eventHeap
+	yield   chan struct{} // running proc -> scheduler
+	parked  map[*Proc]struct{}
+	current *Proc
+	closed  bool
+	steps   uint64
+	rng     *Rand
+}
+
+// NewEnv returns an environment with the clock at zero and the given
+// RNG seed (the seed fully determines any randomized model behaviour).
+func NewEnv(seed uint64) *Env {
+	return &Env{
+		yield:  make(chan struct{}),
+		parked: make(map[*Proc]struct{}),
+		rng:    NewRand(seed),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic random source.
+func (e *Env) Rand() *Rand { return e.rng }
+
+// Steps reports how many events have been executed so far.
+func (e *Env) Steps() uint64 { return e.steps }
+
+// Timer is a handle to a scheduled callback; it can be cancelled
+// before it fires.
+type Timer struct{ ev *event }
+
+// Cancel prevents the timer's callback from running. It reports
+// whether the callback was still pending (false if it already ran or
+// was already cancelled).
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.dead || t.ev.frozen {
+		return false
+	}
+	t.ev.dead = true
+	return true
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: the model has a bug.
+func (e *Env) At(t Time, fn func()) *Timer {
+	if e.closed {
+		return &Timer{}
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	ev := &event{t: t, seq: e.seq, fn: fn}
+	heap.Push(&e.pq, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Env) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Run executes events until the queue is empty and returns the final
+// virtual time.
+func (e *Env) Run() Time { return e.RunUntil(Forever) }
+
+// RunUntil executes events with timestamps <= deadline and returns the
+// virtual time after the last executed event (or deadline if events
+// remain). Events at exactly the deadline do run.
+func (e *Env) RunUntil(deadline Time) Time {
+	for len(e.pq) > 0 {
+		if e.pq[0].t > deadline {
+			e.now = deadline
+			return e.now
+		}
+		ev := heap.Pop(&e.pq).(*event)
+		if ev.dead {
+			continue
+		}
+		ev.frozen = true
+		e.now = ev.t
+		e.steps++
+		ev.fn()
+	}
+	return e.now
+}
+
+// Idle reports whether no events are pending.
+func (e *Env) Idle() bool { return len(e.pq) == 0 }
+
+// Close terminates the simulation: pending events are dropped and all
+// parked process goroutines are unwound (their blocking calls panic
+// with a private sentinel recovered by the process trampoline). After
+// Close the environment must not be used.
+func (e *Env) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.pq = nil
+	for p := range e.parked {
+		delete(e.parked, p)
+		p.killed = true
+		p.resume <- struct{}{}
+		<-e.yield
+	}
+}
+
+// wake transfers control to p immediately (we are inside the
+// scheduler's event callback) and returns when p blocks or finishes.
+func (e *Env) wake(p *Proc) {
+	delete(e.parked, p)
+	prev := e.current
+	e.current = p
+	p.resume <- struct{}{}
+	<-e.yield
+	e.current = prev
+}
+
+// wakeSoon schedules p to be woken by a fresh event at the current
+// time. This is how primitives hand the CPU to an unblocked process:
+// through the event queue, preserving deterministic FIFO order.
+func (e *Env) wakeSoon(p *Proc) {
+	e.After(0, func() { e.wake(p) })
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Chrome trace-event export: the recorded spans serialize into the
+// JSON array format that chrome://tracing and Perfetto load, with each
+// `Where` (host0, nic1, ...) shown as its own row. Virtual nanoseconds
+// map to trace microseconds at 1:1000.
+
+// chromeEvent is one complete event ("ph":"X") in the trace format.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+type chromeMeta struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// ChromeTrace renders the spans as Chrome trace-event JSON. All spans
+// share pid 1; each distinct Where becomes a named thread row, ordered
+// alphabetically so hosts and NICs group nicely.
+func (t *Tracer) ChromeTrace() ([]byte, error) {
+	if t == nil {
+		return []byte("[]"), nil
+	}
+	wheres := map[string]int{}
+	var names []string
+	for _, s := range t.Spans {
+		if _, ok := wheres[s.Where]; !ok {
+			wheres[s.Where] = 0
+			names = append(names, s.Where)
+		}
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		wheres[n] = i + 1
+	}
+	var events []any
+	for _, n := range names {
+		events = append(events, chromeMeta{
+			Name: "thread_name", Ph: "M", PID: 1, TID: wheres[n],
+			Args: map[string]any{"name": n},
+		})
+	}
+	for _, s := range t.Spans {
+		events = append(events, chromeEvent{
+			Name: s.Stage,
+			Cat:  "bcl",
+			Ph:   "X",
+			Ts:   float64(s.Start) / 1000,
+			Dur:  float64(s.Dur()) / 1000,
+			PID:  1,
+			TID:  wheres[s.Where],
+		})
+	}
+	return json.MarshalIndent(events, "", " ")
+}

@@ -1,0 +1,112 @@
+// Package trace records per-stage timeline spans on the virtual clock.
+// The protocol layers mark the stages of a message's journey — user
+// compose, kernel trap, PIO descriptor fill, NIC protocol processing,
+// wire time, receive-side DMA, completion polling — and the figure
+// harness turns the spans into the transmission/reception/latency
+// timeline breakdowns of the paper's Figures 5–7.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bcl/internal/sim"
+)
+
+// Span is one labelled interval on the virtual clock.
+type Span struct {
+	Stage string
+	Where string // "host0", "nic1", ...
+	Start sim.Time
+	End   sim.Time
+}
+
+// Dur returns the span length.
+func (s Span) Dur() sim.Time { return s.End - s.Start }
+
+// Tracer collects spans. A nil *Tracer is valid and records nothing,
+// so the fast paths stay clean of conditionals.
+type Tracer struct {
+	Spans []Span
+}
+
+// New returns an empty tracer.
+func New() *Tracer { return &Tracer{} }
+
+// Add records a span.
+func (t *Tracer) Add(stage, where string, start, end sim.Time) {
+	if t == nil {
+		return
+	}
+	t.Spans = append(t.Spans, Span{Stage: stage, Where: where, Start: start, End: end})
+}
+
+// Do runs fn and records its duration as a span (using the process
+// clock).
+func (t *Tracer) Do(p *sim.Proc, stage, where string, fn func()) {
+	if t == nil {
+		fn()
+		return
+	}
+	start := p.Now()
+	fn()
+	t.Add(stage, where, start, p.Now())
+}
+
+// Reset drops all recorded spans.
+func (t *Tracer) Reset() {
+	if t != nil {
+		t.Spans = t.Spans[:0]
+	}
+}
+
+// Totals sums span durations by stage, preserving first-seen order.
+func (t *Tracer) Totals() ([]string, map[string]sim.Time) {
+	if t == nil {
+		return nil, nil
+	}
+	var order []string
+	totals := make(map[string]sim.Time)
+	for _, s := range t.Spans {
+		if _, ok := totals[s.Stage]; !ok {
+			order = append(order, s.Stage)
+		}
+		totals[s.Stage] += s.Dur()
+	}
+	return order, totals
+}
+
+// Timeline renders the spans as a text timeline sorted by start time,
+// one line per span with offsets in microseconds — the moral
+// equivalent of the paper's timeline figures.
+func (t *Tracer) Timeline() string {
+	if t == nil || len(t.Spans) == 0 {
+		return "(no spans)\n"
+	}
+	spans := append([]Span(nil), t.Spans...)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	base := spans[0].Start
+	var b strings.Builder
+	for _, s := range spans {
+		fmt.Fprintf(&b, "%9.2fus  %-28s %-7s %8.2fus\n",
+			float64(s.Start-base)/1000, s.Stage, s.Where, float64(s.Dur())/1000)
+	}
+	return b.String()
+}
+
+// StageBreakdown renders per-stage totals with percentages of the
+// given whole.
+func (t *Tracer) StageBreakdown(total sim.Time) string {
+	order, totals := t.Totals()
+	var b strings.Builder
+	for _, stage := range order {
+		d := totals[stage]
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(d) / float64(total)
+		}
+		fmt.Fprintf(&b, "  %-28s %8.2fus  %5.1f%%\n", stage, float64(d)/1000, pct)
+	}
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"bcl/internal/sim"
+)
+
+// jsonUnmarshal keeps the test body terse.
+func jsonUnmarshal(b []byte, v any) error { return json.Unmarshal(b, v) }
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Add("x", "y", 0, 10) // must not panic
+	env := sim.NewEnv(1)
+	ran := false
+	env.Go("p", func(p *sim.Proc) {
+		tr.Do(p, "stage", "host", func() { ran = true })
+	})
+	env.Run()
+	if !ran {
+		t.Fatal("nil tracer skipped the body")
+	}
+	if order, totals := tr.Totals(); order != nil || totals != nil {
+		t.Fatal("nil tracer returned data")
+	}
+}
+
+func TestDoRecordsSpan(t *testing.T) {
+	tr := New()
+	env := sim.NewEnv(1)
+	env.Go("p", func(p *sim.Proc) {
+		p.Sleep(5)
+		tr.Do(p, "work", "host0", func() { p.Sleep(42) })
+	})
+	env.Run()
+	if len(tr.Spans) != 1 {
+		t.Fatalf("spans = %d", len(tr.Spans))
+	}
+	s := tr.Spans[0]
+	if s.Stage != "work" || s.Where != "host0" || s.Start != 5 || s.End != 47 || s.Dur() != 42 {
+		t.Fatalf("span = %+v", s)
+	}
+}
+
+func TestTotalsPreserveOrderAndSum(t *testing.T) {
+	tr := New()
+	tr.Add("b", "x", 0, 10)
+	tr.Add("a", "x", 10, 30)
+	tr.Add("b", "x", 30, 35)
+	order, totals := tr.Totals()
+	if len(order) != 2 || order[0] != "b" || order[1] != "a" {
+		t.Fatalf("order = %v", order)
+	}
+	if totals["b"] != 15 || totals["a"] != 20 {
+		t.Fatalf("totals = %v", totals)
+	}
+}
+
+func TestTimelineFormatting(t *testing.T) {
+	tr := New()
+	tr.Add("second", "nic0", 2000, 3000)
+	tr.Add("first", "host0", 0, 1000)
+	out := tr.Timeline()
+	// Sorted by start; offsets relative to the first span.
+	if !strings.Contains(out, "first") || !strings.Contains(out, "second") {
+		t.Fatalf("timeline missing stages:\n%s", out)
+	}
+	if strings.Index(out, "first") > strings.Index(out, "second") {
+		t.Fatal("timeline not sorted by start time")
+	}
+	if !strings.Contains(out, "0.00us") || !strings.Contains(out, "2.00us") {
+		t.Fatalf("offsets wrong:\n%s", out)
+	}
+	empty := New()
+	if empty.Timeline() != "(no spans)\n" {
+		t.Fatal("empty timeline wrong")
+	}
+}
+
+func TestStageBreakdownPercentages(t *testing.T) {
+	tr := New()
+	tr.Add("half", "x", 0, 50)
+	tr.Add("other", "x", 50, 100)
+	out := tr.StageBreakdown(100)
+	if !strings.Contains(out, "50.0%") {
+		t.Fatalf("breakdown missing percentage:\n%s", out)
+	}
+	// Zero total must not divide by zero.
+	if out := tr.StageBreakdown(0); !strings.Contains(out, "0.0%") {
+		t.Fatalf("zero-total breakdown:\n%s", out)
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := New()
+	tr.Add("x", "y", 0, 1)
+	tr.Reset()
+	if len(tr.Spans) != 0 {
+		t.Fatal("reset did not clear spans")
+	}
+	var nilTr *Tracer
+	nilTr.Reset() // must not panic
+}
+
+func TestChromeTrace(t *testing.T) {
+	tr := New()
+	tr.Add("send", "host0", 100, 500)
+	tr.Add("recv", "nic1", 600, 900)
+	out, err := tr.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := jsonUnmarshal(out, &events); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	// 2 thread-name metadata + 2 spans.
+	if len(events) != 4 {
+		t.Fatalf("events = %d, want 4", len(events))
+	}
+	var spanCount int
+	for _, e := range events {
+		if e["ph"] == "X" {
+			spanCount++
+			if e["ts"].(float64) < 0.09 {
+				t.Fatalf("ts wrong: %v", e["ts"])
+			}
+		}
+	}
+	if spanCount != 2 {
+		t.Fatalf("span events = %d", spanCount)
+	}
+	var nilTr *Tracer
+	if out, err := nilTr.ChromeTrace(); err != nil || string(out) != "[]" {
+		t.Fatalf("nil tracer chrome = %q, %v", out, err)
+	}
+}

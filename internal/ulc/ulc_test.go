@@ -1,0 +1,162 @@
+package ulc
+
+import (
+	"bytes"
+	"testing"
+
+	"bcl/internal/cluster"
+	"bcl/internal/nic"
+	"bcl/internal/sim"
+)
+
+func setup(t *testing.T) (*cluster.Cluster, *Port, *Port) {
+	t.Helper()
+	c := cluster.New(cluster.Config{Nodes: 2, NIC: NICConfig()})
+	sys := NewSystem(c)
+	var a, b *Port
+	c.Env.Go("setup", func(p *sim.Proc) {
+		var err error
+		a, err = sys.Open(p, c.Nodes[0], c.Nodes[0].Kernel.Spawn(), 32)
+		if err != nil {
+			t.Error(err)
+		}
+		b, err = sys.Open(p, c.Nodes[1], c.Nodes[1].Kernel.Spawn(), 32)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	c.Env.RunUntil(10 * sim.Millisecond)
+	if a == nil || b == nil {
+		t.Fatal("setup failed")
+	}
+	return c, a, b
+}
+
+func TestUserLevelSendNoTraps(t *testing.T) {
+	c, a, b := setup(t)
+	payload := []byte("no kernel here")
+	const iters = 4
+	var got []byte
+	var warmWay sim.Time
+	sendAt := make([]sim.Time, iters)
+	ch := b.CreateChannel()
+	c.Env.Go("b", func(p *sim.Proc) {
+		// A fixed, registered receive buffer: after the first message
+		// both NIC translation caches are warm — the steady state.
+		rva := b.Process().Space.Alloc(64)
+		b.Register(p, rva, 64)
+		b.PostRecv(p, ch, rva, 64)
+		for i := 0; i < iters; i++ {
+			ev := b.WaitRecv(p)
+			warmWay = p.Now() - sendAt[i]
+			if i == 0 {
+				got, _ = b.Process().Space.Read(rva, ev.Len)
+			}
+			if i < iters-1 {
+				b.PostRecv(p, ch, rva, 64)
+			}
+		}
+	})
+	c.Env.Go("a", func(p *sim.Proc) {
+		va := a.Process().Space.Alloc(64)
+		a.Process().Space.Write(va, payload)
+		if err := a.Register(p, va, 64); err != nil { // one registration trap, off the fast path
+			t.Error(err)
+		}
+		p.Sleep(50 * sim.Microsecond)
+		base := c.Nodes[0].Kernel.Stats().Traps
+		for i := 0; i < iters; i++ {
+			sendAt[i] = p.Now()
+			if _, err := a.Send(p, b.Addr(), ch, va, len(payload), 9); err != nil {
+				t.Error(err)
+			}
+			a.WaitSend(p)
+			p.Sleep(100 * sim.Microsecond) // receiver re-posts meanwhile
+		}
+		if got := c.Nodes[0].Kernel.Stats().Traps - base; got != 0 {
+			t.Errorf("user-level sends trapped %d times", got)
+		}
+	})
+	c.Env.RunUntil(sim.Second)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q", got)
+	}
+	// User-level one-way sits below BCL's ~18.3-18.9 µs: the send-side
+	// trap is gone, partly offset by NIC-side translation lookups.
+	// (The paper's full 22% gap shows up in the Figure 7 ping-pong
+	// methodology, where the receive re-posting trap is also on the
+	// loop; the bench harness reproduces that.)
+	if warmWay < 15*sim.Microsecond || warmWay > 19500 {
+		t.Fatalf("user-level warm one-way = %.2f µs, want ~16-19 µs", float64(warmWay)/1000)
+	}
+}
+
+func TestUnregisteredBufferRejectedByLibraryOnly(t *testing.T) {
+	c, a, b := setup(t)
+	c.Env.Go("a", func(p *sim.Proc) {
+		va := a.Process().Space.Alloc(64)
+		// Honest library: refuses unregistered buffer.
+		if _, err := a.Send(p, b.Addr(), SystemChannel, va, 64, 0); err != ErrNotRegistered {
+			t.Errorf("library check returned %v", err)
+		}
+		// A malicious user bypasses the library: the bad descriptor
+		// reaches the firmware, which can only fail it asynchronously
+		// (the unpinned page makes the DMA fault). Nothing stopped the
+		// request from reaching shared NIC state.
+		a.SendUnchecked(p, b.Addr(), SystemChannel, va, 64, 0)
+		ev := a.WaitSend(p)
+		if ev.Type != nic.EvSendFailed {
+			t.Errorf("unchecked send event = %v, want failure at the NIC", ev.Type)
+		}
+	})
+	c.Env.RunUntil(sim.Second)
+	if st := c.Nodes[0].NIC.Stats(); st.MsgsSent == 0 {
+		t.Fatal("unchecked descriptor never reached the NIC")
+	}
+	if rejects := c.Nodes[0].Kernel.Stats().SecurityRejects; rejects != 0 {
+		t.Fatalf("kernel saw %d rejects; user-level bypasses the kernel entirely", rejects)
+	}
+}
+
+func TestTLBThrashingOnLargeWorkingSet(t *testing.T) {
+	// A working set far beyond the NIC's translation cache forces
+	// misses on nearly every page — the paper's argument against
+	// NIC-side translation for large-memory nodes.
+	c := cluster.New(cluster.Config{Nodes: 2,
+		NIC: nic.Config{Translate: nic.NICTranslated, Completion: nic.UserEventQueue, Reliable: true, TLBEntries: 8}})
+	sys := NewSystem(c)
+	var a, b *Port
+	c.Env.Go("setup", func(p *sim.Proc) {
+		a, _ = sys.Open(p, c.Nodes[0], c.Nodes[0].Kernel.Spawn(), 8)
+		b, _ = sys.Open(p, c.Nodes[1], c.Nodes[1].Kernel.Spawn(), 8)
+	})
+	c.Env.RunUntil(10 * sim.Millisecond)
+	const n = 64 * 1024 // 16 pages > 8 TLB entries
+	done := false
+	c.Env.Go("b", func(p *sim.Proc) {
+		va := b.Process().Space.Alloc(n)
+		b.Register(p, va, n)
+		ch := b.CreateChannel()
+		_ = ch
+		b.PostRecv(p, 1, va, n)
+		b.WaitRecv(p)
+		done = true
+	})
+	c.Env.Go("a", func(p *sim.Proc) {
+		va := a.Process().Space.Alloc(n)
+		a.Register(p, va, n)
+		p.Sleep(50 * sim.Microsecond)
+		// Two passes over the same buffer: the second should still
+		// miss because 16 pages thrash an 8-entry cache.
+		a.Send(p, Addr{Node: 1, Port: b.Addr().Port}, 1, va, n, 0)
+		a.WaitSend(p)
+	})
+	c.Env.RunUntil(sim.Second)
+	if !done {
+		t.Fatal("transfer did not complete")
+	}
+	st := c.Nodes[0].NIC.Stats()
+	if st.TLBMisses < 16 {
+		t.Fatalf("TLB misses = %d, want >= 16 (one per page)", st.TLBMisses)
+	}
+}

@@ -1,0 +1,160 @@
+// Package workloads contains the verified machine-scale workloads the
+// dawning command runs: MPI collectives, a point-to-point ring, and a
+// DSM histogram. Each returns a description string and an error if the
+// computed results are wrong — the workloads are self-checking, so a
+// communication bug anywhere in the stack surfaces as a failure, not
+// as a silently wrong number.
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"bcl"
+)
+
+// Params configures a workload run.
+type Params struct {
+	Ranks int
+	Iters int
+	Count int // elements (collectives) / messages (ring) / scaled inserts (dsm)
+}
+
+// placementFor spreads ranks round-robin over the machine's nodes.
+func placementFor(m *bcl.Machine, ranks int) []int {
+	placement := make([]int, ranks)
+	for i := range placement {
+		placement[i] = i % m.Nodes()
+	}
+	return placement
+}
+
+// Collectives runs iterated allreduce + rotating-root bcast and
+// verifies the arithmetic on every rank.
+func Collectives(m *bcl.Machine, pr Params) (string, error) {
+	n := pr.Count
+	results := make([]float64, pr.Ranks)
+	m.StartMPI(pr.Ranks, placementFor(m, pr.Ranks), func(p *bcl.Proc, comm *bcl.MPIComm) {
+		sp := comm.Device().Port().Process().Space
+		send := sp.Alloc(n * 8)
+		recv := sp.Alloc(n * 8)
+		buf := make([]byte, n*8)
+		for e := 0; e < n; e++ {
+			binary.LittleEndian.PutUint64(buf[e*8:], math.Float64bits(float64(comm.Rank()+1)))
+		}
+		sp.Write(send, buf)
+		comm.Barrier(p)
+		for it := 0; it < pr.Iters; it++ {
+			if err := comm.Allreduce(p, send, recv, n, bcl.MPIFloat64, bcl.MPISum); err != nil {
+				panic(err)
+			}
+			if err := comm.Bcast(p, recv, n*8, it%comm.Size()); err != nil {
+				panic(err)
+			}
+		}
+		comm.Barrier(p)
+		out, _ := sp.Read(recv, 8)
+		results[comm.Rank()] = math.Float64frombits(binary.LittleEndian.Uint64(out))
+	})
+	m.Run()
+	want := float64(pr.Ranks) * float64(pr.Ranks+1) / 2
+	for r, v := range results {
+		if math.Abs(v-want) > 1e-6 {
+			return "", fmt.Errorf("rank %d allreduce = %v, want %v", r, v, want)
+		}
+	}
+	return fmt.Sprintf("%d x (allreduce %d doubles + bcast)", pr.Iters, n), nil
+}
+
+// Ring streams checksummed 1 KB messages around a rank ring.
+func Ring(m *bcl.Machine, pr Params) (string, error) {
+	nr := pr.Ranks
+	msgs := pr.Count
+	if msgs > 512 {
+		msgs = 512
+	}
+	checks := make([]uint64, nr)
+	m.StartMPI(nr, placementFor(m, nr), func(p *bcl.Proc, comm *bcl.MPIComm) {
+		rank := comm.Rank()
+		right := (rank + 1) % nr
+		left := (rank - 1 + nr) % nr
+		sp := comm.Device().Port().Process().Space
+		sbuf := sp.Alloc(2048)
+		rbuf := sp.Alloc(2048)
+		payload := make([]byte, 1024)
+		var sum uint64
+		for it := 0; it < pr.Iters; it++ {
+			for i := 0; i < msgs; i++ {
+				for j := range payload {
+					payload[j] = byte(rank + i + j)
+				}
+				sp.Write(sbuf, payload)
+				if _, err := comm.Sendrecv(p, sbuf, len(payload), right, i,
+					rbuf, 2048, left, i); err != nil {
+					panic(err)
+				}
+				got, _ := sp.Read(rbuf, len(payload))
+				for j := range got {
+					if got[j] != byte(left+i+j) {
+						panic("ring payload corrupted")
+					}
+					sum += uint64(got[j])
+				}
+			}
+		}
+		checks[rank] = sum
+	})
+	m.Run()
+	for r, c := range checks {
+		if c == 0 {
+			return "", fmt.Errorf("rank %d moved no data", r)
+		}
+	}
+	return fmt.Sprintf("%d x %d-message ring of 1KB payloads", pr.Iters, msgs), nil
+}
+
+// DSMHistogram runs lock-protected inserts into a shared histogram
+// over the JIAJIA layer.
+func DSMHistogram(m *bcl.Machine, pr Params) (string, error) {
+	nr := pr.Ranks
+	const buckets = 16
+	inserts := pr.Count / 4
+	if inserts < 8 {
+		inserts = 8
+	}
+	done := make([]bool, nr)
+	var total uint64
+	m.StartDSM(nr, placementFor(m, nr), 64*1024, func(p *bcl.Proc, dsm *bcl.DSM) {
+		rank := dsm.Rank()
+		for i := 0; i < inserts; i++ {
+			b := (rank*13 + i*7) % buckets
+			if err := dsm.Acquire(p, b); err != nil {
+				panic(err)
+			}
+			v, _ := dsm.ReadUint64(p, 8*b)
+			dsm.WriteUint64(p, 8*b, v+1)
+			if err := dsm.Release(p, b); err != nil {
+				panic(err)
+			}
+		}
+		dsm.Barrier(p)
+		if rank == 0 {
+			for b := 0; b < buckets; b++ {
+				v, _ := dsm.ReadUint64(p, 8*b)
+				total += v
+			}
+		}
+		done[rank] = true
+	})
+	m.Run()
+	for r, d := range done {
+		if !d {
+			return "", fmt.Errorf("DSM rank %d stuck", r)
+		}
+	}
+	if total != uint64(nr*inserts) {
+		return "", fmt.Errorf("histogram total %d, want %d", total, nr*inserts)
+	}
+	return fmt.Sprintf("shared histogram, %d lock-protected inserts per rank", inserts), nil
+}

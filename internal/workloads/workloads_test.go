@@ -1,0 +1,55 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"bcl"
+)
+
+func TestCollectivesVerified(t *testing.T) {
+	m := bcl.NewMachine(bcl.MachineConfig{Nodes: 4})
+	desc, err := Collectives(m, Params{Ranks: 8, Iters: 2, Count: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(desc, "allreduce 64 doubles") {
+		t.Fatalf("desc = %q", desc)
+	}
+}
+
+func TestRingVerified(t *testing.T) {
+	m := bcl.NewMachine(bcl.MachineConfig{Nodes: 3})
+	desc, err := Ring(m, Params{Ranks: 6, Iters: 1, Count: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(desc, "16-message ring") {
+		t.Fatalf("desc = %q", desc)
+	}
+}
+
+func TestDSMHistogramVerified(t *testing.T) {
+	m := bcl.NewMachine(bcl.MachineConfig{Nodes: 4})
+	desc, err := DSMHistogram(m, Params{Ranks: 4, Count: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(desc, "16 lock-protected inserts") {
+		t.Fatalf("desc = %q", desc)
+	}
+}
+
+func TestWorkloadsOverMesh(t *testing.T) {
+	m := bcl.NewMachine(bcl.MachineConfig{Nodes: 9, Fabric: bcl.Mesh})
+	if _, err := Collectives(m, Params{Ranks: 9, Iters: 1, Count: 32}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadsOverHetero(t *testing.T) {
+	m := bcl.NewMachine(bcl.MachineConfig{Nodes: 8, Fabric: bcl.Hetero})
+	if _, err := Ring(m, Params{Ranks: 8, Iters: 1, Count: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
