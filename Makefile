@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test race short bench experiments examples tools clean
+.PHONY: all test race short bench experiments chaos examples tools clean
 
 all: test
 
@@ -23,6 +23,13 @@ bench:
 # "Full output" section is this, captured).
 experiments:
 	$(GO) run ./cmd/bclbench all
+
+# Deterministic chaos soak: seeded outage schedule over a dual-rail
+# cluster; the report runs the simulation twice and checks the digests
+# match. Override the schedule with CHAOS_SEED=<n>.
+CHAOS_SEED ?= 1
+chaos:
+	$(GO) run ./cmd/bclbench -seed $(CHAOS_SEED) chaos
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -19,8 +19,9 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	seed := flag.Uint64("seed", 1, "fault-schedule seed for the chaos experiment")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bclbench [-list] all | <experiment> ...\n")
+		fmt.Fprintf(os.Stderr, "usage: bclbench [-list] [-seed N] all | <experiment> ...\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(bench.IDs(), " "))
 	}
 	flag.Parse()
@@ -40,7 +41,12 @@ func main() {
 		reports = bench.All()
 	} else {
 		for _, id := range args {
-			r := bench.ByID(id)
+			var r *bench.Report
+			if strings.EqualFold(id, "chaos") {
+				r = bench.ChaosSeeded(*seed)
+			} else {
+				r = bench.ByID(id)
+			}
 			if r == nil {
 				fmt.Fprintf(os.Stderr, "bclbench: unknown experiment %q\n", id)
 				os.Exit(2)

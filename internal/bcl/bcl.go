@@ -188,6 +188,17 @@ func (pt *Port) Node() *node.Node { return pt.node }
 // Process returns the owning process.
 func (pt *Port) Process() *oskernel.Process { return pt.proc }
 
+// PeerHealthy reports the local NIC firmware's liveness belief about
+// a remote node: false once retry exhaustion marked it Dead, true
+// again after probe-based recovery. The local node is always healthy
+// (intra-node traffic never touches the fabric).
+func (pt *Port) PeerHealthy(node int) bool {
+	if node == pt.addr.Node {
+		return true
+	}
+	return pt.node.NIC.PeerHealthy(node)
+}
+
 // Tracer returns the port's tracer (may be nil).
 func (pt *Port) Tracer() *trace.Tracer { return pt.tr }
 

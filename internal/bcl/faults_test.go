@@ -23,14 +23,17 @@ func TestBidirectionalTrafficUnderMixedFaults(t *testing.T) {
 	// can phase-lock with the deterministic retransmission schedule and
 	// starve a flow past its retry budget, which is not the behaviour
 	// under test here.
-	tb.c.Fabric.SetFault(func(env *sim.Env, pkt *fabric.Packet) bool {
+	tb.c.Fabric.SetFault(func(env *sim.Env, pkt *fabric.Packet) fabric.Verdict {
 		if pkt.Kind != fabric.KindData {
-			return false
+			return fabric.Deliver
 		}
 		if len(pkt.Payload) > 0 && env.Rand().Bool(0.08) {
 			pkt.Payload[0] ^= 0x55 // corrupt: CRC will catch it
 		}
-		return env.Rand().Bool(0.08) // drop
+		if env.Rand().Bool(0.08) { // drop
+			return fabric.Drop
+		}
+		return fabric.Deliver
 	})
 	a, b := tb.ports[0], tb.ports[1]
 	const msgs = 10

@@ -50,7 +50,7 @@ func All() []*Report {
 		Figure8(), Figure9(), Table2(), Table3(), Fabrics(), Scale(),
 		AblationPIO(), AblationCPU(), AblationReliability(),
 		AblationKernelPath(), AblationPipeline(), AblationWindow(),
-		AblationIntraPath(),
+		AblationIntraPath(), Chaos(),
 	}
 }
 
@@ -93,6 +93,8 @@ func ByID(id string) *Report {
 		return Scale()
 	case "ablation-intrapath":
 		return AblationIntraPath()
+	case "chaos":
+		return Chaos()
 	}
 	return nil
 }
@@ -100,7 +102,7 @@ func ByID(id string) *Report {
 // IDs lists the experiment ids.
 func IDs() []string {
 	ids := []string{"table1", "overheads", "fig5", "fig6", "fig7", "fig8",
-		"fig9", "table2", "table3", "fabrics", "scale", "ablation-pio",
+		"fig9", "table2", "table3", "fabrics", "scale", "chaos", "ablation-pio",
 		"ablation-cpu", "ablation-reliability", "ablation-kernelpath",
 		"ablation-pipeline", "ablation-window", "ablation-intrapath"}
 	sort.Strings(ids)

@@ -486,3 +486,39 @@ func Table3() *Report {
 	r.metric("pvm_inter_mbps", rows[2].interBW)
 	return r
 }
+
+// ------------------------------------------------- fault-path counters
+
+// sumFaultCounters totals the fault-path NIC counters (retransmits,
+// failures, fail-fasts, backoff arms, probes, peer deaths/recoveries)
+// over every node in the cluster, so chaos and outage reports can
+// print one line per counter instead of one table per node.
+func sumFaultCounters(c *cluster.Cluster) chaosCounters {
+	var s chaosCounters
+	for _, nd := range c.Nodes {
+		st := nd.NIC.Stats()
+		s.retransmits += st.Retransmits
+		s.sendFailures += st.SendFailures
+		s.fastFails += st.FastFails
+		s.backoffs += st.Backoffs
+		s.probes += st.Probes
+		s.peerDeaths += st.PeerDeaths
+		s.peerRecoveries += st.PeerRecoveries
+	}
+	return s
+}
+
+// faultCountersText renders the summed counters as a block of report
+// text.
+func faultCountersText(s chaosCounters) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %12s\n", "nic counters (all nodes)", "")
+	fmt.Fprintf(&b, "%-28s %12d\n", "  retransmits", s.retransmits)
+	fmt.Fprintf(&b, "%-28s %12d\n", "  send failures", s.sendFailures)
+	fmt.Fprintf(&b, "%-28s %12d\n", "  fast-fails (peer dead)", s.fastFails)
+	fmt.Fprintf(&b, "%-28s %12d\n", "  backoff arms", s.backoffs)
+	fmt.Fprintf(&b, "%-28s %12d\n", "  probes", s.probes)
+	fmt.Fprintf(&b, "%-28s %12d\n", "  peer deaths", s.peerDeaths)
+	fmt.Fprintf(&b, "%-28s %12d\n", "  peer recoveries", s.peerRecoveries)
+	return b.String()
+}

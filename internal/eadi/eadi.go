@@ -220,7 +220,11 @@ func (d *Device) sendRndv(p *sim.Proc, dst, ctx, tag int, va mem.VAddr, n int) e
 		packTag(kindRTS, ctx, tag, st.id)); err != nil {
 		return err
 	}
-	d.port.WaitSend(p)
+	if ev := d.port.WaitSend(p); ev.Type == nic.EvSendFailed {
+		// A failed RTS means no CTS will ever come; waiting for it
+		// would hang the rank forever.
+		return fmt.Errorf("eadi: rendezvous RTS to %d failed", dst)
+	}
 
 	// Drive progress until the CTS names the data channel.
 	for !st.gotCTS {
@@ -233,7 +237,9 @@ func (d *Device) sendRndv(p *sim.Proc, dst, ctx, tag int, va mem.VAddr, n int) e
 		if _, err := d.port.Send(p, d.addrs[dst], st.ctsChan, va, n, packTag(kindFIN, ctx, tag, st.id)); err != nil {
 			return err
 		}
-		d.port.WaitSend(p)
+		if ev := d.port.WaitSend(p); ev.Type == nic.EvSendFailed {
+			return fmt.Errorf("eadi: rendezvous data to %d failed", dst)
+		}
 		return nil
 	}
 
@@ -261,7 +267,9 @@ func (d *Device) sendRndv(p *sim.Proc, dst, ctx, tag int, va mem.VAddr, n int) e
 		packTag(kindFIN, ctx, tag, st.id)); err != nil {
 		return err
 	}
-	d.port.WaitSend(p)
+	if ev := d.port.WaitSend(p); ev.Type == nic.EvSendFailed {
+		return fmt.Errorf("eadi: rendezvous FIN to %d failed", dst)
+	}
 	return nil
 }
 
@@ -458,7 +466,10 @@ func (d *Device) acceptRndvInto(p *sim.Proc, rts *rtsInfo, ctx, tag int, pr *pen
 		packTag(kindCTS, ctx, tag, rts.sendID)); err != nil {
 		return nil, err
 	}
-	d.port.WaitSend(p)
+	if ev := d.port.WaitSend(p); ev.Type == nic.EvSendFailed {
+		delete(d.rndvRecvs, ch)
+		return nil, fmt.Errorf("eadi: rendezvous CTS to %d failed", rts.src)
+	}
 	return rr, nil
 }
 

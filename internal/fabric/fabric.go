@@ -28,6 +28,8 @@ const (
 	KindNack                       // receiver cannot accept (no buffer); retransmit later
 	KindRMARead                    // RMA read request (open channel)
 	KindRMAWrite                   // RMA write payload fragment (open channel)
+	KindProbe                      // peer-health probe (firmware liveness check)
+	KindProbeAck                   // probe reply: the peer is reachable again
 )
 
 func (k PacketKind) String() string {
@@ -42,6 +44,10 @@ func (k PacketKind) String() string {
 		return "RMA-READ"
 	case KindRMAWrite:
 		return "RMA-WRITE"
+	case KindProbe:
+		return "PROBE"
+	case KindProbeAck:
+		return "PROBE-ACK"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -88,19 +94,32 @@ func (p *Packet) Seal() { p.CRC = crc32.ChecksumIEEE(p.Payload) }
 // Verify reports whether the payload matches the stored CRC.
 func (p *Packet) Verify() bool { return crc32.ChecksumIEEE(p.Payload) == p.CRC }
 
+// Verdict is a fault hook's decision about one packet.
+type Verdict uint8
+
+// Fault verdicts.
+const (
+	Deliver   Verdict = iota // forward the packet normally
+	Drop                     // lose the packet in the fabric
+	Duplicate                // deliver the packet twice (switch misbehaviour)
+)
+
 // Fault is a fault-injection hook. It may mutate the packet (corrupt
-// bytes) and reports whether the packet should be dropped entirely.
-type Fault func(env *sim.Env, pkt *Packet) (drop bool)
+// bytes) and returns a verdict: deliver, drop, or duplicate.
+type Fault func(env *sim.Env, pkt *Packet) Verdict
 
 // DropEvery returns a Fault dropping every nth data packet.
 func DropEvery(n int) Fault {
 	count := 0
-	return func(_ *sim.Env, pkt *Packet) bool {
+	return func(_ *sim.Env, pkt *Packet) Verdict {
 		if pkt.Kind != KindData {
-			return false
+			return Deliver
 		}
 		count++
-		return count%n == 0
+		if count%n == 0 {
+			return Drop
+		}
+		return Deliver
 	}
 }
 
@@ -108,26 +127,45 @@ func DropEvery(n int) Fault {
 // packet with a non-empty payload.
 func CorruptEvery(n int) Fault {
 	count := 0
-	return func(_ *sim.Env, pkt *Packet) bool {
+	return func(_ *sim.Env, pkt *Packet) Verdict {
 		if pkt.Kind != KindData || len(pkt.Payload) == 0 {
-			return false
+			return Deliver
 		}
 		count++
 		if count%n == 0 {
 			pkt.Payload[0] ^= 0xff
 		}
-		return false
+		return Deliver
+	}
+}
+
+// DuplicateEvery returns a Fault duplicating every nth data packet:
+// the fabric delivers two copies, exercising receiver-side dedup.
+func DuplicateEvery(n int) Fault {
+	count := 0
+	return func(_ *sim.Env, pkt *Packet) Verdict {
+		if pkt.Kind != KindData {
+			return Deliver
+		}
+		count++
+		if count%n == 0 {
+			return Duplicate
+		}
+		return Deliver
 	}
 }
 
 // RandomLoss returns a Fault dropping data packets with probability p,
 // using the environment's deterministic RNG.
 func RandomLoss(p float64) Fault {
-	return func(env *sim.Env, pkt *Packet) bool {
+	return func(env *sim.Env, pkt *Packet) Verdict {
 		if pkt.Kind != KindData {
-			return false
+			return Deliver
 		}
-		return env.Rand().Bool(p)
+		if env.Rand().Bool(p) {
+			return Drop
+		}
+		return Deliver
 	}
 }
 
@@ -167,6 +205,9 @@ type Fabric interface {
 	Nodes() int
 	// SetFault installs a fault-injection hook (nil clears it).
 	SetFault(f Fault)
+	// NodeDown reports whether the node's fabric attachment is inside
+	// an outage window at the current virtual time.
+	NodeDown(node int) bool
 	// Name identifies the fabric type for traces and tables.
 	Name() string
 }
@@ -179,6 +220,19 @@ type link struct {
 	lat  sim.Time // propagation + switch cut-through latency at this hop
 }
 
+// outage is one closed-open virtual-time window [from, to) during
+// which a component is down.
+type outage struct{ from, to sim.Time }
+
+func downAt(ws []outage, t sim.Time) bool {
+	for _, w := range ws {
+		if t >= w.from && t < w.to {
+			return true
+		}
+	}
+	return false
+}
+
 // Network is the generic routed-fabric engine. Concrete topologies add
 // links and routes, then expose it through the Fabric interface.
 type Network struct {
@@ -189,8 +243,13 @@ type Network struct {
 	routes    map[[2]int][]int // (src,dst) -> link ids, including injection link
 	fault     Fault
 
-	delivered uint64
-	dropped   uint64
+	nodeOut map[int][]outage // per-node link outage windows
+	allOut  []outage         // whole-fabric (switch/rail) outage windows
+
+	delivered   uint64
+	dropped     uint64
+	duplicated  uint64
+	outageDrops uint64
 }
 
 // NewNetwork returns an empty network for n nodes.
@@ -244,33 +303,93 @@ func (n *Network) Name() string { return n.name }
 // SetFault implements Fabric.
 func (n *Network) SetFault(f Fault) { n.fault = f }
 
+// LinkDown schedules an outage of node's fabric attachment over the
+// virtual-time window [from, to): every packet entering or leaving the
+// node in that window is lost in the fabric.
+func (n *Network) LinkDown(node int, from, to sim.Time) {
+	if n.nodeOut == nil {
+		n.nodeOut = make(map[int][]outage)
+	}
+	n.nodeOut[node] = append(n.nodeOut[node], outage{from, to})
+}
+
+// AllDown schedules a whole-fabric outage (switch or rail failure)
+// over [from, to): no packet survives the fabric in that window.
+func (n *Network) AllDown(from, to sim.Time) {
+	n.allOut = append(n.allOut, outage{from, to})
+}
+
+// NodeDown implements Fabric: true while node's attachment (or the
+// whole fabric) is inside an outage window.
+func (n *Network) NodeDown(node int) bool {
+	now := n.env.Now()
+	return downAt(n.allOut, now) || downAt(n.nodeOut[node], now)
+}
+
 // Stats returns delivered and dropped packet counts.
 func (n *Network) Stats() (delivered, dropped uint64) { return n.delivered, n.dropped }
+
+// OutageDrops returns how many packets were lost to outage windows
+// (a subset of the dropped count).
+func (n *Network) OutageDrops() uint64 { return n.outageDrops }
+
+// Duplicated returns how many packets the fault hook duplicated.
+func (n *Network) Duplicated() uint64 { return n.duplicated }
+
+// clonePacket copies a packet (own payload) for duplicate delivery.
+func clonePacket(pkt *Packet) *Packet {
+	c := *pkt
+	if len(pkt.Payload) > 0 {
+		c.Payload = append([]byte(nil), pkt.Payload...)
+	}
+	return &c
+}
+
+// payInjection charges the caller the serialization time on the
+// injection link even though the packet dies: the bits left the NIC.
+func (n *Network) payInjection(p *sim.Proc, src int, pkt *Packet) {
+	if route := n.routes[[2]int{src, pkt.Dst}]; len(route) > 0 {
+		first := n.links[route[0]]
+		first.res.Use(p, 1, hw.TransferTime(pkt.WireSize(), first.bw))
+	}
+}
 
 // inject pushes pkt along its route. The caller holds the sending NIC;
 // it is blocked for the serialization time on the injection link.
 // Intra-node sends (src == dst, no route) deliver directly.
 func (n *Network) inject(p *sim.Proc, src int, pkt *Packet) {
 	pkt.Sent = n.env.Now()
+	dup := false
 	if n.fault != nil {
-		if n.fault(n.env, pkt) {
+		switch n.fault(n.env, pkt) {
+		case Drop:
 			n.dropped++
-			// The sender still pays the injection time: the bits left
-			// the NIC; they die somewhere in the fabric.
-			if route := n.routes[[2]int{src, pkt.Dst}]; len(route) > 0 {
-				first := n.links[route[0]]
-				first.res.Use(p, 1, hw.TransferTime(pkt.WireSize(), first.bw))
-			}
+			n.payInjection(p, src, pkt)
 			return
+		case Duplicate:
+			dup = true
+			n.duplicated++
 		}
 	}
 	route, ok := n.routes[[2]int{src, pkt.Dst}]
 	if !ok {
 		panic(fmt.Sprintf("fabric %s: no route %d->%d", n.name, src, pkt.Dst))
 	}
-	if len(route) == 0 { // loopback
+	if len(route) == 0 { // loopback: never touches the fabric
 		n.delivered++
 		n.endpoints[pkt.Dst].RX.Post(pkt)
+		if dup {
+			n.delivered++
+			n.endpoints[pkt.Dst].RX.Post(clonePacket(pkt))
+		}
+		return
+	}
+	// Outage: a packet leaving a downed attachment is lost at the first
+	// hop (the sender still serializes it out).
+	if n.NodeDown(src) {
+		n.dropped++
+		n.outageDrops++
+		n.payInjection(p, src, pkt)
 		return
 	}
 
@@ -296,10 +415,21 @@ func (n *Network) inject(p *sim.Proc, src int, pkt *Packet) {
 			n.env.After(t, func() { l.res.Release(1) })
 			fp.Sleep(l.lat)
 		}
+		// Outage: a packet arriving at a downed attachment is lost on
+		// the final hop.
+		if n.NodeDown(pkt.Dst) {
+			n.dropped++
+			n.outageDrops++
+			return
+		}
 		// With equal link bandwidths the tail follows the head
 		// continuously, so after the last hop latency the whole packet
 		// has arrived (its serialization was paid once, at injection).
 		n.delivered++
 		n.endpoints[pkt.Dst].RX.Post(pkt)
+		if dup {
+			n.delivered++
+			n.endpoints[pkt.Dst].RX.Post(clonePacket(pkt))
+		}
 	})
 }

@@ -247,6 +247,110 @@ func TestRandomLossDeterministic(t *testing.T) {
 	}
 }
 
+func TestFaultDuplicate(t *testing.T) {
+	env := sim.NewEnv(1)
+	net := twoNode(env, 160*hw.MBps, 100)
+	net.SetFault(DuplicateEvery(3))
+	received := 0
+	env.Go("rx", func(p *sim.Proc) {
+		for {
+			if _, ok := net.Attach(1).RX.RecvTimeout(p, sim.Millisecond); !ok {
+				return
+			}
+			received++
+		}
+	})
+	env.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < 9; i++ {
+			pkt := &Packet{Kind: KindData, Src: 0, Dst: 1, Payload: []byte{byte(i)}}
+			pkt.Seal()
+			net.Attach(0).Inject(p, pkt)
+		}
+	})
+	env.Run()
+	// 9 packets, every 3rd doubled: 12 arrivals.
+	if received != 12 {
+		t.Fatalf("received %d packets, want 12 (every 3rd duplicated)", received)
+	}
+	if net.Duplicated() != 3 {
+		t.Fatalf("duplicated = %d, want 3", net.Duplicated())
+	}
+}
+
+func TestOutageWindow(t *testing.T) {
+	env := sim.NewEnv(1)
+	net := twoNode(env, 160*hw.MBps, 100)
+	// Node 1's attachment is down for [1ms, 2ms).
+	net.LinkDown(1, sim.Millisecond, 2*sim.Millisecond)
+	var got []byte
+	env.Go("rx", func(p *sim.Proc) {
+		for {
+			pkt, ok := net.Attach(1).RX.RecvTimeout(p, 5*sim.Millisecond)
+			if !ok {
+				return
+			}
+			got = append(got, pkt.Payload[0])
+		}
+	})
+	send := func(p *sim.Proc, b byte) {
+		pkt := &Packet{Kind: KindData, Src: 0, Dst: 1, Payload: []byte{b}}
+		pkt.Seal()
+		net.Attach(0).Inject(p, pkt)
+	}
+	env.Go("tx", func(p *sim.Proc) {
+		send(p, 1) // before: delivered
+		if net.NodeDown(1) {
+			t.Error("node 1 down before the window")
+		}
+		p.SleepUntil(sim.Millisecond + 1)
+		if !net.NodeDown(1) {
+			t.Error("node 1 not down inside the window")
+		}
+		send(p, 2) // during: lost
+		p.SleepUntil(3 * sim.Millisecond)
+		if net.NodeDown(1) {
+			t.Error("node 1 still down after the window")
+		}
+		send(p, 3) // after: delivered
+	})
+	env.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("delivered payloads %v, want [1 3]", got)
+	}
+	if net.OutageDrops() != 1 {
+		t.Fatalf("outage drops = %d, want 1", net.OutageDrops())
+	}
+}
+
+func TestAllDownDropsEverything(t *testing.T) {
+	env := sim.NewEnv(1)
+	net := twoNode(env, 160*hw.MBps, 100)
+	net.AllDown(0, sim.Millisecond)
+	received := 0
+	env.Go("rx", func(p *sim.Proc) {
+		for {
+			if _, ok := net.Attach(1).RX.RecvTimeout(p, 2*sim.Millisecond); !ok {
+				return
+			}
+			received++
+		}
+	})
+	env.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			pkt := &Packet{Kind: KindData, Src: 0, Dst: 1, Payload: []byte{byte(i)}}
+			pkt.Seal()
+			net.Attach(0).Inject(p, pkt)
+		}
+	})
+	env.Run()
+	if received != 0 {
+		t.Fatalf("%d packets survived a whole-fabric outage", received)
+	}
+	if net.OutageDrops() != 4 {
+		t.Fatalf("outage drops = %d, want 4", net.OutageDrops())
+	}
+}
+
 // Property: ACK/NACK packets pass through any fault hook untouched
 // (the built-in hooks only target data packets).
 func TestQuickFaultsSpareControlPackets(t *testing.T) {
@@ -257,9 +361,9 @@ func TestQuickFaultsSpareControlPackets(t *testing.T) {
 			kind = KindNack
 		}
 		env := sim.NewEnv(uint64(nRaw))
-		for _, fault := range []Fault{DropEvery(n), CorruptEvery(n), RandomLoss(0.9)} {
+		for _, fault := range []Fault{DropEvery(n), CorruptEvery(n), DuplicateEvery(n), RandomLoss(0.9)} {
 			pkt := &Packet{Kind: kind, Payload: []byte{42}}
-			if fault(env, pkt) || pkt.Payload[0] != 42 {
+			if fault(env, pkt) != Deliver || pkt.Payload[0] != 42 {
 				return false
 			}
 		}

@@ -40,16 +40,26 @@ func SplitAt(split int) Policy {
 	}
 }
 
+// Rail is one physical network of the composite: a Fabric whose
+// outages can be scheduled (both myrinet and mesh satisfy it through
+// the embedded *fabric.Network).
+type Rail interface {
+	fabric.Fabric
+	LinkDown(node int, from, to sim.Time)
+	AllDown(from, to sim.Time)
+}
+
 // Fabric is the composite network.
 type Fabric struct {
 	env       *sim.Env
 	policy    Policy
-	rails     [2]fabric.Fabric
+	rails     [2]Rail
 	endpoints []*fabric.Endpoint
 	merged    []*sim.Queue[*fabric.Packet]
 
 	// Stats.
-	perRail [2]uint64
+	perRail   [2]uint64
+	failovers uint64
 }
 
 // New builds the composite for n nodes.
@@ -88,9 +98,22 @@ func (f *Fabric) newEndpoint(node int) *fabric.Endpoint {
 		if rail < 0 || rail > 1 {
 			panic(fmt.Sprintf("hetero: policy returned rail %d", rail))
 		}
+		// Failover: if the chosen rail is inside an outage window for
+		// either end of this packet and the other rail is not, reroute
+		// onto the survivor. When the primary recovers, the policy's
+		// verdict applies again automatically.
+		if f.railBlocked(rail, node, pkt.Dst) && !f.railBlocked(1-rail, node, pkt.Dst) {
+			rail = 1 - rail
+			f.failovers++
+		}
 		f.perRail[rail]++
 		f.rails[rail].Attach(node).Inject(p, pkt)
 	})
+}
+
+// railBlocked reports whether rail r cannot currently carry src->dst.
+func (f *Fabric) railBlocked(r, src, dst int) bool {
+	return f.rails[r].NodeDown(src) || f.rails[r].NodeDown(dst)
 }
 
 // Attach implements fabric.Fabric.
@@ -108,7 +131,26 @@ func (f *Fabric) SetFault(hook fabric.Fault) {
 	f.rails[1].SetFault(hook)
 }
 
+// NodeDown implements fabric.Fabric: a node is down for the composite
+// only when BOTH rails have lost it (otherwise failover still routes).
+func (f *Fabric) NodeDown(node int) bool {
+	return f.rails[0].NodeDown(node) && f.rails[1].NodeDown(node)
+}
+
+// Rail exposes one physical network (0 = Myrinet, 1 = mesh) so tests
+// and the chaos harness can schedule rail-local outages.
+func (f *Fabric) Rail(r int) Rail { return f.rails[r] }
+
+// RailDown schedules a whole-rail outage over [from, to).
+func (f *Fabric) RailDown(r int, from, to sim.Time) {
+	f.rails[r].AllDown(from, to)
+}
+
 // RailCounts reports how many packets each rail carried.
 func (f *Fabric) RailCounts() (myrinetPkts, meshPkts uint64) {
 	return f.perRail[0], f.perRail[1]
 }
+
+// Failovers reports how many packets were rerouted off their policy
+// rail because of an outage.
+func (f *Fabric) Failovers() uint64 { return f.failovers }

@@ -50,3 +50,43 @@ func TestHeteroName(t *testing.T) {
 		t.Fatalf("meta: %s %d", f.Name(), f.Nodes())
 	}
 }
+
+func TestFailoverToSurvivingRail(t *testing.T) {
+	env := sim.NewEnv(1)
+	f := New(env, hw.DAWNING3000(), 4, func(src, dst int) int { return 0 }) // everything prefers Myrinet
+	const outageEnd = 2 * sim.Millisecond
+	f.RailDown(0, 0, outageEnd)
+	delivered := 0
+	env.Go("rx", func(p *sim.Proc) {
+		for {
+			if _, ok := f.Attach(1).RX.RecvTimeout(p, 5*sim.Millisecond); !ok {
+				return
+			}
+			delivered++
+		}
+	})
+	env.Go("tx", func(p *sim.Proc) {
+		send := func() {
+			pkt := &fabric.Packet{Kind: fabric.KindData, Src: 0, Dst: 1, Payload: []byte{9}}
+			pkt.Seal()
+			f.Attach(0).Inject(p, pkt)
+		}
+		send() // during the Myrinet outage: must ride the mesh
+		if f.NodeDown(0) {
+			t.Error("composite reports node down while one rail survives")
+		}
+		p.SleepUntil(outageEnd + 1)
+		send() // after recovery: back on Myrinet
+	})
+	env.Run()
+	if delivered != 2 {
+		t.Fatalf("delivered %d packets, want 2", delivered)
+	}
+	myr, msh := f.RailCounts()
+	if myr != 1 || msh != 1 {
+		t.Fatalf("rail counts = %d/%d, want 1 myrinet + 1 mesh", myr, msh)
+	}
+	if f.Failovers() != 1 {
+		t.Fatalf("failovers = %d, want 1", f.Failovers())
+	}
+}

@@ -85,7 +85,13 @@ type Profile struct {
 	MCPAckProc        sim.Time // processing an ACK/NACK
 	MaxPacket         int      // payload bytes per wire packet
 	NICMemBytes       int      // NIC SRAM capacity
-	RetransmitTimeout sim.Time // go-back-N retransmit timer
+	RetransmitTimeout sim.Time // go-back-N retransmit timer (base, first round)
+	// RetransmitBackoffMax caps the exponentially backed-off retransmit
+	// timer (0 means 16x the base timeout).
+	RetransmitBackoffMax sim.Time
+	// PeerProbeInterval paces liveness probes to a Dead peer (0 means
+	// 4x the base retransmit timeout).
+	PeerProbeInterval sim.Time
 	NICTranslateLook  sim.Time // NIC-resident translation cache lookup (user-level arch)
 	NICTranslateMiss  sim.Time // NIC cache miss: fetch mapping from host
 
@@ -134,22 +140,24 @@ func DAWNING3000() *Profile {
 		PCIBandwidth:  264 * MBps,
 		DoorbellWrite: 240,
 
-		SendDescWords:     15,
-		RecvDescWords:     8,
-		MCPPollGap:        200,
-		MCPDescFetch:      700,
-		MCPSendProc:       5650,
-		MCPPacketProc:     2450,
-		MCPRecvProc:       1500,
-		MCPChannelLookup:  700,
-		MCPEventDMA:       1000,
-		EventBusTime:      400,
-		MCPAckProc:        600,
-		MaxPacket:         4096,
-		NICMemBytes:       1 << 20, // 1 MB LANai SRAM
-		RetransmitTimeout: 400 * sim.Microsecond,
-		NICTranslateLook:  500,
-		NICTranslateMiss:  9000,
+		SendDescWords:        15,
+		RecvDescWords:        8,
+		MCPPollGap:           200,
+		MCPDescFetch:         700,
+		MCPSendProc:          5650,
+		MCPPacketProc:        2450,
+		MCPRecvProc:          1500,
+		MCPChannelLookup:     700,
+		MCPEventDMA:          1000,
+		EventBusTime:         400,
+		MCPAckProc:           600,
+		MaxPacket:            4096,
+		NICMemBytes:          1 << 20, // 1 MB LANai SRAM
+		RetransmitTimeout:    400 * sim.Microsecond,
+		RetransmitBackoffMax: 6400 * sim.Microsecond, // 4 doublings of the base
+		PeerProbeInterval:    1600 * sim.Microsecond,
+		NICTranslateLook:     500,
+		NICTranslateMiss:     9000,
 
 		LinkBandwidth: 160 * MBps,
 		SwitchLatency: 300,

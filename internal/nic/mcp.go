@@ -45,6 +45,17 @@ type txFlow struct {
 	retries int
 	timer   *sim.Timer
 	window  *sim.Cond
+
+	// Peer-health state machine: Up -> Suspect on the first retransmit
+	// round, Suspect -> Dead on retry exhaustion, Dead -> Probing once
+	// liveness probes start, Probing -> Up on a probe ACK (or any
+	// genuine ACK progress).
+	health     PeerHealth
+	probeTimer *sim.Timer
+	// failed records MsgIDs already reported by failFlow so the
+	// fail-fast path does not post a second EvSendFailed for trailing
+	// fragments of the same message.
+	failed map[uint64]bool
 }
 
 // rxFlow is the receiver-side sequencing state from one remote node.
@@ -309,6 +320,39 @@ func (n *NIC) transmit(p *sim.Proc, flow *txFlow, pkt *fabric.Packet, d *SendDes
 	for len(flow.unacked) >= n.cfg.Window {
 		flow.window.Wait(p)
 	}
+	if reported, tracked := flow.failed[pkt.MsgID]; tracked {
+		// Trailing fragment of a message already being failed:
+		// suppress it (whatever the current health) so the receiver
+		// never sees a partial message resumed mid-stream.
+		if sram > 0 {
+			n.sram.Release(sram)
+		}
+		if lastFrag {
+			delete(flow.failed, pkt.MsgID)
+			if !reported {
+				n.stats.FastFails++
+				n.failMessage(p, d)
+			}
+		}
+		return
+	}
+	if flow.health == PeerDead || flow.health == PeerProbing {
+		// Fail fast: don't burn a full retry ladder against a peer the
+		// firmware already believes is gone. Probes re-admit it.
+		if sram > 0 {
+			n.sram.Release(sram)
+		}
+		if lastFrag {
+			n.stats.FastFails++
+			n.failMessage(p, d)
+		} else {
+			if flow.failed == nil {
+				flow.failed = make(map[uint64]bool)
+			}
+			flow.failed[pkt.MsgID] = false // report deferred to lastFrag
+		}
+		return
+	}
 	pkt.Seq = flow.nextSeq
 	flow.nextSeq++
 	flow.unacked = append(flow.unacked, &pending{pkt: pkt, desc: d, lastFrag: lastFrag, sram: sram})
@@ -339,10 +383,57 @@ func (n *NIC) armTimer(f *txFlow) {
 	if f.timer != nil {
 		f.timer.Cancel()
 	}
-	f.timer = n.env.After(n.prof.RetransmitTimeout, func() {
+	f.timer = n.env.After(n.retxDelay(f), func() {
 		f.timer = nil
 		n.retxQ.Post(f)
 	})
+}
+
+// retxDelay is the adaptive retransmit timeout: the base value for the
+// first round, then exponential backoff capped at RetransmitBackoffMax,
+// with deterministic jitter to de-synchronise competing flows. The
+// jitter is a hash of (node, dst, round) rather than an env.Rand()
+// draw so arming a timer never perturbs the shared RNG stream.
+func (n *NIC) retxDelay(f *txFlow) sim.Time {
+	base := n.prof.RetransmitTimeout
+	ceil := n.prof.RetransmitBackoffMax
+	if ceil <= 0 {
+		ceil = 16 * base
+	}
+	d := base
+	for i := 0; i < f.retries && d < ceil; i++ {
+		d *= 2
+	}
+	if d > ceil {
+		d = ceil
+	}
+	if f.retries > 0 {
+		n.stats.Backoffs++
+		d += detJitter(n.node, f.dst, f.retries, d/4)
+	}
+	return d
+}
+
+// detJitter hashes (node, dst, round) into [0, span) — splitmix64
+// finaliser, fully deterministic.
+func detJitter(node, dst, round int, span sim.Time) sim.Time {
+	if span <= 0 {
+		return 0
+	}
+	x := uint64(node)<<42 ^ uint64(dst)<<21 ^ uint64(round)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return sim.Time(x % uint64(span))
+}
+
+// probeInterval paces liveness probes to a dead peer.
+func (n *NIC) probeInterval() sim.Time {
+	if n.prof.PeerProbeInterval > 0 {
+		return n.prof.PeerProbeInterval
+	}
+	return 4 * n.prof.RetransmitTimeout
 }
 
 func (n *NIC) wakeWindow(f *txFlow) { f.window.Broadcast() }
@@ -352,6 +443,12 @@ func (n *NIC) wakeWindow(f *txFlow) { f.window.Broadcast() }
 func (n *NIC) retxEngine(p *sim.Proc) {
 	for {
 		f := n.retxQ.Recv(p)
+		if f.health == PeerDead || f.health == PeerProbing {
+			// The probe timer routes through this queue so probes are
+			// injected from process context.
+			n.sendProbe(p, f)
+			continue
+		}
 		if len(f.unacked) == 0 {
 			continue
 		}
@@ -359,6 +456,9 @@ func (n *NIC) retxEngine(p *sim.Proc) {
 		if f.retries > n.cfg.MaxRetries {
 			n.failFlow(p, f)
 			continue
+		}
+		if f.health == PeerUp {
+			f.health = PeerSuspect
 		}
 		for _, pd := range f.unacked {
 			n.cpu.Use(p, 1, n.prof.MCPPacketProc)
@@ -370,8 +470,18 @@ func (n *NIC) retxEngine(p *sim.Proc) {
 }
 
 // failFlow abandons every in-flight message on a flow after retry
-// exhaustion, reporting EvSendFailed once per message.
+// exhaustion, reporting EvSendFailed once per message, marks the peer
+// Dead and starts the liveness-probe cycle.
 func (n *NIC) failFlow(p *sim.Proc, f *txFlow) {
+	if f.failed == nil {
+		f.failed = make(map[uint64]bool)
+	}
+	complete := make(map[uint64]bool) // lastFrag in window: no trailing frags coming
+	for _, pd := range f.unacked {
+		if pd.lastFrag {
+			complete[pd.pkt.MsgID] = true
+		}
+	}
 	seen := make(map[uint64]bool)
 	for _, pd := range f.unacked {
 		if pd.sram > 0 {
@@ -379,6 +489,10 @@ func (n *NIC) failFlow(p *sim.Proc, f *txFlow) {
 		}
 		if !seen[pd.pkt.MsgID] && !pd.desc.NoEvent {
 			seen[pd.pkt.MsgID] = true
+			if !complete[pd.pkt.MsgID] {
+				f.failed[pd.pkt.MsgID] = true // already reported here
+			}
+			n.stats.SendFailures++
 			n.postEvent(p, pd.desc.SrcPort, EvSendFailed, pd.desc, 0)
 		}
 	}
@@ -388,13 +502,60 @@ func (n *NIC) failFlow(p *sim.Proc, f *txFlow) {
 		f.timer.Cancel()
 		f.timer = nil
 	}
+	if f.health != PeerDead && f.health != PeerProbing {
+		f.health = PeerDead
+		n.stats.PeerDeaths++
+		now := n.env.Now()
+		n.Tracer.Add("nic: peer dead", n.where(), now, now)
+		n.armProbe(f)
+	}
+	n.wakeWindow(f)
+}
+
+// armProbe schedules the next liveness probe toward a dead peer.
+func (n *NIC) armProbe(f *txFlow) {
+	if f.probeTimer != nil {
+		f.probeTimer.Cancel()
+	}
+	f.probeTimer = n.env.After(n.probeInterval(), func() {
+		f.probeTimer = nil
+		n.retxQ.Post(f)
+	})
+}
+
+// sendProbe injects one liveness probe and re-arms the probe timer.
+func (n *NIC) sendProbe(p *sim.Proc, f *txFlow) {
+	f.health = PeerProbing
+	n.cpu.Use(p, 1, n.prof.MCPAckProc)
+	n.stats.Probes++
+	pb := &fabric.Packet{Kind: fabric.KindProbe, Src: n.node, Dst: f.dst}
+	pb.Seal()
+	n.ep.Inject(p, pb)
+	n.armProbe(f)
+}
+
+// markPeerUp re-admits a peer after liveness evidence (probe ACK or
+// genuine go-back-N progress).
+func (n *NIC) markPeerUp(f *txFlow) {
+	if f.health == PeerDead || f.health == PeerProbing {
+		n.stats.PeerRecoveries++
+		now := n.env.Now()
+		n.Tracer.Add("nic: peer recovered", n.where(), now, now)
+	}
+	f.health = PeerUp
+	f.retries = 0
+	if f.probeTimer != nil {
+		f.probeTimer.Cancel()
+		f.probeTimer = nil
+	}
 	n.wakeWindow(f)
 }
 
 // failMessage reports a send failure detected before injection (bad
-// descriptor).
+// descriptor) or a fail-fast rejection.
 func (n *NIC) failMessage(p *sim.Proc, d *SendDesc) {
 	if !d.NoEvent {
+		n.stats.SendFailures++
 		n.postEvent(p, d.SrcPort, EvSendFailed, d, 0)
 	}
 }
@@ -410,6 +571,18 @@ func (n *NIC) recvEngine(p *sim.Proc) {
 			n.handleAck(p, pkt)
 		case fabric.KindNack:
 			n.handleNack(p, pkt)
+		case fabric.KindProbe:
+			n.handleProbe(p, pkt)
+		case fabric.KindProbeAck:
+			n.cpu.Use(p, 1, n.prof.MCPAckProc)
+			f := n.flowTo(pkt.Src)
+			if len(f.unacked) == 0 {
+				// Resync the go-back-N epoch: abandoned packets consumed
+				// sequence numbers the receiver never saw; the probe ACK
+				// carries the receiver's next expected sequence.
+				f.nextSeq = pkt.AckSeq
+			}
+			n.markPeerUp(f)
 		case fabric.KindData, fabric.KindRMAWrite, fabric.KindRMARead:
 			n.handleData(p, pkt)
 		default:
@@ -434,8 +607,7 @@ func (n *NIC) handleAck(p *sim.Proc, pkt *fabric.Packet) {
 		}
 	}
 	if progress {
-		f.retries = 0
-		n.wakeWindow(f)
+		n.markPeerUp(f)
 	}
 	if f.timer != nil {
 		f.timer.Cancel()
@@ -641,6 +813,19 @@ func (n *NIC) handleRMARead(p *sim.Proc, pkt *fabric.Packet) bool {
 	}
 	n.sendQ.Post(reply)
 	return true
+}
+
+// handleProbe answers a liveness probe; the reply is what re-admits
+// the prober's flow toward us. It carries our next expected sequence
+// from the prober so the sender can resync its go-back-N epoch.
+func (n *NIC) handleProbe(p *sim.Proc, pkt *fabric.Packet) {
+	n.cpu.Use(p, 1, n.prof.MCPAckProc)
+	ack := &fabric.Packet{
+		Kind: fabric.KindProbeAck, Src: n.node, Dst: pkt.Src,
+		AckSeq: n.flowFrom(pkt.Src).expect,
+	}
+	ack.Seal()
+	n.ep.Inject(p, ack)
 }
 
 func (n *NIC) sendAck(p *sim.Proc, dst int, seq uint64) {

@@ -39,12 +39,12 @@ func TestCumulativeAckClearsWindow(t *testing.T) {
 	// the earlier pending entries at once.
 	r := newRig(t, bclConfig())
 	dropped := 0
-	r.fab.SetFault(func(env *sim.Env, pkt *fabric.Packet) bool {
+	r.fab.SetFault(func(env *sim.Env, pkt *fabric.Packet) fabric.Verdict {
 		if pkt.Kind == fabric.KindAck && dropped < 4 {
 			dropped++
-			return true
+			return fabric.Drop
 		}
-		return false
+		return fabric.Deliver
 	})
 	payload := make([]byte, 24*1024) // 6 fragments
 	_, sseg := r.pinnedSegs(t, 0, payload)
@@ -78,12 +78,12 @@ func TestRetransmitTimerRearmsAcrossMessages(t *testing.T) {
 	// the go-back-N recovery) flows. The message must still arrive.
 	r := newRig(t, bclConfig())
 	first := true
-	r.fab.SetFault(func(env *sim.Env, pkt *fabric.Packet) bool {
+	r.fab.SetFault(func(env *sim.Env, pkt *fabric.Packet) fabric.Verdict {
 		if pkt.Kind == fabric.KindData && first {
 			first = false
-			return true
+			return fabric.Drop
 		}
-		return false
+		return fabric.Deliver
 	})
 	payload := []byte("recovered by timer")
 	_, sseg := r.pinnedSegs(t, 0, payload)
@@ -193,11 +193,11 @@ func TestFlowSequenceMonotonic(t *testing.T) {
 	// destination across messages and kinds.
 	r := newRig(t, bclConfig())
 	var seqs []uint64
-	r.fab.SetFault(func(env *sim.Env, pkt *fabric.Packet) bool {
+	r.fab.SetFault(func(env *sim.Env, pkt *fabric.Packet) fabric.Verdict {
 		if pkt.Kind == fabric.KindData || pkt.Kind == fabric.KindRMAWrite {
 			seqs = append(seqs, pkt.Seq)
 		}
-		return false
+		return fabric.Deliver
 	})
 	_, sseg := r.pinnedSegs(t, 0, make([]byte, 10000))
 	rva, rseg := r.recvBuf(t, 1, 16384)

@@ -173,22 +173,54 @@ func (p *Port) TakeSystemBuffer() (*RecvDesc, bool) {
 // SystemPoolLen returns the number of free system-pool buffers.
 func (p *Port) SystemPoolLen() int { return p.system.Len() }
 
+// PeerHealth is the firmware's liveness belief about one destination,
+// driven by the retransmit machinery (see the state machine in mcp.go).
+type PeerHealth uint8
+
+// Peer health states.
+const (
+	PeerUp      PeerHealth = iota // flowing normally
+	PeerSuspect                   // at least one retransmit round outstanding
+	PeerDead                      // retry exhaustion; sends fail fast
+	PeerProbing                   // dead, with liveness probes in flight
+)
+
+func (h PeerHealth) String() string {
+	switch h {
+	case PeerUp:
+		return "UP"
+	case PeerSuspect:
+		return "SUSPECT"
+	case PeerDead:
+		return "DEAD"
+	case PeerProbing:
+		return "PROBING"
+	}
+	return fmt.Sprintf("health(%d)", uint8(h))
+}
+
 // Stats aggregates NIC counters for tables and assertions.
 type Stats struct {
-	MsgsSent      uint64
-	MsgsReceived  uint64
-	PacketsSent   uint64
-	PacketsRecv   uint64
-	Retransmits   uint64
-	CRCDrops      uint64
-	SeqDrops      uint64
-	NoBufferDrops uint64
-	NACKs         uint64
-	Interrupts    uint64
-	TLBHits       uint64
-	TLBMisses     uint64
-	BytesSent     uint64
-	BytesReceived uint64
+	MsgsSent       uint64
+	MsgsReceived   uint64
+	PacketsSent    uint64
+	PacketsRecv    uint64
+	Retransmits    uint64
+	CRCDrops       uint64
+	SeqDrops       uint64
+	NoBufferDrops  uint64
+	NACKs          uint64
+	Interrupts     uint64
+	TLBHits        uint64
+	TLBMisses      uint64
+	BytesSent      uint64
+	BytesReceived  uint64
+	SendFailures   uint64 // EvSendFailed events posted (any cause)
+	FastFails      uint64 // sends failed fast against a Dead/Probing peer
+	Backoffs       uint64 // retransmit timer arms beyond the base timeout
+	Probes         uint64 // liveness probes sent
+	PeerDeaths     uint64 // Up/Suspect -> Dead transitions
+	PeerRecoveries uint64 // Dead/Probing -> Up transitions
 }
 
 // NIC is one adapter instance.
@@ -268,6 +300,22 @@ func (n *NIC) Node() int { return n.node }
 
 // Stats returns a snapshot of the NIC counters.
 func (n *NIC) Stats() Stats { return n.stats }
+
+// PeerHealth returns the firmware's liveness belief about a remote
+// node (PeerUp if no flow exists yet).
+func (n *NIC) PeerHealth(dst int) PeerHealth {
+	if f, ok := n.tx[dst]; ok {
+		return f.health
+	}
+	return PeerUp
+}
+
+// PeerHealthy reports whether sends to dst are currently admitted
+// (Up or Suspect; Dead and Probing peers fail fast).
+func (n *NIC) PeerHealthy(dst int) bool {
+	h := n.PeerHealth(dst)
+	return h == PeerUp || h == PeerSuspect
+}
 
 // Profile returns the timing profile the NIC uses.
 func (n *NIC) Profile() *hw.Profile { return n.prof }

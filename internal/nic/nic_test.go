@@ -638,12 +638,12 @@ func TestDuplicateSuppression(t *testing.T) {
 	// has; the receiver must not deliver twice.
 	r := newRig(t, bclConfig())
 	acksDropped := 0
-	r.fab.SetFault(func(env *sim.Env, pkt *fabric.Packet) bool {
+	r.fab.SetFault(func(env *sim.Env, pkt *fabric.Packet) fabric.Verdict {
 		if pkt.Kind == fabric.KindAck && acksDropped < 3 {
 			acksDropped++
-			return true
+			return fabric.Drop
 		}
-		return false
+		return fabric.Deliver
 	})
 	payload := []byte("once only")
 	_, sseg := r.pinnedSegs(t, 0, payload)
