@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test race short bench experiments chaos examples tools clean
+.PHONY: all test race short bench experiments chaos metrics examples tools clean
 
 all: test
 
@@ -30,6 +30,13 @@ experiments:
 CHAOS_SEED ?= 1
 chaos:
 	$(GO) run ./cmd/bclbench -seed $(CHAOS_SEED) chaos
+
+# Metrics registry showcase: the metered ping-pong (registry snapshot
+# in Prometheus text + JSON) and the causal flow trace of one message
+# under a forced packet drop.
+metrics:
+	$(GO) run ./cmd/bclbench -metrics pingpong
+	$(GO) run ./cmd/bcltrace -flow
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -43,6 +43,7 @@ import (
 	"bcl/internal/mpi"
 	"bcl/internal/nic"
 	"bcl/internal/node"
+	"bcl/internal/obs"
 	"bcl/internal/pvm"
 	"bcl/internal/sim"
 	"bcl/internal/trace"
@@ -343,3 +344,24 @@ func NewTracer() *Tracer { return trace.New() }
 
 // TraceNIC attaches a tracer to node i's NIC firmware.
 func (m *Machine) TraceNIC(i int, tr *Tracer) { m.Cluster.Nodes[i].NIC.Tracer = tr }
+
+// TraceAll attaches a tracer to every NIC and the fabric, so traced
+// messages carry flow spans across host, NIC and wire rows (see
+// Tracer.FlowTimeline and Tracer.ChromeTrace).
+func (m *Machine) TraceAll(tr *Tracer) { m.Cluster.SetTracer(tr) }
+
+// Metrics is the machine's metrics snapshot at the current virtual
+// time: every counter, gauge and histogram the stack publishes to the
+// cluster registry, keyed by (node, layer, name). Render it with
+// MetricsSnapshot.Text (Prometheus-style) or MetricsSnapshot.JSON.
+func (m *Machine) Metrics() *MetricsSnapshot {
+	return m.Cluster.Obs.Snapshot(m.Cluster.Env.Now())
+}
+
+// FlightRecorder returns the machine's bounded ring of recent protocol
+// events (retransmission rounds, peer death/recovery, rail failovers);
+// FlightRecorder().Text(n) renders the most recent n.
+func (m *Machine) FlightRecorder() *obs.Recorder { return m.Cluster.Obs.Rec }
+
+// MetricsSnapshot is a point-in-time view of the metrics registry.
+type MetricsSnapshot = obs.Snapshot

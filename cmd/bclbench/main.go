@@ -6,6 +6,8 @@
 //	bclbench -list             # show experiment ids
 //	bclbench all               # run everything, in paper order
 //	bclbench table1 fig7 ...   # run selected experiments
+//	bclbench -metrics pingpong # append the registry snapshot
+//	                           # (Prometheus text + JSON) to each report
 package main
 
 import (
@@ -20,8 +22,9 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	seed := flag.Uint64("seed", 1, "fault-schedule seed for the chaos experiment")
+	metrics := flag.Bool("metrics", false, "print each experiment's metrics registry snapshot (text and JSON)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bclbench [-list] [-seed N] all | <experiment> ...\n")
+		fmt.Fprintf(os.Stderr, "usage: bclbench [-list] [-seed N] [-metrics] all | <experiment> ...\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(bench.IDs(), " "))
 	}
 	flag.Parse()
@@ -59,5 +62,17 @@ func main() {
 			fmt.Println()
 		}
 		fmt.Print(r.String())
+		fmt.Println(r.Summary)
+		if *metrics && r.Snap != nil {
+			fmt.Println()
+			fmt.Print(r.Snap.Text())
+			js, err := r.Snap.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bclbench: metrics JSON: %v\n", err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(js)
+			fmt.Println()
+		}
 	}
 }

@@ -9,6 +9,11 @@
 //	bcltrace -side recv         # reception stages only (Fig. 6 view)
 //	bcltrace -chrome > t.json   # Chrome trace-event JSON (load in
 //	                            # chrome://tracing or ui.perfetto.dev)
+//	bcltrace -flow              # causal flow of one message whose first
+//	                            # DATA packet is dropped, so the trace
+//	                            # includes the retransmission
+//	bcltrace -flow -chrome      # the same flow as Chrome JSON with
+//	                            # "bcl-flow" arrows linking the rows
 package main
 
 import (
@@ -22,15 +27,24 @@ import (
 func main() {
 	side := flag.String("side", "both", "which stages to print: send, recv, or both")
 	chrome := flag.Bool("chrome", false, "emit Chrome trace-event JSON instead of text")
+	flow := flag.Bool("flow", false, "trace the causal flow of one message under a forced packet drop")
 	flag.Parse()
 	if *chrome {
-		out, err := bench.ChromeTraceJSON()
+		gen := bench.ChromeTraceJSON
+		if *flow {
+			gen = bench.FlowChromeJSON
+		}
+		out, err := gen()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bcltrace: %v\n", err)
 			os.Exit(1)
 		}
 		os.Stdout.Write(out)
 		fmt.Println()
+		return
+	}
+	if *flow {
+		fmt.Print(bench.ByID("flowtrace").String())
 		return
 	}
 	var id string

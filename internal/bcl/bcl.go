@@ -36,6 +36,7 @@ import (
 	"bcl/internal/cluster"
 	"bcl/internal/nic"
 	"bcl/internal/node"
+	"bcl/internal/obs"
 	"bcl/internal/oskernel"
 	"bcl/internal/sim"
 	"bcl/internal/trace"
@@ -153,6 +154,16 @@ func (s *System) Open(p *sim.Proc, n *node.Node, proc *oskernel.Process, opts Op
 		return nil, err
 	}
 	s.ports[pt.addr] = pt
+
+	// Publish the library-level counters into the cluster registry.
+	// Ports are not closed during the runs we snapshot, so the collector
+	// outliving a Close only re-reports final values.
+	n.Obs.RegisterCollector(func(set obs.Set) {
+		set(pt.addr.Node, "bcl", "sent", pt.sent)
+		set(pt.addr.Node, "bcl", "received", pt.received)
+		set(pt.addr.Node, "bcl", "bytes_sent", pt.bytesSent)
+		set(pt.addr.Node, "bcl", "bytes_received", pt.bytesReceived)
+	})
 
 	// Initialize the system-channel buffer pool.
 	for i := 0; i < opts.SystemBuffers; i++ {

@@ -6,6 +6,7 @@ import (
 	"bcl/internal/mem"
 	"bcl/internal/nic"
 	"bcl/internal/sim"
+	"bcl/internal/trace"
 )
 
 // Send transmits n bytes at va to the destination's channel. tag is an
@@ -29,6 +30,7 @@ func (pt *Port) Send(p *sim.Proc, dst Addr, channel int, va mem.VAddr, n int, ta
 	if channel < 0 {
 		return 0, ErrBadChannel
 	}
+	born := p.Now()
 	pt.tr.Do(p, "user: compose request", host(pt), func() {
 		p.Sleep(pt.node.Prof.UserCompose)
 	})
@@ -37,9 +39,10 @@ func (pt *Port) Send(p *sim.Proc, dst Addr, channel int, va mem.VAddr, n int, ta
 	}
 
 	msgID := pt.node.NIC.NextMsgID()
+	tid := trace.ID(pt.addr.Node, msgID)
 	k := pt.node.Kernel
 	var trapErr error
-	pt.tr.Do(p, "kernel: trap+check+translate+fill", host(pt), func() {
+	pt.tr.DoFlow(p, "kernel: trap+check+translate+fill", host(pt), tid, func() {
 		trapErr = k.Trap(p, func() error {
 			if err := k.CheckRequest(p, pt.proc.PID, va, n, dst.Node, pt.sys.Cluster.Size()); err != nil {
 				return err
@@ -55,6 +58,7 @@ func (pt *Port) Send(p *sim.Proc, dst Addr, channel int, va mem.VAddr, n int, ta
 				Kind: nic.DescData, MsgID: msgID, SrcPort: pt.addr.Port,
 				DstNode: dst.Node, DstPort: dst.Port, Channel: channel,
 				Len: n, Tag: tag, Segs: segs,
+				Trace: tid, Born: born,
 			})
 			return nil
 		})
@@ -173,7 +177,7 @@ func (pt *Port) WaitRecv(p *sim.Proc) *nic.Event {
 		return ev
 	}
 	ev := pt.events.Recv(p)
-	pt.tr.Do(p, "user: poll+decode event", host(pt), func() {
+	pt.tr.DoFlow(p, "user: poll+decode event", host(pt), ev.Trace, func() {
 		p.Sleep(pt.node.Prof.CompletionPoll + pt.node.Prof.EventDecode)
 	})
 	pt.received++
@@ -225,7 +229,7 @@ func (pt *Port) WaitRecvChannel(p *sim.Proc, channel int) *nic.Event {
 // returning its completion event (EvSendDone or EvSendFailed).
 func (pt *Port) WaitSend(p *sim.Proc) *nic.Event {
 	ev := pt.sendEvs.Recv(p)
-	pt.tr.Do(p, "user: send completion", host(pt), func() {
+	pt.tr.DoFlow(p, "user: send completion", host(pt), ev.Trace, func() {
 		p.Sleep(pt.node.Prof.SendComplete)
 	})
 	return ev

@@ -73,7 +73,7 @@ func AblationReliability() *Report {
 	prof.MCPSendProc -= 5650 - 2200 // keep basic dispatch, drop the protocol machine
 	lat := func() sim.Time {
 		nodes := 2
-		c := cluster.New(cluster.Config{Nodes: nodes, Profile: prof,
+		c := newCluster(cluster.Config{Nodes: nodes, Profile: prof,
 			NIC: nic.Config{Translate: nic.HostTranslated, Completion: nic.UserEventQueue, Reliable: false}})
 		sys := ibcl.NewSystem(c)
 		var a, bp *ibcl.Port

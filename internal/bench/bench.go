@@ -19,6 +19,7 @@ import (
 	"bcl/internal/klc"
 	"bcl/internal/mem"
 	"bcl/internal/mpi"
+	"bcl/internal/obs"
 	"bcl/internal/pvm"
 	"bcl/internal/sim"
 	"bcl/internal/ulc"
@@ -30,6 +31,12 @@ type Report struct {
 	Title   string
 	Text    string
 	Metrics map[string]float64
+
+	// Snap is the merged registry snapshot over every cluster the
+	// experiment built (captured by All/ByID when the experiment did not
+	// set one itself). Summary is its one-line digest.
+	Snap    *obs.Snapshot
+	Summary string
 }
 
 func (r *Report) String() string {
@@ -43,70 +50,128 @@ func newReport(id, title string) *Report {
 	return &Report{ID: id, Title: title, Metrics: make(map[string]float64)}
 }
 
+// experiments maps every experiment id (and alias) to its constructor,
+// in paper order.
+var experiments = []struct {
+	id      string
+	aliases []string
+	fn      func() *Report
+}{
+	{id: "table1", fn: Table1},
+	{id: "overheads", fn: Overheads},
+	{id: "fig5", aliases: []string{"figure5"}, fn: Figure5},
+	{id: "fig6", aliases: []string{"figure6"}, fn: Figure6},
+	{id: "fig7", aliases: []string{"figure7"}, fn: Figure7},
+	{id: "fig8", aliases: []string{"figure8"}, fn: Figure8},
+	{id: "fig9", aliases: []string{"figure9"}, fn: Figure9},
+	{id: "table2", fn: Table2},
+	{id: "table3", fn: Table3},
+	{id: "fabrics", fn: Fabrics},
+	{id: "scale", fn: Scale},
+	{id: "pingpong", fn: PingPong},
+	{id: "flowtrace", fn: FlowTrace},
+	{id: "ablation-pio", fn: AblationPIO},
+	{id: "ablation-cpu", fn: AblationCPU},
+	{id: "ablation-reliability", fn: AblationReliability},
+	{id: "ablation-kernelpath", fn: AblationKernelPath},
+	{id: "ablation-pipeline", fn: AblationPipeline},
+	{id: "ablation-window", fn: AblationWindow},
+	{id: "ablation-intrapath", fn: AblationIntraPath},
+	{id: "chaos", fn: Chaos},
+}
+
 // All runs every experiment in paper order.
 func All() []*Report {
-	return []*Report{
-		Table1(), Overheads(), Figure5(), Figure6(), Figure7(),
-		Figure8(), Figure9(), Table2(), Table3(), Fabrics(), Scale(),
-		AblationPIO(), AblationCPU(), AblationReliability(),
-		AblationKernelPath(), AblationPipeline(), AblationWindow(),
-		AblationIntraPath(), Chaos(),
+	var out []*Report
+	for _, e := range experiments {
+		out = append(out, runExperiment(e.fn))
 	}
+	return out
 }
 
 // ByID returns the named experiment (nil if unknown).
 func ByID(id string) *Report {
-	switch strings.ToLower(id) {
-	case "table1":
-		return Table1()
-	case "overheads":
-		return Overheads()
-	case "fig5", "figure5":
-		return Figure5()
-	case "fig6", "figure6":
-		return Figure6()
-	case "fig7", "figure7":
-		return Figure7()
-	case "fig8", "figure8":
-		return Figure8()
-	case "fig9", "figure9":
-		return Figure9()
-	case "table2":
-		return Table2()
-	case "table3":
-		return Table3()
-	case "ablation-pio":
-		return AblationPIO()
-	case "ablation-cpu":
-		return AblationCPU()
-	case "ablation-reliability":
-		return AblationReliability()
-	case "ablation-kernelpath":
-		return AblationKernelPath()
-	case "ablation-pipeline":
-		return AblationPipeline()
-	case "ablation-window":
-		return AblationWindow()
-	case "fabrics":
-		return Fabrics()
-	case "scale":
-		return Scale()
-	case "ablation-intrapath":
-		return AblationIntraPath()
-	case "chaos":
-		return Chaos()
+	id = strings.ToLower(id)
+	for _, e := range experiments {
+		if e.id == id {
+			return runExperiment(e.fn)
+		}
+		for _, a := range e.aliases {
+			if a == id {
+				return runExperiment(e.fn)
+			}
+		}
 	}
 	return nil
 }
 
 // IDs lists the experiment ids.
 func IDs() []string {
-	ids := []string{"table1", "overheads", "fig5", "fig6", "fig7", "fig8",
-		"fig9", "table2", "table3", "fabrics", "scale", "chaos", "ablation-pio",
-		"ablation-cpu", "ablation-reliability", "ablation-kernelpath",
-		"ablation-pipeline", "ablation-window", "ablation-intrapath"}
+	var ids []string
+	for _, e := range experiments {
+		ids = append(ids, e.id)
+	}
 	sort.Strings(ids)
 	return ids
+}
+
+// built tracks every cluster an experiment constructs, so the harness
+// can merge their registries into the report's snapshot. The bench
+// package runs experiments sequentially (like the simulator, it is
+// single-threaded by design).
+var built []*cluster.Cluster
+
+// newCluster is cluster.New plus harness tracking.
+func newCluster(cfg cluster.Config) *cluster.Cluster {
+	c := cluster.New(cfg)
+	built = append(built, c)
+	return c
+}
+
+// runExperiment runs one constructor and captures the merged metrics
+// snapshot of every cluster it built.
+func runExperiment(fn func() *Report) *Report {
+	built = nil
+	r := fn()
+	capture(r)
+	built = nil
+	return r
+}
+
+// capture merges the tracked clusters' registries into the report (if
+// the experiment did not attach a snapshot itself) and derives the
+// one-line summary.
+func capture(r *Report) {
+	if r == nil {
+		return
+	}
+	if r.Snap == nil {
+		snaps := make([]*obs.Snapshot, 0, len(built))
+		for _, c := range built {
+			snaps = append(snaps, c.Obs.Snapshot(c.Env.Now()))
+		}
+		r.Snap = obs.Merge(snaps...)
+	}
+	if r.Summary == "" {
+		r.Summary = summaryLine(r.Snap)
+	}
+}
+
+// summaryLine renders the one-line metrics digest printed after every
+// benchmark: message and retransmit totals plus latency quantiles from
+// the merged end-to-end histogram.
+func summaryLine(s *obs.Snapshot) string {
+	if s == nil {
+		return "metrics: (none)"
+	}
+	h := s.MergedHist("nic", "msg_latency_ns")
+	line := fmt.Sprintf("metrics: msgs=%d retransmits=%d",
+		s.SumCounter("nic", "msgs_sent"), s.SumCounter("nic", "retransmits"))
+	if h.Count > 0 {
+		line += fmt.Sprintf(" p50=%.1fus p99=%.1fus",
+			float64(h.Quantile(0.5))/1000, float64(h.Quantile(0.99))/1000)
+	}
+	return line
 }
 
 func us(t sim.Time) float64 { return float64(t) / 1000 }
@@ -126,7 +191,7 @@ func newBCLRig(prof *hw.Profile, intra bool) *bclRig {
 	if intra {
 		nodeB = 0
 	}
-	c := cluster.New(cluster.Config{Nodes: nodes, Profile: prof, NIC: ibcl.DefaultNICConfig()})
+	c := newCluster(cluster.Config{Nodes: nodes, Profile: prof, NIC: ibcl.DefaultNICConfig()})
 	sys := ibcl.NewSystem(c)
 	r := &bclRig{c: c, sys: sys}
 	c.Env.Go("setup", func(p *sim.Proc) {
@@ -280,7 +345,7 @@ func newULCRig(prof *hw.Profile, cfg func() (c cluster.Config)) *ulcRig {
 	if cfg != nil {
 		conf = cfg()
 	}
-	c := cluster.New(conf)
+	c := newCluster(conf)
 	sys := ulc.NewSystem(c)
 	r := &ulcRig{c: c}
 	c.Env.Go("setup", func(p *sim.Proc) {
@@ -412,7 +477,7 @@ func ulcBandwidth(prof *hw.Profile, size, msgs int, nicCfg func() cluster.Config
 // ------------------------------------------------------ KLC measurers
 
 func klcLatency(prof *hw.Profile, size int) sim.Time {
-	c := cluster.New(cluster.Config{Nodes: 2, Profile: prof, NIC: klc.NICConfig()})
+	c := newCluster(cluster.Config{Nodes: 2, Profile: prof, NIC: klc.NICConfig()})
 	sys := klc.NewSystem(c)
 	var a, b *klc.Socket
 	c.Env.Go("setup", func(p *sim.Proc) {
@@ -447,7 +512,7 @@ func klcLatency(prof *hw.Profile, size int) sim.Time {
 }
 
 func klcBandwidth(prof *hw.Profile, size, msgs int) float64 {
-	c := cluster.New(cluster.Config{Nodes: 2, Profile: prof, NIC: klc.NICConfig()})
+	c := newCluster(cluster.Config{Nodes: 2, Profile: prof, NIC: klc.NICConfig()})
 	sys := klc.NewSystem(c)
 	var a, b *klc.Socket
 	c.Env.Go("setup", func(p *sim.Proc) {
@@ -477,7 +542,7 @@ func klcBandwidth(prof *hw.Profile, size, msgs int) float64 {
 // ----------------------------------------------------- AMII measurers
 
 func amiiPingPong(prof *hw.Profile, size int) sim.Time {
-	c := cluster.New(cluster.Config{Nodes: 2, Profile: prof, NIC: amii.NICConfig()})
+	c := newCluster(cluster.Config{Nodes: 2, Profile: prof, NIC: amii.NICConfig()})
 	sys := amii.NewSystem(c)
 	var a, b *amii.Endpoint
 	c.Env.Go("setup", func(p *sim.Proc) {
@@ -520,7 +585,7 @@ func amiiPingPong(prof *hw.Profile, size int) sim.Time {
 }
 
 func amiiBandwidth(prof *hw.Profile, total int) float64 {
-	c := cluster.New(cluster.Config{Nodes: 2, Profile: prof, NIC: amii.NICConfig()})
+	c := newCluster(cluster.Config{Nodes: 2, Profile: prof, NIC: amii.NICConfig()})
 	sys := amii.NewSystem(c)
 	var a, b *amii.Endpoint
 	c.Env.Go("setup", func(p *sim.Proc) {
@@ -577,7 +642,7 @@ func mpiJob(prof *hw.Profile, intra bool) (*cluster.Cluster, [2]*mpi.Comm) {
 	if intra {
 		nodeB = 0
 	}
-	c := cluster.New(cluster.Config{Nodes: nodes, Profile: prof, NIC: ibcl.DefaultNICConfig()})
+	c := newCluster(cluster.Config{Nodes: nodes, Profile: prof, NIC: ibcl.DefaultNICConfig()})
 	sys := ibcl.NewSystem(c)
 	var ports [2]*ibcl.Port
 	c.Env.Go("setup", func(p *sim.Proc) {
@@ -649,7 +714,7 @@ func pvmJob(prof *hw.Profile, intra bool) (*cluster.Cluster, [2]*pvm.Task) {
 	if intra {
 		nodeB = 0
 	}
-	c := cluster.New(cluster.Config{Nodes: nodes, Profile: prof, NIC: ibcl.DefaultNICConfig()})
+	c := newCluster(cluster.Config{Nodes: nodes, Profile: prof, NIC: ibcl.DefaultNICConfig()})
 	sys := ibcl.NewSystem(c)
 	var ports [2]*ibcl.Port
 	c.Env.Go("setup", func(p *sim.Proc) {

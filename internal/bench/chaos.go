@@ -9,6 +9,7 @@ import (
 	"bcl/internal/fabric"
 	"bcl/internal/fabric/hetero"
 	"bcl/internal/nic"
+	"bcl/internal/obs"
 	"bcl/internal/sim"
 )
 
@@ -46,13 +47,31 @@ type chaosResult struct {
 	outageDrops uint64
 	stats       chaosCounters
 	finished    sim.Time
+	snap        *obs.Snapshot
+	timeline    string
+	flight      string
 }
 
-// chaosCounters are the fault-path NIC counters summed over the
-// cluster (see faultCounters in reports.go).
+// chaosCounters are the fault-path counters read back from the metrics
+// registry at the end of the soak (one source of truth: the same
+// snapshot the -metrics flag prints).
 type chaosCounters struct {
 	retransmits, sendFailures, fastFails, backoffs uint64
 	probes, peerDeaths, peerRecoveries             uint64
+}
+
+// chaosCountersFrom pulls the fault-path totals out of a registry
+// snapshot.
+func chaosCountersFrom(s *obs.Snapshot) chaosCounters {
+	return chaosCounters{
+		retransmits:    s.SumCounter("nic", "retransmits"),
+		sendFailures:   s.SumCounter("nic", "send_failures"),
+		fastFails:      s.SumCounter("nic", "fast_fails"),
+		backoffs:       s.SumCounter("nic", "backoffs"),
+		probes:         s.SumCounter("nic", "probes"),
+		peerDeaths:     s.SumCounter("nic", "peer_deaths"),
+		peerRecoveries: s.SumCounter("nic", "peer_recoveries"),
+	}
 }
 
 // splitmix64 advances *x and returns the next value of the schedule
@@ -82,7 +101,7 @@ func chaosTag(src, dst, round int) uint64 {
 func chaosRun(seed uint64) *chaosResult {
 	cfg := ibcl.DefaultNICConfig()
 	cfg.MaxRetries = 4 // peer death in ~6 ms of virtual time
-	c := cluster.New(cluster.Config{
+	c := newCluster(cluster.Config{
 		Nodes: chaosNodes, Fabric: cluster.Hetero, NIC: cfg, Seed: seed,
 	})
 	hf := c.Fabric.(*hetero.Fabric)
@@ -101,6 +120,10 @@ func chaosRun(seed uint64) *chaosResult {
 			panic("bench: chaos rig setup failed")
 		}
 	}
+	// Metrics sampler: one registry snapshot every 20 ms of virtual
+	// time, so the report can show the fault counters advancing through
+	// the outage windows.
+	c.Obs.StartSampler(c.Env, 20*sim.Millisecond, 32)
 
 	// Seeded fault schedule: six outage windows in [20ms, 200ms).
 	res := &chaosResult{}
@@ -242,13 +265,20 @@ func chaosRun(seed uint64) *chaosResult {
 	h = (h ^ uint64(res.duplicates)) * prime
 	h = (h ^ uint64(res.corrupt)) * prime
 	res.digest = h
-	res.failovers = hf.Failovers()
-	for rail := 0; rail < 2; rail++ {
-		if d, ok := hf.Rail(rail).(interface{ OutageDrops() uint64 }); ok {
-			res.outageDrops += d.OutageDrops()
-		}
-	}
-	res.stats = sumFaultCounters(c)
+	// Everything below reads from the registry snapshot — the same
+	// source cmd/bclbench -metrics prints — not from per-package Stats.
+	res.snap = c.Obs.Snapshot(c.Env.Now())
+	res.failovers = res.snap.SumCounter("fabric:hetero", "failovers")
+	res.outageDrops = res.snap.SumCounterPrefix("fabric:", "outage_drops")
+	res.stats = chaosCountersFrom(res.snap)
+	res.timeline = c.Obs.TimelineText([]obs.TimelineCol{
+		{Label: "retransmits", Layer: "nic", Name: "retransmits"},
+		{Label: "backoffs", Layer: "nic", Name: "backoffs"},
+		{Label: "peer_deaths", Layer: "nic", Name: "peer_deaths"},
+		{Label: "recoveries", Layer: "nic", Name: "peer_recoveries"},
+		{Label: "failovers", Layer: "fabric:hetero", Name: "failovers"},
+	})
+	res.flight = c.Obs.Rec.Text(16)
 	return res
 }
 
@@ -284,12 +314,16 @@ func ChaosSeeded(seed uint64) *Report {
 			float64(a.recMax)/float64(sim.Millisecond))
 	}
 	sb.WriteString("\n" + faultCountersText(a.stats))
+	sb.WriteString("\nfault-counter timeline (20ms virtual-time samples, run 1):\n")
+	sb.WriteString(a.timeline)
 	fmt.Fprintf(&sb, "\ndigest: %016x (run 1) / %016x (run 2) -> deterministic: %v\n",
 		a.digest, b.digest, deterministic)
 	if !deterministic || a.deadlocked || a.corrupt > 0 || a.delivered != total {
 		sb.WriteString("\n*** CHAOS SOAK FAILED ***\n")
+		sb.WriteString("\n" + a.flight)
 	}
 	r.Text = sb.String()
+	r.Snap = a.snap
 	r.metric("delivered", float64(a.delivered))
 	r.metric("duplicates", float64(a.duplicates))
 	r.metric("corrupt", float64(a.corrupt))

@@ -48,7 +48,7 @@ func Fabrics() *Report {
 // behaves like its Myrinet half here).
 func bclLatencyOn(fk cluster.FabricKind, size int) sim.Time {
 	prof := hw.DAWNING3000()
-	c := cluster.New(cluster.Config{Nodes: 4, Fabric: fk, Profile: prof, NIC: ibcl.DefaultNICConfig()})
+	c := newCluster(cluster.Config{Nodes: 4, Fabric: fk, Profile: prof, NIC: ibcl.DefaultNICConfig()})
 	sys := ibcl.NewSystem(c)
 	var a, bp *ibcl.Port
 	c.Env.Go("setup", func(p *sim.Proc) {
@@ -61,7 +61,7 @@ func bclLatencyOn(fk cluster.FabricKind, size int) sim.Time {
 
 func bclBandwidthOn(fk cluster.FabricKind, size, msgs int) float64 {
 	prof := hw.DAWNING3000()
-	c := cluster.New(cluster.Config{Nodes: 4, Fabric: fk, Profile: prof, NIC: ibcl.DefaultNICConfig()})
+	c := newCluster(cluster.Config{Nodes: 4, Fabric: fk, Profile: prof, NIC: ibcl.DefaultNICConfig()})
 	sys := ibcl.NewSystem(c)
 	var a, bp *ibcl.Port
 	c.Env.Go("setup", func(p *sim.Proc) {
@@ -151,7 +151,7 @@ func AblationWindow() *Report {
 	for _, w := range []int{1, 2, 4, 32} {
 		prof := hw.DAWNING3000()
 		cfg := nic.Config{Translate: nic.HostTranslated, Completion: nic.UserEventQueue, Reliable: true, Window: w}
-		c := cluster.New(cluster.Config{Nodes: 2, Profile: prof, NIC: cfg})
+		c := newCluster(cluster.Config{Nodes: 2, Profile: prof, NIC: cfg})
 		sys := ibcl.NewSystem(c)
 		var a, bp *ibcl.Port
 		c.Env.Go("setup", func(p *sim.Proc) {

@@ -55,7 +55,7 @@ func AblationIntraPath() *Report {
 // exactly the point of the comparison).
 func nicLoopback(prof *hw.Profile) (latency sim.Time, bandwidth float64) {
 	build := func() (*cluster.Cluster, *nic.NIC, *mem.AddrSpace, *mem.AddrSpace) {
-		c := cluster.New(cluster.Config{Nodes: 1, Profile: prof,
+		c := newCluster(cluster.Config{Nodes: 1, Profile: prof,
 			NIC: nic.Config{Translate: nic.HostTranslated, Completion: nic.UserEventQueue, Reliable: true}})
 		nd := c.Nodes[0]
 		sa := nd.Kernel.Spawn().Space
@@ -154,7 +154,7 @@ func nicLoopback(prof *hw.Profile) (latency sim.Time, bandwidth float64) {
 // directCopy models the unsafe user-to-user variant: one memcpy from
 // source to destination address space, no queueing, no protection.
 func directCopy(prof *hw.Profile) (latency sim.Time, bandwidth float64) {
-	c := cluster.New(cluster.Config{Nodes: 1, Profile: prof,
+	c := newCluster(cluster.Config{Nodes: 1, Profile: prof,
 		NIC: nic.Config{Translate: nic.HostTranslated, Completion: nic.UserEventQueue, Reliable: true}})
 	nd := c.Nodes[0]
 	var lat sim.Time

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	ibcl "bcl/internal/bcl"
+	"bcl/internal/fabric"
+	"bcl/internal/hw"
+	"bcl/internal/obs"
+	"bcl/internal/sim"
+	"bcl/internal/trace"
+)
+
+// This file holds the observability showcase experiments: a metered
+// ping-pong proving the registry agrees with the per-package Stats
+// structs, and a causal flow trace following one message (and its
+// forced retransmission) across host, NIC and fabric rows.
+
+// PingPong runs a paced BCL ping-pong with the virtual-time sampler
+// on, then cross-checks every NIC counter in the registry snapshot
+// against nic.Stats for the same run — the two must agree exactly,
+// because the registry pulls the same counters at snapshot time.
+func PingPong() *Report {
+	r := newReport("pingpong", "BCL ping-pong with cluster-wide metrics registry")
+	rg := newBCLRig(hw.DAWNING3000(), false)
+	rg.c.Obs.StartSampler(rg.c.Env, 250*sim.Microsecond, 64)
+
+	const iters = 32
+	chA := rg.a.CreateChannel()
+	chB := rg.b.CreateChannel()
+	var rtt sim.Time
+	rg.c.Env.Go("a", func(p *sim.Proc) {
+		va := rg.a.Process().Space.Alloc(64)
+		rg.a.PostRecv(p, chA, va, 64)
+		p.Sleep(200 * sim.Microsecond)
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			rg.a.Send(p, rg.b.Addr(), chB, va, 64, 0)
+			rg.a.WaitRecv(p)
+			rg.a.PostRecv(p, chA, va, 64)
+		}
+		rtt = (p.Now() - start) / iters
+	})
+	rg.c.Env.Go("b", func(p *sim.Proc) {
+		va := rg.b.Process().Space.Alloc(64)
+		rg.b.PostRecv(p, chB, va, 64)
+		for i := 0; i < iters; i++ {
+			rg.b.WaitRecv(p)
+			rg.b.PostRecv(p, chB, va, 64)
+			rg.b.Send(p, rg.a.Addr(), chA, va, 64, 0)
+		}
+	})
+	rg.c.Env.RunUntil(rg.c.Env.Now() + sim.Second)
+
+	snap := rg.c.Obs.Snapshot(rg.c.Env.Now())
+	r.Snap = snap
+
+	// Registry vs Stats agreement, counter by counter, both nodes.
+	var mismatches []string
+	for _, nd := range rg.c.Nodes {
+		st := nd.NIC.Stats()
+		for _, chk := range []struct {
+			name string
+			want uint64
+		}{
+			{"msgs_sent", st.MsgsSent},
+			{"msgs_received", st.MsgsReceived},
+			{"packets_sent", st.PacketsSent},
+			{"packets_recv", st.PacketsRecv},
+			{"retransmits", st.Retransmits},
+			{"bytes_sent", st.BytesSent},
+			{"bytes_received", st.BytesReceived},
+		} {
+			got, ok := snap.Counter(nd.ID, "nic", chk.name)
+			if !ok || got != chk.want {
+				mismatches = append(mismatches,
+					fmt.Sprintf("node %d nic/%s: registry %d, Stats %d", nd.ID, chk.name, got, chk.want))
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d ping-pong rounds, 64B payload: half-RTT %.2f µs\n\n", iters, us(rtt/2))
+	if len(mismatches) == 0 {
+		b.WriteString("registry vs nic.Stats: all counters agree on both nodes\n")
+	} else {
+		b.WriteString("registry vs nic.Stats: MISMATCH\n")
+		for _, m := range mismatches {
+			fmt.Fprintf(&b, "  %s\n", m)
+		}
+	}
+	h := snap.MergedHist("nic", "msg_latency_ns")
+	fmt.Fprintf(&b, "\nend-to-end latency histogram: %d observations, p50 <= %.1f µs, p99 <= %.1f µs\n",
+		h.Count, float64(h.Quantile(0.5))/1000, float64(h.Quantile(0.99))/1000)
+	fmt.Fprintf(&b, "\nsampler timeline (%d samples on the virtual clock):\n", len(rg.c.Obs.Samples()))
+	b.WriteString(rg.c.Obs.TimelineText([]obs.TimelineCol{
+		{Label: "msgs_sent", Layer: "nic", Name: "msgs_sent"},
+		{Label: "packets_sent", Layer: "nic", Name: "packets_sent"},
+		{Label: "retransmits", Layer: "nic", Name: "retransmits"},
+		{Label: "traps", Layer: "kernel", Name: "traps"},
+	}))
+	r.Text = b.String()
+	r.metric("half_rtt_us", us(rtt/2))
+	r.metric("registry_agrees", b2f(len(mismatches) == 0))
+	r.metric("hist_count", float64(h.Count))
+	r.metric("samples", float64(len(rg.c.Obs.Samples())))
+	return r
+}
+
+// flowTracedMessage runs one traced message under a one-shot fault
+// that drops its first DATA packet, so the flow contains the
+// retransmission. Returns the tracer, the cluster's observability
+// bundle and the one-way completion time.
+func flowTracedMessage() (*trace.Tracer, *obs.Obs, sim.Time) {
+	rg := newBCLRig(hw.DAWNING3000(), false)
+	tr := trace.New()
+	var oneWay sim.Time
+	var sentAt sim.Time
+	rg.c.Env.Go("warm", func(p *sim.Proc) {
+		va := rg.a.Process().Space.Alloc(64)
+		rg.a.Send(p, rg.b.Addr(), ibcl.SystemChannel, va, 0, 0)
+		rg.a.WaitSend(p)
+		p.Sleep(300 * sim.Microsecond)
+		// Attach tracers and the fault for the measured message. The
+		// fault drops exactly one traced DATA packet, so the sender's
+		// retransmit timer must fire once before delivery.
+		rg.a.SetTracer(tr)
+		rg.b.SetTracer(tr)
+		rg.c.SetTracer(tr)
+		dropped := false
+		rg.c.Fabric.SetFault(func(_ *sim.Env, pkt *fabric.Packet) fabric.Verdict {
+			if !dropped && pkt.Kind == fabric.KindData && pkt.Trace != 0 {
+				dropped = true
+				return fabric.Drop
+			}
+			return fabric.Deliver
+		})
+		sentAt = p.Now()
+		rg.a.Send(p, rg.b.Addr(), ibcl.SystemChannel, va, 0, 0)
+		rg.a.WaitSend(p)
+	})
+	rg.c.Env.Go("recv", func(p *sim.Proc) {
+		rg.b.WaitRecv(p)
+		rg.b.WaitRecv(p)
+		oneWay = p.Now() - sentAt
+	})
+	rg.c.Env.RunUntil(rg.c.Env.Now() + sim.Second)
+	return tr, rg.c.Obs, oneWay
+}
+
+// FlowTrace reports the causal flow timeline of one message whose
+// first DATA packet the fabric dropped: compose, trap, NIC send,
+// wire, retransmit, receive, completion — all under one trace id.
+func FlowTrace() *Report {
+	r := newReport("flowtrace", "Causal flow trace of one message (forced retransmission)")
+	tr, o, oneWay := flowTracedMessage()
+	flows := tr.Flows()
+	retx := 0
+	wire := 0
+	rows := map[string]bool{}
+	for _, id := range flows {
+		for _, s := range tr.FlowSpans(id) {
+			rows[s.Where] = true
+			if s.Stage == "nic: retransmit" {
+				retx++
+			}
+			if strings.HasPrefix(s.Where, "wire:") {
+				wire++
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(tr.FlowTimeline())
+	fmt.Fprintf(&b, "\none-way completion (including the retransmit timeout): %.2f µs\n", us(oneWay))
+	fmt.Fprintf(&b, "flow rows: %d (host, nic, wire); retransmit spans: %d\n", len(rows), retx)
+	fmt.Fprintf(&b, "\nflight recorder:\n%s", o.Rec.Text(8))
+	r.Text = b.String()
+	r.metric("flows", float64(len(flows)))
+	r.metric("flow_rows", float64(len(rows)))
+	r.metric("retransmit_spans", float64(retx))
+	r.metric("wire_spans", float64(wire))
+	r.metric("oneway_us", us(oneWay))
+	return r
+}
+
+// FlowChromeJSON renders the forced-retransmission flow trace as
+// Chrome trace-event JSON: the "bcl-flow" arrows follow the message
+// across the host, NIC and wire rows (cmd/bcltrace -flow -chrome).
+func FlowChromeJSON() ([]byte, error) {
+	tr, _, _ := flowTracedMessage()
+	return tr.ChromeTrace()
+}

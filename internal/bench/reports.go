@@ -31,7 +31,7 @@ func Table1() *Report {
 
 	// Kernel-level.
 	{
-		c := cluster.New(cluster.Config{Nodes: 2, NIC: klc.NICConfig()})
+		c := newCluster(cluster.Config{Nodes: 2, NIC: klc.NICConfig()})
 		sys := klc.NewSystem(c)
 		var a, b *klc.Socket
 		c.Env.Go("setup", func(p *sim.Proc) {
@@ -63,7 +63,7 @@ func Table1() *Report {
 
 	// User-level.
 	{
-		c := cluster.New(cluster.Config{Nodes: 2, NIC: ulc.NICConfig()})
+		c := newCluster(cluster.Config{Nodes: 2, NIC: ulc.NICConfig()})
 		sys := ulc.NewSystem(c)
 		var a, b *ulc.Port
 		c.Env.Go("setup", func(p *sim.Proc) {
@@ -197,11 +197,11 @@ func tracedMessage() (*trace.Tracer, sim.Time) {
 		rg.a.Send(p, rg.b.Addr(), ibcl.SystemChannel, va, 0, 0)
 		rg.a.WaitSend(p)
 		p.Sleep(300 * sim.Microsecond)
-		// Attach tracers for the measured message.
+		// Attach tracers for the measured message: ports, NICs and the
+		// fabric, so the flow crosses host, NIC and wire rows.
 		rg.a.SetTracer(tr)
 		rg.b.SetTracer(tr)
-		rg.c.Nodes[0].NIC.Tracer = tr
-		rg.c.Nodes[1].NIC.Tracer = tr
+		rg.c.SetTracer(tr)
 		sentAt = p.Now()
 		rg.a.Send(p, rg.b.Addr(), ibcl.SystemChannel, va, 0, 0)
 		rg.a.WaitSend(p)
@@ -489,30 +489,11 @@ func Table3() *Report {
 
 // ------------------------------------------------- fault-path counters
 
-// sumFaultCounters totals the fault-path NIC counters (retransmits,
-// failures, fail-fasts, backoff arms, probes, peer deaths/recoveries)
-// over every node in the cluster, so chaos and outage reports can
-// print one line per counter instead of one table per node.
-func sumFaultCounters(c *cluster.Cluster) chaosCounters {
-	var s chaosCounters
-	for _, nd := range c.Nodes {
-		st := nd.NIC.Stats()
-		s.retransmits += st.Retransmits
-		s.sendFailures += st.SendFailures
-		s.fastFails += st.FastFails
-		s.backoffs += st.Backoffs
-		s.probes += st.Probes
-		s.peerDeaths += st.PeerDeaths
-		s.peerRecoveries += st.PeerRecoveries
-	}
-	return s
-}
-
-// faultCountersText renders the summed counters as a block of report
-// text.
+// faultCountersText renders the registry-sourced fault counters as a
+// block of report text.
 func faultCountersText(s chaosCounters) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-28s %12s\n", "nic counters (all nodes)", "")
+	fmt.Fprintf(&b, "%-28s %12s\n", "registry counters (nic, all nodes)", "")
 	fmt.Fprintf(&b, "%-28s %12d\n", "  retransmits", s.retransmits)
 	fmt.Fprintf(&b, "%-28s %12d\n", "  send failures", s.sendFailures)
 	fmt.Fprintf(&b, "%-28s %12d\n", "  fast-fails (peer dead)", s.fastFails)

@@ -51,7 +51,7 @@ func Scale() *Report {
 // collectiveTimes builds an n-rank job on n nodes and times one warm
 // barrier and one warm 1 KB allreduce.
 func collectiveTimes(n int) (barrier, allreduce sim.Time) {
-	c := cluster.New(cluster.Config{Nodes: n, Profile: hw.DAWNING3000(), NIC: ibcl.DefaultNICConfig()})
+	c := newCluster(cluster.Config{Nodes: n, Profile: hw.DAWNING3000(), NIC: ibcl.DefaultNICConfig()})
 	sys := ibcl.NewSystem(c)
 	ports := make([]*ibcl.Port, n)
 	c.Env.Go("setup", func(p *sim.Proc) {

@@ -13,7 +13,9 @@ import (
 	"bcl/internal/hw"
 	"bcl/internal/nic"
 	"bcl/internal/node"
+	"bcl/internal/obs"
 	"bcl/internal/sim"
+	"bcl/internal/trace"
 )
 
 // FabricKind selects the system-area network.
@@ -45,6 +47,11 @@ type Cluster struct {
 	Prof   *hw.Profile
 	Fabric fabric.Fabric
 	Nodes  []*node.Node
+
+	// Obs is the machine-wide observability hub: one metrics registry
+	// (with pull collectors registered for the fabric, every NIC and
+	// every kernel) plus the shared flight recorder.
+	Obs *obs.Obs
 }
 
 // New builds a cluster. Zero-value config fields get DAWNING-3000
@@ -74,11 +81,30 @@ func New(cfg Config) *Cluster {
 	default:
 		panic(fmt.Sprintf("cluster: unknown fabric %q", cfg.Fabric))
 	}
-	c := &Cluster{Env: env, Prof: cfg.Profile, Fabric: fab}
+	o := obs.New()
+	c := &Cluster{Env: env, Prof: cfg.Profile, Fabric: fab, Obs: o}
+	o.RegisterCollector(fab.Collect)
+	if hf, ok := fab.(*hetero.Fabric); ok {
+		hf.Obs = o
+	}
 	for i := 0; i < cfg.Nodes; i++ {
-		c.Nodes = append(c.Nodes, node.New(env, cfg.Profile, i, fab, cfg.NIC))
+		n := node.New(env, cfg.Profile, i, fab, cfg.NIC)
+		n.Obs = o
+		n.NIC.Obs = o
+		o.RegisterCollector(n.NIC.Collect)
+		o.RegisterCollector(n.Kernel.Collect)
+		c.Nodes = append(c.Nodes, n)
 	}
 	return c
+}
+
+// SetTracer attaches one tracer to the fabric and every NIC, so host,
+// NIC and wire spans land in a single timeline.
+func (c *Cluster) SetTracer(tr *trace.Tracer) {
+	c.Fabric.SetTracer(tr)
+	for _, n := range c.Nodes {
+		n.NIC.Tracer = tr
+	}
 }
 
 // Size returns the node count.

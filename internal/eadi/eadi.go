@@ -28,6 +28,7 @@ import (
 	"bcl/internal/bcl"
 	"bcl/internal/mem"
 	"bcl/internal/nic"
+	"bcl/internal/obs"
 	"bcl/internal/sim"
 )
 
@@ -136,13 +137,22 @@ type returnBuf struct {
 // NewDevice wraps a BCL port as rank `rank` of the job laid out in
 // addrs.
 func NewDevice(port *bcl.Port, rank int, addrs []bcl.Addr) *Device {
-	return &Device{
+	d := &Device{
 		port:      port,
 		rank:      rank,
 		addrs:     addrs,
 		sends:     make(map[int]*sendState),
 		rndvRecvs: make(map[int]*rndvRecv),
 	}
+	node := port.Addr().Node
+	port.Node().Obs.RegisterCollector(func(set obs.Set) {
+		set(node, "eadi", "eager_sent", d.EagerSent)
+		set(node, "eadi", "eager_recv", d.EagerRecv)
+		set(node, "eadi", "rndv_sent", d.RndvSent)
+		set(node, "eadi", "rndv_recv", d.RndvRecv)
+		set(node, "eadi", "unexpected_msgs", d.UnexpectedMsgs)
+	})
+	return d
 }
 
 // Rank returns this device's rank.

@@ -15,7 +15,9 @@ import (
 	"hash/crc32"
 
 	"bcl/internal/hw"
+	"bcl/internal/obs"
 	"bcl/internal/sim"
+	"bcl/internal/trace"
 )
 
 // PacketKind discriminates wire packets.
@@ -65,10 +67,18 @@ type Packet struct {
 	Kind    PacketKind
 	Src     int // source node id
 	Dst     int // destination node id
-	Flow    uint32
 	SrcPort int
 	DstPort int
 	Channel int
+
+	// Trace is the causal trace id minted when the message entered the
+	// stack (see trace.ID); it survives retransmission, duplication and
+	// rail failover so one message's packets can be followed
+	// end-to-end. Zero for untraced/control traffic.
+	Trace uint64
+	// Born is the virtual time the message entered the send path, for
+	// end-to-end latency histograms at the receiver.
+	Born sim.Time
 
 	MsgID   uint64 // sender-assigned message id
 	Seq     uint64 // per-flow wire sequence number
@@ -210,6 +220,13 @@ type Fabric interface {
 	NodeDown(node int) bool
 	// Name identifies the fabric type for traces and tables.
 	Name() string
+	// SetTracer attaches a span tracer: every packet's wire time (and
+	// in-fabric drop) becomes a span on a "wire:<name>" row (nil
+	// detaches).
+	SetTracer(tr *trace.Tracer)
+	// Collect publishes the fabric's packet counters into a metrics
+	// snapshot (obs.Collector shape).
+	Collect(set obs.Set)
 }
 
 // link is one directed physical channel.
@@ -242,6 +259,7 @@ type Network struct {
 	links     []*link
 	routes    map[[2]int][]int // (src,dst) -> link ids, including injection link
 	fault     Fault
+	tr        *trace.Tracer
 
 	nodeOut map[int][]outage // per-node link outage windows
 	allOut  []outage         // whole-fabric (switch/rail) outage windows
@@ -303,6 +321,31 @@ func (n *Network) Name() string { return n.name }
 // SetFault implements Fabric.
 func (n *Network) SetFault(f Fault) { n.fault = f }
 
+// SetTracer implements Fabric: wire-time spans land on the
+// "wire:<name>" row.
+func (n *Network) SetTracer(tr *trace.Tracer) { n.tr = tr }
+
+// Collect implements Fabric, publishing packet counters under the
+// "fabric:<name>" layer (node -1: link counters are cluster-wide).
+func (n *Network) Collect(set obs.Set) {
+	l := "fabric:" + n.name
+	set(-1, l, "delivered", n.delivered)
+	set(-1, l, "dropped", n.dropped)
+	set(-1, l, "duplicated", n.duplicated)
+	set(-1, l, "outage_drops", n.outageDrops)
+}
+
+// wireRow labels this fabric's trace row.
+func (n *Network) wireRow() string { return "wire:" + n.name }
+
+// traceWire records one wire span (delivery or drop) for a packet.
+func (n *Network) traceWire(pkt *Packet, what string, start, end sim.Time) {
+	if n.tr == nil {
+		return
+	}
+	n.tr.AddFlow("wire: "+pkt.Kind.String()+what, n.wireRow(), pkt.Trace, start, end)
+}
+
 // LinkDown schedules an outage of node's fabric attachment over the
 // virtual-time window [from, to): every packet entering or leaving the
 // node in that window is lost in the fabric.
@@ -359,12 +402,14 @@ func (n *Network) payInjection(p *sim.Proc, src int, pkt *Packet) {
 // Intra-node sends (src == dst, no route) deliver directly.
 func (n *Network) inject(p *sim.Proc, src int, pkt *Packet) {
 	pkt.Sent = n.env.Now()
+	t0 := pkt.Sent
 	dup := false
 	if n.fault != nil {
 		switch n.fault(n.env, pkt) {
 		case Drop:
 			n.dropped++
 			n.payInjection(p, src, pkt)
+			n.traceWire(pkt, " dropped (fault)", t0, n.env.Now())
 			return
 		case Duplicate:
 			dup = true
@@ -390,6 +435,7 @@ func (n *Network) inject(p *sim.Proc, src int, pkt *Packet) {
 		n.dropped++
 		n.outageDrops++
 		n.payInjection(p, src, pkt)
+		n.traceWire(pkt, " dropped (outage)", t0, n.env.Now())
 		return
 	}
 
@@ -420,12 +466,14 @@ func (n *Network) inject(p *sim.Proc, src int, pkt *Packet) {
 		if n.NodeDown(pkt.Dst) {
 			n.dropped++
 			n.outageDrops++
+			n.traceWire(pkt, " dropped (outage)", t0, fp.Now())
 			return
 		}
 		// With equal link bandwidths the tail follows the head
 		// continuously, so after the last hop latency the whole packet
 		// has arrived (its serialization was paid once, at injection).
 		n.delivered++
+		n.traceWire(pkt, "", t0, fp.Now())
 		n.endpoints[pkt.Dst].RX.Post(pkt)
 		if dup {
 			n.delivered++

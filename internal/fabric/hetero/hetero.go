@@ -21,7 +21,9 @@ import (
 	"bcl/internal/fabric/mesh"
 	"bcl/internal/fabric/myrinet"
 	"bcl/internal/hw"
+	"bcl/internal/obs"
 	"bcl/internal/sim"
+	"bcl/internal/trace"
 )
 
 // Policy picks a rail for a (src, dst) pair: 0 = Myrinet, 1 = mesh.
@@ -56,6 +58,10 @@ type Fabric struct {
 	rails     [2]Rail
 	endpoints []*fabric.Endpoint
 	merged    []*sim.Queue[*fabric.Packet]
+
+	// Obs, when set (the cluster wires it), records rail failovers in
+	// the flight recorder.
+	Obs *obs.Obs
 
 	// Stats.
 	perRail   [2]uint64
@@ -105,6 +111,8 @@ func (f *Fabric) newEndpoint(node int) *fabric.Endpoint {
 		if f.railBlocked(rail, node, pkt.Dst) && !f.railBlocked(1-rail, node, pkt.Dst) {
 			rail = 1 - rail
 			f.failovers++
+			f.Obs.Event(f.env.Now(), node, "fabric", "rail-failover", pkt.Trace,
+				fmt.Sprintf("dst=%d -> %s", pkt.Dst, f.rails[rail].Name()))
 		}
 		f.perRail[rail]++
 		f.rails[rail].Attach(node).Inject(p, pkt)
@@ -129,6 +137,23 @@ func (f *Fabric) Name() string { return "hetero(myrinet+mesh)" }
 func (f *Fabric) SetFault(hook fabric.Fault) {
 	f.rails[0].SetFault(hook)
 	f.rails[1].SetFault(hook)
+}
+
+// SetTracer attaches the tracer to both rails, so each physical
+// network gets its own "wire:<name>" row.
+func (f *Fabric) SetTracer(tr *trace.Tracer) {
+	f.rails[0].SetTracer(tr)
+	f.rails[1].SetTracer(tr)
+}
+
+// Collect publishes the composite's routing counters and forwards to
+// both rails, so one snapshot covers the whole dual-rail fabric.
+func (f *Fabric) Collect(set obs.Set) {
+	set(-1, "fabric:hetero", "myrinet_pkts", f.perRail[0])
+	set(-1, "fabric:hetero", "mesh_pkts", f.perRail[1])
+	set(-1, "fabric:hetero", "failovers", f.failovers)
+	f.rails[0].Collect(set)
+	f.rails[1].Collect(set)
 }
 
 // NodeDown implements fabric.Fabric: a node is down for the composite

@@ -120,6 +120,12 @@ func (n *NIC) sendEngine(p *sim.Proc) {
 	for {
 		d := n.sendQ.Recv(p)
 		n.stats.MsgsSent++
+		if d.Born == 0 {
+			// Raw-NIC callers (and firmware-generated descriptors that
+			// did not inherit a birth time) are born at dequeue, so the
+			// latency histogram covers every architecture.
+			d.Born = p.Now()
+		}
 		if d.Kind == DescRMARead {
 			// A read request is a single control packet: no payload.
 			n.fetchQ.Send(p, fetchJob{desc: d, frags: 1, lastFrag: true})
@@ -181,7 +187,7 @@ func (n *NIC) injectEngine(p *sim.Proc) {
 				Kind: fabric.KindRMARead, Src: n.node, Dst: d.DstNode,
 				SrcPort: d.SrcPort, DstPort: d.DstPort, Channel: d.Channel,
 				MsgID: d.MsgID, Frags: 1, MsgLen: d.Len, Offset: d.Offset,
-				Tag: uint64(d.ReplyChannel),
+				Tag: uint64(d.ReplyChannel), Trace: d.Trace, Born: d.Born,
 			}
 			pkt.Seal()
 			n.transmit(p, flow, pkt, d, true, 0)
@@ -197,16 +203,16 @@ func (n *NIC) injectEngine(p *sim.Proc) {
 			cost = n.prof.MCPDescFetch + n.prof.MCPSendProc
 			stage = "nic: send proc (reliable protocol)"
 		}
-		n.Tracer.Do(p, stage, n.where(), func() { n.cpu.Use(p, 1, cost) })
+		n.Tracer.DoFlow(p, stage, n.where(), d.Trace, func() { n.cpu.Use(p, 1, cost) })
 		pkt := &fabric.Packet{
 			Kind: kind, Src: n.node, Dst: d.DstNode,
 			SrcPort: d.SrcPort, DstPort: d.DstPort, Channel: d.Channel,
 			MsgID: d.MsgID, FragIdx: j.fragIdx, Frags: j.frags, MsgLen: d.Len,
 			Offset: d.Offset + j.fragIdx*n.prof.MaxPacket, Tag: d.Tag,
-			Payload: j.payload,
+			Payload: j.payload, Trace: d.Trace, Born: d.Born,
 		}
 		pkt.Seal()
-		n.Tracer.Do(p, "nic: inject to network", n.where(), func() {
+		n.Tracer.DoFlow(p, "nic: inject to network", n.where(), d.Trace, func() {
 			n.transmit(p, flow, pkt, d, j.lastFrag, j.sram)
 		})
 	}
@@ -344,6 +350,8 @@ func (n *NIC) transmit(p *sim.Proc, flow *txFlow, pkt *fabric.Packet, d *SendDes
 		}
 		if lastFrag {
 			n.stats.FastFails++
+			n.Obs.Event(n.env.Now(), n.node, "nic", "fast-fail", pkt.Trace,
+				fmt.Sprintf("dst=%d msg=%d peer %v", d.DstNode, d.MsgID, flow.health))
 			n.failMessage(p, d)
 		} else {
 			if flow.failed == nil {
@@ -460,10 +468,15 @@ func (n *NIC) retxEngine(p *sim.Proc) {
 		if f.health == PeerUp {
 			f.health = PeerSuspect
 		}
+		n.Obs.Event(n.env.Now(), n.node, "nic", "retx-round",
+			f.unacked[0].pkt.Trace,
+			fmt.Sprintf("dst=%d round=%d pkts=%d", f.dst, f.retries, len(f.unacked)))
 		for _, pd := range f.unacked {
-			n.cpu.Use(p, 1, n.prof.MCPPacketProc)
-			n.stats.Retransmits++
-			n.inject(p, wireCopy(pd.pkt))
+			n.Tracer.DoFlow(p, "nic: retransmit", n.where(), pd.pkt.Trace, func() {
+				n.cpu.Use(p, 1, n.prof.MCPPacketProc)
+				n.stats.Retransmits++
+				n.inject(p, wireCopy(pd.pkt))
+			})
 		}
 		n.armTimer(f)
 	}
@@ -493,6 +506,8 @@ func (n *NIC) failFlow(p *sim.Proc, f *txFlow) {
 				f.failed[pd.pkt.MsgID] = true // already reported here
 			}
 			n.stats.SendFailures++
+			n.Obs.Event(n.env.Now(), n.node, "nic", "send-failed", pd.pkt.Trace,
+				fmt.Sprintf("dst=%d msg=%d retries exhausted", f.dst, pd.pkt.MsgID))
 			n.postEvent(p, pd.desc.SrcPort, EvSendFailed, pd.desc, 0)
 		}
 	}
@@ -507,6 +522,7 @@ func (n *NIC) failFlow(p *sim.Proc, f *txFlow) {
 		n.stats.PeerDeaths++
 		now := n.env.Now()
 		n.Tracer.Add("nic: peer dead", n.where(), now, now)
+		n.Obs.Event(now, n.node, "nic", "peer-dead", 0, fmt.Sprintf("dst=%d", f.dst))
 		n.armProbe(f)
 	}
 	n.wakeWindow(f)
@@ -528,6 +544,7 @@ func (n *NIC) sendProbe(p *sim.Proc, f *txFlow) {
 	f.health = PeerProbing
 	n.cpu.Use(p, 1, n.prof.MCPAckProc)
 	n.stats.Probes++
+	n.Obs.Event(n.env.Now(), n.node, "nic", "probe", 0, fmt.Sprintf("dst=%d", f.dst))
 	pb := &fabric.Packet{Kind: fabric.KindProbe, Src: n.node, Dst: f.dst}
 	pb.Seal()
 	n.ep.Inject(p, pb)
@@ -541,6 +558,7 @@ func (n *NIC) markPeerUp(f *txFlow) {
 		n.stats.PeerRecoveries++
 		now := n.env.Now()
 		n.Tracer.Add("nic: peer recovered", n.where(), now, now)
+		n.Obs.Event(now, n.node, "nic", "peer-recovered", 0, fmt.Sprintf("dst=%d", f.dst))
 	}
 	f.health = PeerUp
 	f.retries = 0
@@ -637,11 +655,13 @@ func (n *NIC) handleNack(p *sim.Proc, pkt *fabric.Packet) {
 }
 
 func (n *NIC) handleData(p *sim.Proc, pkt *fabric.Packet) {
-	n.Tracer.Do(p, "nic: recv processing", n.where(), func() {
+	n.Tracer.DoFlow(p, "nic: recv processing", n.where(), pkt.Trace, func() {
 		n.cpu.Use(p, 1, n.prof.MCPRecvProc)
 	})
 	if !pkt.Verify() {
 		n.stats.CRCDrops++
+		n.Obs.Event(n.env.Now(), n.node, "nic", "crc-drop", pkt.Trace,
+			fmt.Sprintf("src=%d seq=%d", pkt.Src, pkt.Seq))
 		return // silence; sender's timer recovers
 	}
 	f := n.flowFrom(pkt.Src)
@@ -674,6 +694,8 @@ func (n *NIC) handleData(p *sim.Proc, pkt *fabric.Packet) {
 	asm, err := n.assemblyFor(p, f, pkt)
 	if err != nil {
 		n.stats.NoBufferDrops++
+		n.Obs.Event(n.env.Now(), n.node, "nic", "no-buffer-drop", pkt.Trace,
+			fmt.Sprintf("src=%d: %v", pkt.Src, err))
 		if n.cfg.Reliable {
 			n.sendNack(p, pkt)
 		}
@@ -715,12 +737,15 @@ func (n *NIC) handleData(p *sim.Proc, pkt *fabric.Packet) {
 	if asm.got == asm.frags {
 		delete(f.asm, pkt.MsgID)
 		n.stats.MsgsReceived++
+		if pkt.Born > 0 {
+			n.Obs.Observe(n.node, "nic", "msg_latency_ns", int64(n.env.Now()-pkt.Born))
+		}
 		if asm.recvEvent {
 			ev := &Event{
 				Type: EvRecvDone, Port: pkt.DstPort, Channel: pkt.Channel,
 				MsgID: pkt.MsgID, Len: pkt.MsgLen, Tag: pkt.Tag,
 				SrcNode: pkt.Src, SrcPort: pkt.SrcPort, VA: asm.desc.VA,
-				Stamp: n.env.Now(),
+				Stamp: n.env.Now(), Trace: pkt.Trace,
 			}
 			n.deliverEvent(p, asm.port, asm.port.RecvEvQ, ev)
 		}
@@ -810,6 +835,8 @@ func (n *NIC) handleRMARead(p *sim.Proc, pkt *fabric.Packet) bool {
 		VA:      d.VA + mem.VAddr(pkt.Offset),
 		Space:   d.Space,
 		NoEvent: true,
+		Trace:   pkt.Trace, // the reply stays on the initiator's flow
+		Born:    pkt.Born,
 	}
 	n.sendQ.Post(reply)
 	return true
@@ -851,7 +878,7 @@ func (n *NIC) postEvent(p *sim.Proc, portID int, t EventType, d *SendDesc, ln in
 	ev := &Event{
 		Type: t, Port: portID, Channel: d.Channel, MsgID: d.MsgID,
 		Len: d.Len, Tag: d.Tag, SrcNode: n.node, SrcPort: d.SrcPort,
-		Stamp: n.env.Now(),
+		Stamp: n.env.Now(), Trace: d.Trace,
 	}
 	n.deliverEvent(p, port, port.SendEvQ, ev)
 }
@@ -859,7 +886,7 @@ func (n *NIC) postEvent(p *sim.Proc, portID int, t EventType, d *SendDesc, ln in
 // deliverEvent charges the completion-path costs and hands the event
 // to the host: DMA into the user event queue, or an interrupt.
 func (n *NIC) deliverEvent(p *sim.Proc, port *Port, q *sim.Queue[*Event], ev *Event) {
-	n.Tracer.Do(p, "nic: completion event DMA", n.where(), func() {
+	n.Tracer.DoFlow(p, "nic: completion event DMA", n.where(), ev.Trace, func() {
 		n.cpu.Use(p, 1, n.prof.MCPEventDMA)
 		n.Bus.Use(p, 1, n.prof.EventBusTime)
 	})

@@ -26,6 +26,7 @@ import (
 	"bcl/internal/fabric"
 	"bcl/internal/hw"
 	"bcl/internal/mem"
+	"bcl/internal/obs"
 	"bcl/internal/sim"
 	"bcl/internal/trace"
 )
@@ -92,6 +93,14 @@ type SendDesc struct {
 	// NoEvent suppresses the sender completion event (internal
 	// firmware-generated traffic such as RMA read replies).
 	NoEvent bool
+
+	// Trace is the causal trace id minted at the library send call (see
+	// trace.ID); the firmware stamps it onto every packet of the message
+	// so one message's spans link across host, NIC and fabric rows.
+	Trace uint64
+	// Born is when the message entered the stack (library send time);
+	// the receiving NIC uses it for the end-to-end latency histogram.
+	Born sim.Time
 }
 
 // RecvDesc describes a posted receive buffer (or an open-channel
@@ -138,6 +147,7 @@ type Event struct {
 	SrcPort int
 	VA      mem.VAddr // receive buffer base (for the library's benefit)
 	Stamp   sim.Time
+	Trace   uint64 // causal trace id of the message, 0 if untraced
 }
 
 // Port is the NIC-resident state of one BCL-style communication port:
@@ -254,6 +264,11 @@ type NIC struct {
 	// figures. A nil tracer records nothing.
 	Tracer *trace.Tracer
 
+	// Obs, when set (the cluster wires it), receives flight-recorder
+	// events for fault-path transitions and the end-to-end message
+	// latency histogram. A nil Obs records nothing.
+	Obs *obs.Obs
+
 	tlb *nicTLB
 
 	stats Stats
@@ -300,6 +315,41 @@ func (n *NIC) Node() int { return n.node }
 
 // Stats returns a snapshot of the NIC counters.
 func (n *NIC) Stats() Stats { return n.stats }
+
+// Collect publishes every NIC counter into a metrics snapshot under
+// layer "nic". Pull-model: the registry calls this at snapshot time,
+// so the hot paths pay nothing and the registry values agree with
+// Stats by construction.
+func (n *NIC) Collect(set obs.Set) {
+	s := &n.stats
+	for _, c := range []struct {
+		name string
+		v    uint64
+	}{
+		{"msgs_sent", s.MsgsSent},
+		{"msgs_received", s.MsgsReceived},
+		{"packets_sent", s.PacketsSent},
+		{"packets_recv", s.PacketsRecv},
+		{"retransmits", s.Retransmits},
+		{"crc_drops", s.CRCDrops},
+		{"seq_drops", s.SeqDrops},
+		{"no_buffer_drops", s.NoBufferDrops},
+		{"nacks", s.NACKs},
+		{"interrupts", s.Interrupts},
+		{"tlb_hits", s.TLBHits},
+		{"tlb_misses", s.TLBMisses},
+		{"bytes_sent", s.BytesSent},
+		{"bytes_received", s.BytesReceived},
+		{"send_failures", s.SendFailures},
+		{"fast_fails", s.FastFails},
+		{"backoffs", s.Backoffs},
+		{"probes", s.Probes},
+		{"peer_deaths", s.PeerDeaths},
+		{"peer_recoveries", s.PeerRecoveries},
+	} {
+		set(n.node, "nic", c.name, c.v)
+	}
+}
 
 // PeerHealth returns the firmware's liveness belief about a remote
 // node (PeerUp if no flow exists yet).

@@ -10,6 +10,7 @@ import (
 	"bcl/internal/hw"
 	"bcl/internal/mem"
 	"bcl/internal/nic"
+	"bcl/internal/obs"
 	"bcl/internal/oskernel"
 	"bcl/internal/sim"
 )
@@ -24,6 +25,11 @@ type Node struct {
 	MemBus *sim.Resource // memory system: concurrent big copies contend here
 	Kernel *oskernel.Kernel
 	NIC    *nic.NIC
+
+	// Obs is the cluster-wide observability hub (nil-safe to use; the
+	// cluster wires it so every layer on this node shares one registry
+	// and flight recorder).
+	Obs *obs.Obs
 }
 
 // New builds a node and its NIC, attached to the given fabric.

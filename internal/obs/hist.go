@@ -1,0 +1,189 @@
+package obs
+
+import "math/bits"
+
+// histBuckets is the bucket count of the log2 histogram: bucket i
+// holds values in (2^(i-1), 2^i] nanoseconds (bucket 0 holds v <= 1),
+// so 48 buckets cover everything up to ~2^47 ns — about 39 hours of
+// virtual time, far beyond any simulated run.
+const histBuckets = 48
+
+// Histogram is a log2-bucketed latency histogram. Values are virtual
+// nanoseconds (int64); negative observations clamp to zero.
+type Histogram struct {
+	counts [histBuckets]uint64
+	count  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// bucketOf returns the index of the bucket covering v: the smallest i
+// with v <= 1<<i, capped to the last bucket.
+func bucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(v - 1)) // smallest i with v <= 1<<i
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one value. A nil histogram is a no-op.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot: Le is the
+// inclusive upper bound in nanoseconds, Count the observations in
+// (Le/2, Le] alone (not cumulative).
+type Bucket struct {
+	Le    int64  `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistPoint is one histogram in a snapshot. Only non-empty buckets are
+// kept; a zero-observation histogram has Count 0, empty Buckets, and
+// Min/Max/Sum 0.
+type HistPoint struct {
+	Key
+	Count   uint64   `json:"count"`
+	Sum     int64    `json:"sum_ns"`
+	Min     int64    `json:"min_ns"`
+	Max     int64    `json:"max_ns"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// point snapshots the histogram state under a key.
+func (h *Histogram) point(k Key) HistPoint {
+	p := HistPoint{Key: k}
+	if h == nil || h.count == 0 {
+		return p
+	}
+	p.Count, p.Sum, p.Min, p.Max = h.count, h.sum, h.min, h.max
+	for i, c := range h.counts {
+		if c > 0 {
+			p.Buckets = append(p.Buckets, Bucket{Le: int64(1) << i, Count: c})
+		}
+	}
+	return p
+}
+
+// merge folds another point into this one (same metric, different
+// node, or successive runs).
+func (p *HistPoint) merge(o HistPoint) {
+	if o.Count == 0 {
+		return
+	}
+	if p.Count == 0 || o.Min < p.Min {
+		p.Min = o.Min
+	}
+	if o.Max > p.Max {
+		p.Max = o.Max
+	}
+	p.Count += o.Count
+	p.Sum += o.Sum
+	p.Buckets = addBuckets(p.Buckets, o.Buckets, 1)
+}
+
+// sub subtracts a previous point (for Diff). Min/Max keep the current
+// values: extremes have no meaningful delta.
+func (p HistPoint) sub(prev HistPoint) HistPoint {
+	out := p
+	out.Count -= prev.Count
+	out.Sum -= prev.Sum
+	out.Buckets = addBuckets(append([]Bucket(nil), p.Buckets...), prev.Buckets, -1)
+	return out
+}
+
+// addBuckets merges b into a with the given sign, keeping ascending Le
+// order and dropping empty buckets.
+func addBuckets(a, b []Bucket, sign int64) []Bucket {
+	m := make(map[int64]uint64, len(a)+len(b))
+	for _, x := range a {
+		m[x.Le] += x.Count
+	}
+	for _, x := range b {
+		if sign < 0 {
+			m[x.Le] -= x.Count
+		} else {
+			m[x.Le] += x.Count
+		}
+	}
+	var les []int64
+	for le, c := range m {
+		if c != 0 {
+			les = append(les, le)
+		}
+	}
+	// Les are powers of two; sort ascending.
+	for i := 1; i < len(les); i++ {
+		for j := i; j > 0 && les[j] < les[j-1]; j-- {
+			les[j], les[j-1] = les[j-1], les[j]
+		}
+	}
+	out := make([]Bucket, 0, len(les))
+	for _, le := range les {
+		out = append(out, Bucket{Le: le, Count: m[le]})
+	}
+	return out
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile observation (0 on an empty histogram), clamped to the
+// observed [Min, Max] range so summary lines read naturally.
+func (p HistPoint) Quantile(q float64) int64 {
+	if p.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(p.Count))
+	if target == 0 {
+		target = 1
+	}
+	cum := uint64(0)
+	v := p.Max
+	for _, b := range p.Buckets {
+		cum += b.Count
+		if cum >= target {
+			v = b.Le
+			break
+		}
+	}
+	if v > p.Max {
+		v = p.Max
+	}
+	if v < p.Min {
+		v = p.Min
+	}
+	return v
+}

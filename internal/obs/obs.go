@@ -1,0 +1,165 @@
+// Package obs is the cluster-wide observability layer: a metrics
+// registry (counters, gauges, log-bucketed latency histograms keyed by
+// (node, layer, name)), a flight recorder (bounded ring of recent
+// protocol events), and a periodic virtual-time sampler producing
+// time-series snapshots.
+//
+// Everything runs on the virtual clock and is fully deterministic:
+// snapshots sort their entries, the sampler is driven by sim timer
+// events only, and no wall-clock or map-iteration order ever reaches
+// the output. The protocol layers publish their existing counters
+// through pull-model Collectors, so the hot paths pay nothing and the
+// registry can never drift from the per-package Stats structs.
+//
+// The package sits below every protocol layer: it imports only sim.
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"bcl/internal/sim"
+)
+
+// Obs bundles one cluster's observability state: the metrics registry,
+// the flight recorder, and the sampler's time series. A nil *Obs is
+// valid everywhere and records nothing, so components built outside a
+// cluster keep working untraced.
+type Obs struct {
+	Reg *Registry
+	Rec *Recorder
+
+	samples    []Sample
+	keep       int
+	sampler    *sim.Timer
+	samplerEnv *sim.Env
+}
+
+// Sample is one sampler tick: the registry state at a virtual instant.
+type Sample struct {
+	At   sim.Time
+	Snap *Snapshot
+}
+
+// New returns an empty observability bundle with a 256-event flight
+// recorder.
+func New() *Obs {
+	return &Obs{Reg: NewRegistry(), Rec: NewRecorder(256)}
+}
+
+// RegisterCollector adds a pull-model counter source to the registry.
+func (o *Obs) RegisterCollector(c Collector) {
+	if o == nil {
+		return
+	}
+	o.Reg.RegisterCollector(c)
+}
+
+// Event appends a protocol event to the flight recorder.
+func (o *Obs) Event(t sim.Time, node int, layer, what string, trace uint64, detail string) {
+	if o == nil {
+		return
+	}
+	o.Rec.Record(t, node, layer, what, trace, detail)
+}
+
+// Observe records one value into the (node, layer, name) histogram.
+func (o *Obs) Observe(node int, layer, name string, v int64) {
+	if o == nil {
+		return
+	}
+	o.Reg.Histogram(node, layer, name).Observe(v)
+}
+
+// Snapshot captures the registry at the given virtual time.
+func (o *Obs) Snapshot(at sim.Time) *Snapshot {
+	if o == nil {
+		return &Snapshot{}
+	}
+	return o.Reg.Snapshot(at)
+}
+
+// StartSampler arms a periodic virtual-time sampler: every `every`
+// virtual nanoseconds it snapshots the registry into a bounded series
+// (the oldest of `keep` samples is dropped on overflow). The sampler
+// re-arms only while other events are still pending, so an Env.Run()
+// that would otherwise drain to idle still terminates: once the
+// simulation has nothing left to do, the series is complete.
+func (o *Obs) StartSampler(env *sim.Env, every sim.Time, keep int) {
+	if o == nil || env == nil || every <= 0 {
+		return
+	}
+	if keep <= 0 {
+		keep = 64
+	}
+	o.StopSampler()
+	o.keep = keep
+	o.samplerEnv = env
+	var tick func()
+	tick = func() {
+		o.addSample(Sample{At: env.Now(), Snap: o.Reg.Snapshot(env.Now())})
+		if env.Idle() {
+			// Nothing else is scheduled: re-arming would keep the event
+			// queue non-empty forever.
+			o.sampler = nil
+			return
+		}
+		o.sampler = env.After(every, tick)
+	}
+	o.sampler = env.After(every, tick)
+}
+
+// StopSampler cancels a pending sampler tick (the series is kept).
+func (o *Obs) StopSampler() {
+	if o == nil || o.sampler == nil {
+		return
+	}
+	o.sampler.Cancel()
+	o.sampler = nil
+}
+
+func (o *Obs) addSample(s Sample) {
+	if len(o.samples) >= o.keep {
+		o.samples = append(o.samples[:0], o.samples[1:]...)
+	}
+	o.samples = append(o.samples, s)
+}
+
+// Samples returns the sampler's time series, oldest first.
+func (o *Obs) Samples() []Sample {
+	if o == nil {
+		return nil
+	}
+	return o.samples
+}
+
+// TimelineCol names one column of a metrics timeline: a counter summed
+// across all nodes of the given layer.
+type TimelineCol struct {
+	Label string
+	Layer string
+	Name  string
+}
+
+// TimelineText renders the sampler series as a table: one row per
+// sample, one column per counter (cumulative values, summed across
+// nodes).
+func (o *Obs) TimelineText(cols []TimelineCol) string {
+	if o == nil || len(o.samples) == 0 {
+		return "(no samples)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s", "t")
+	for _, c := range cols {
+		fmt.Fprintf(&b, " %14s", c.Label)
+	}
+	b.WriteByte('\n')
+	for _, s := range o.samples {
+		fmt.Fprintf(&b, "%8.1fms", float64(s.At)/float64(sim.Millisecond))
+		for _, c := range cols {
+			fmt.Fprintf(&b, " %14d", s.Snap.SumCounter(c.Layer, c.Name))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"bcl/internal/sim"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// Bucket i covers (2^(i-1), 2^i]: 1 -> le=1, 2 -> le=2, 3 and 4 ->
+	// le=4, 5 -> le=8. Exact powers of two land in their own bucket.
+	h := &Histogram{}
+	for _, v := range []int64{0, 1, 2, 3, 4, 5, 8, 9} {
+		h.Observe(v)
+	}
+	p := h.point(Key{0, "l", "n"})
+	want := []Bucket{{Le: 1, Count: 2}, {Le: 2, Count: 1}, {Le: 4, Count: 2}, {Le: 8, Count: 2}, {Le: 16, Count: 1}}
+	if len(p.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", p.Buckets, want)
+	}
+	for i, b := range p.Buckets {
+		if b != want[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, b, want[i])
+		}
+	}
+	if p.Count != 8 || p.Min != 0 || p.Max != 9 || p.Sum != 32 {
+		t.Fatalf("point = %+v", p)
+	}
+	// Negative observations clamp to zero; a huge value stays in the
+	// last bucket instead of indexing out of range.
+	h2 := &Histogram{}
+	h2.Observe(-5)
+	if h2.point(Key{}).Buckets[0].Le != 1 {
+		t.Fatal("negative observation not clamped to the first bucket")
+	}
+	h2.Observe(1 << 62)
+	if got := h2.point(Key{}).Buckets[1].Le; got != 1<<(histBuckets-1) {
+		t.Fatalf("huge observation le = %d", got)
+	}
+}
+
+func TestHistogramZeroObservations(t *testing.T) {
+	h := &Histogram{}
+	p := h.point(Key{1, "nic", "lat"})
+	if p.Count != 0 || p.Sum != 0 || p.Min != 0 || p.Max != 0 || len(p.Buckets) != 0 {
+		t.Fatalf("zero-observation point = %+v", p)
+	}
+	if q := p.Quantile(0.99); q != 0 {
+		t.Fatalf("quantile on empty = %d", q)
+	}
+	// A zero-observation histogram still appears in the snapshot (with
+	// count 0) so exports are stable whether or not traffic ran.
+	r := NewRegistry()
+	r.Histogram(1, "nic", "lat")
+	s := r.Snapshot(0)
+	if len(s.Hists) != 1 || s.Hists[0].Count != 0 {
+		t.Fatalf("snapshot hists = %+v", s.Hists)
+	}
+	if !strings.Contains(s.Text(), `bcl_lat_count{layer="nic",node="1"} 0`) {
+		t.Fatalf("text missing zero-count series:\n%s", s.Text())
+	}
+	var nilH *Histogram
+	nilH.Observe(7) // must not panic
+}
+
+func TestHistogramQuantileClamped(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(1000)
+	h.Observe(1000)
+	h.Observe(1100)
+	p := h.point(Key{})
+	// All values live in the (512, 1024] and (1024, 2048] buckets; the
+	// quantile is clamped into [Min, Max] = [1000, 1100].
+	if q := p.Quantile(0.5); q < 1000 || q > 1100 {
+		t.Fatalf("p50 = %d, want within [1000, 1100]", q)
+	}
+	if q := p.Quantile(1); q != 1100 {
+		t.Fatalf("p100 = %d, want 1100", q)
+	}
+	if q := p.Quantile(0); q < 1000 || q > 1100 {
+		t.Fatalf("p0 = %d out of range", q)
+	}
+}
+
+func TestRegistryCollectorsAccumulate(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(0, "nic", "pkts").Add(5)
+	// Two collectors (e.g. two ports on one node) sharing a key must
+	// accumulate, and collectors must combine with push counters.
+	r.RegisterCollector(func(set Set) { set(0, "nic", "pkts", 10) })
+	r.RegisterCollector(func(set Set) { set(0, "nic", "pkts", 2) })
+	s := r.Snapshot(42)
+	if v, ok := s.Counter(0, "nic", "pkts"); !ok || v != 17 {
+		t.Fatalf("pkts = %d, %v", v, ok)
+	}
+	if s.At != 42 {
+		t.Fatalf("at = %d", s.At)
+	}
+}
+
+func TestSnapshotHelpers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(0, "fabric:myrinet", "drops").Add(3)
+	r.Counter(1, "fabric:mesh", "drops").Add(4)
+	r.Counter(0, "nic", "drops").Add(100)
+	s := r.Snapshot(0)
+	if got := s.SumCounterPrefix("fabric:", "drops"); got != 7 {
+		t.Fatalf("prefix sum = %d", got)
+	}
+	if got := s.SumCounter("nic", "drops"); got != 100 {
+		t.Fatalf("sum = %d", got)
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(0, "nic", "pkts")
+	h := r.Histogram(0, "nic", "lat")
+	c.Add(5)
+	h.Observe(100)
+	prev := r.Snapshot(10)
+	c.Add(7)
+	h.Observe(100)
+	h.Observe(3000)
+	d := r.Snapshot(20).Diff(prev)
+	if v, _ := d.Counter(0, "nic", "pkts"); v != 7 {
+		t.Fatalf("diff counter = %d", v)
+	}
+	hp := d.hist(Key{0, "nic", "lat"})
+	if hp.Count != 2 || hp.Sum != 3100 {
+		t.Fatalf("diff hist = %+v", hp)
+	}
+}
+
+func TestSnapshotDeterministicText(t *testing.T) {
+	build := func() *Snapshot {
+		r := NewRegistry()
+		r.RegisterCollector(func(set Set) {
+			set(1, "nic", "b", 2)
+			set(0, "nic", "b", 1)
+			set(0, "kernel", "a", 3)
+		})
+		r.Gauge(0, "nic", "queue").Set(-4)
+		r.Histogram(0, "nic", "lat").Observe(900)
+		return r.Snapshot(7)
+	}
+	a, b := build(), build()
+	if a.Text() != b.Text() {
+		t.Fatal("snapshot text not deterministic")
+	}
+	aj, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, _ := b.JSON()
+	if string(aj) != string(bj) {
+		t.Fatal("snapshot JSON not deterministic")
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(aj, &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// Keys sort by layer, then name, then node.
+	want := []Key{{0, "kernel", "a"}, {0, "nic", "b"}, {1, "nic", "b"}}
+	for i, c := range a.Counters {
+		if c.Key != want[i] {
+			t.Fatalf("counter %d key = %+v, want %+v", i, c.Key, want[i])
+		}
+	}
+	if !strings.Contains(a.Text(), `bcl_queue{layer="nic",node="0"} -4`) {
+		t.Fatalf("gauge line missing:\n%s", a.Text())
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter(0, "nic", "pkts").Add(1)
+	r1.Histogram(0, "nic", "lat").Observe(10)
+	r2 := NewRegistry()
+	r2.Counter(0, "nic", "pkts").Add(2)
+	r2.Histogram(0, "nic", "lat").Observe(20)
+	m := Merge(r1.Snapshot(5), nil, r2.Snapshot(9))
+	if v, _ := m.Counter(0, "nic", "pkts"); v != 3 {
+		t.Fatalf("merged counter = %d", v)
+	}
+	if h := m.MergedHist("nic", "lat"); h.Count != 2 || h.Min != 10 || h.Max != 20 {
+		t.Fatalf("merged hist = %+v", h)
+	}
+	if m.At != 9 {
+		t.Fatalf("merged at = %d", m.At)
+	}
+}
+
+func TestRecorderWrap(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(sim.Time(i), i, "nic", "ev", 0, "")
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Node != 6+i {
+			t.Fatalf("event %d node = %d, want %d (oldest-first after wrap)", i, e.Node, 6+i)
+		}
+	}
+	if !strings.Contains(r.Text(2), "last 2 of 10 events") {
+		t.Fatalf("text:\n%s", r.Text(2))
+	}
+	var nilR *Recorder
+	nilR.Record(0, 0, "x", "y", 0, "")
+	if nilR.Text(1) != "(flight recorder empty)\n" {
+		t.Fatal("nil recorder text")
+	}
+}
+
+func TestNilObsIsSafe(t *testing.T) {
+	var o *Obs
+	o.RegisterCollector(func(set Set) {})
+	o.Event(0, 0, "nic", "x", 0, "")
+	o.Observe(0, "nic", "lat", 5)
+	o.StartSampler(sim.NewEnv(1), sim.Microsecond, 4)
+	o.StopSampler()
+	if s := o.Snapshot(3); s == nil || len(s.Counters) != 0 {
+		t.Fatal("nil obs snapshot")
+	}
+	if o.Samples() != nil {
+		t.Fatal("nil obs samples")
+	}
+	if o.TimelineText(nil) != "(no samples)\n" {
+		t.Fatal("nil obs timeline")
+	}
+}
+
+func TestSamplerTerminatesAndBounds(t *testing.T) {
+	o := New()
+	env := sim.NewEnv(1)
+	n := 0
+	env.Go("work", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(sim.Millisecond)
+			o.Reg.Counter(0, "nic", "ticks").Inc()
+			n++
+		}
+	})
+	o.StartSampler(env, sim.Millisecond, 4)
+	env.Run() // must terminate: the sampler stops once the env is idle
+	if n != 10 {
+		t.Fatalf("work ran %d times", n)
+	}
+	samples := o.Samples()
+	if len(samples) == 0 || len(samples) > 4 {
+		t.Fatalf("samples = %d, want 1..4", len(samples))
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].At <= samples[i-1].At {
+			t.Fatal("samples not strictly increasing in time")
+		}
+	}
+	out := o.TimelineText([]TimelineCol{{Label: "ticks", Layer: "nic", Name: "ticks"}})
+	if !strings.Contains(out, "ticks") {
+		t.Fatalf("timeline:\n%s", out)
+	}
+}

@@ -1,0 +1,382 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"bcl/internal/sim"
+)
+
+// Key identifies one metric: (node, layer, name). Cluster-wide metrics
+// (fabric link counters, rail failovers) use Node = -1.
+type Key struct {
+	Node  int    `json:"node"`
+	Layer string `json:"layer"`
+	Name  string `json:"name"`
+}
+
+func (k Key) String() string {
+	if k.Node < 0 {
+		return fmt.Sprintf("%s/%s", k.Layer, k.Name)
+	}
+	return fmt.Sprintf("%s/%s@%d", k.Layer, k.Name, k.Node)
+}
+
+// keyLess orders metrics for deterministic output: by layer, then
+// name, then node.
+func keyLess(a, b Key) bool {
+	if a.Layer != b.Layer {
+		return a.Layer < b.Layer
+	}
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	return a.Node < b.Node
+}
+
+// Set is the sink a Collector publishes counters into. Repeated calls
+// with the same key accumulate, so several components (e.g. all ports
+// on a node) can share one key.
+type Set func(node int, layer, name string, v uint64)
+
+// Collector publishes a component's counters into a snapshot. The
+// registry pulls collectors at snapshot time, so instrumented hot
+// paths pay nothing and the registry values agree with the component's
+// own Stats struct by construction.
+type Collector func(set Set)
+
+// Counter is a push-model monotonic counter.
+type Counter struct{ v uint64 }
+
+// Add increments the counter. A nil counter is a no-op.
+func (c *Counter) Add(d uint64) {
+	if c != nil {
+		c.v += d
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a push-model instantaneous value.
+type Gauge struct{ v int64 }
+
+// Set stores the value. A nil gauge is a no-op.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v += d
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Registry holds one cluster's metrics. It is single-threaded like the
+// simulator itself; snapshots are deterministic (sorted keys, no map
+// iteration reaches the output).
+type Registry struct {
+	counters   map[Key]*Counter
+	gauges     map[Key]*Gauge
+	hists      map[Key]*Histogram
+	collectors []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[Key]*Counter),
+		gauges:   make(map[Key]*Gauge),
+		hists:    make(map[Key]*Histogram),
+	}
+}
+
+// RegisterCollector adds a pull-model counter source.
+func (r *Registry) RegisterCollector(c Collector) {
+	if r == nil || c == nil {
+		return
+	}
+	r.collectors = append(r.collectors, c)
+}
+
+// Counter returns the named push counter, creating it on first use.
+// Returns nil (safe to use) on a nil registry.
+func (r *Registry) Counter(node int, layer, name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := Key{node, layer, name}
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(node int, layer, name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := Key{node, layer, name}
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns the named latency histogram, creating it on first
+// use.
+func (r *Registry) Histogram(node int, layer, name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := Key{node, layer, name}
+	h, ok := r.hists[k]
+	if !ok {
+		h = &Histogram{}
+		r.hists[k] = h
+	}
+	return h
+}
+
+// CounterPoint is one counter in a snapshot.
+type CounterPoint struct {
+	Key
+	Value uint64 `json:"value"`
+}
+
+// GaugePoint is one gauge in a snapshot.
+type GaugePoint struct {
+	Key
+	Value int64 `json:"value"`
+}
+
+// Snapshot is an immutable copy of the registry at one virtual
+// instant: sorted counter, gauge and histogram points.
+type Snapshot struct {
+	At       sim.Time       `json:"at_ns"`
+	Counters []CounterPoint `json:"counters"`
+	Gauges   []GaugePoint   `json:"gauges,omitempty"`
+	Hists    []HistPoint    `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry: push counters and gauges, collector
+// outputs (accumulated per key), and histogram state.
+func (r *Registry) Snapshot(at sim.Time) *Snapshot {
+	s := &Snapshot{At: at}
+	if r == nil {
+		return s
+	}
+	acc := make(map[Key]uint64, len(r.counters))
+	for k, c := range r.counters {
+		acc[k] += c.Value()
+	}
+	set := func(node int, layer, name string, v uint64) {
+		acc[Key{node, layer, name}] += v
+	}
+	for _, c := range r.collectors {
+		c(set)
+	}
+	for k, v := range acc {
+		s.Counters = append(s.Counters, CounterPoint{Key: k, Value: v})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return keyLess(s.Counters[i].Key, s.Counters[j].Key) })
+	for k, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugePoint{Key: k, Value: g.Value()})
+	}
+	sort.Slice(s.Gauges, func(i, j int) bool { return keyLess(s.Gauges[i].Key, s.Gauges[j].Key) })
+	for k, h := range r.hists {
+		s.Hists = append(s.Hists, h.point(k))
+	}
+	sort.Slice(s.Hists, func(i, j int) bool { return keyLess(s.Hists[i].Key, s.Hists[j].Key) })
+	return s
+}
+
+// Counter looks up one counter value.
+func (s *Snapshot) Counter(node int, layer, name string) (uint64, bool) {
+	for _, c := range s.Counters {
+		if c.Node == node && c.Layer == layer && c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// SumCounter totals a counter across all nodes of a layer.
+func (s *Snapshot) SumCounter(layer, name string) uint64 {
+	var t uint64
+	for _, c := range s.Counters {
+		if c.Layer == layer && c.Name == name {
+			t += c.Value
+		}
+	}
+	return t
+}
+
+// SumCounterPrefix totals a counter across every layer sharing a
+// prefix (e.g. prefix "fabric:" sums all rails of a composite).
+func (s *Snapshot) SumCounterPrefix(prefix, name string) uint64 {
+	var t uint64
+	for _, c := range s.Counters {
+		if strings.HasPrefix(c.Layer, prefix) && c.Name == name {
+			t += c.Value
+		}
+	}
+	return t
+}
+
+// MergedHist merges the named histogram across all nodes of a layer
+// (for cluster-wide quantiles). Returns a zero point if absent.
+func (s *Snapshot) MergedHist(layer, name string) HistPoint {
+	out := HistPoint{Key: Key{Node: -1, Layer: layer, Name: name}}
+	for _, h := range s.Hists {
+		if h.Layer == layer && h.Name == name {
+			out.merge(h)
+		}
+	}
+	return out
+}
+
+// Diff returns a snapshot holding s minus prev, counter-wise and
+// histogram-wise (keys missing from prev count as zero). Gauges keep
+// their current values: an instantaneous reading has no delta.
+func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
+	d := &Snapshot{At: s.At, Gauges: append([]GaugePoint(nil), s.Gauges...)}
+	for _, c := range s.Counters {
+		pv, _ := prev.Counter(c.Node, c.Layer, c.Name)
+		d.Counters = append(d.Counters, CounterPoint{Key: c.Key, Value: c.Value - pv})
+	}
+	for _, h := range s.Hists {
+		d.Hists = append(d.Hists, h.sub(prev.hist(h.Key)))
+	}
+	return d
+}
+
+func (s *Snapshot) hist(k Key) HistPoint {
+	for _, h := range s.Hists {
+		if h.Key == k {
+			return h
+		}
+	}
+	return HistPoint{Key: k}
+}
+
+// Merge folds several snapshots (e.g. one per cluster in a multi-rig
+// benchmark) into one: counters accumulate, gauges accumulate,
+// histograms merge, At takes the latest.
+func Merge(snaps ...*Snapshot) *Snapshot {
+	out := &Snapshot{}
+	cacc := make(map[Key]uint64)
+	gacc := make(map[Key]int64)
+	hacc := make(map[Key]*HistPoint)
+	var horder []Key
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		if s.At > out.At {
+			out.At = s.At
+		}
+		for _, c := range s.Counters {
+			cacc[c.Key] += c.Value
+		}
+		for _, g := range s.Gauges {
+			gacc[g.Key] += g.Value
+		}
+		for _, h := range s.Hists {
+			hp, ok := hacc[h.Key]
+			if !ok {
+				hp = &HistPoint{Key: h.Key}
+				hacc[h.Key] = hp
+				horder = append(horder, h.Key)
+			}
+			hp.merge(h)
+		}
+	}
+	for k, v := range cacc {
+		out.Counters = append(out.Counters, CounterPoint{Key: k, Value: v})
+	}
+	sort.Slice(out.Counters, func(i, j int) bool { return keyLess(out.Counters[i].Key, out.Counters[j].Key) })
+	for k, v := range gacc {
+		out.Gauges = append(out.Gauges, GaugePoint{Key: k, Value: v})
+	}
+	sort.Slice(out.Gauges, func(i, j int) bool { return keyLess(out.Gauges[i].Key, out.Gauges[j].Key) })
+	sort.Slice(horder, func(i, j int) bool { return keyLess(horder[i], horder[j]) })
+	for _, k := range horder {
+		out.Hists = append(out.Hists, *hacc[k])
+	}
+	return out
+}
+
+// labels renders the shared {layer=...,node=...} label set (node
+// omitted for cluster-wide metrics).
+func (k Key) labels(extra string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	fmt.Fprintf(&b, "layer=%q", k.Layer)
+	if k.Node >= 0 {
+		fmt.Fprintf(&b, ",node=\"%d\"", k.Node)
+	}
+	if extra != "" {
+		b.WriteByte(',')
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Text renders the snapshot in Prometheus-style exposition format.
+// Counters get a _total suffix; histograms the usual _bucket (with
+// cumulative counts and a +Inf bucket), _sum and _count series.
+func (s *Snapshot) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# bcl metrics snapshot at %dns (virtual)\n", s.At)
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "bcl_%s_total%s %d\n", c.Name, c.Key.labels(""), c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&b, "bcl_%s%s %d\n", g.Name, g.Key.labels(""), g.Value)
+	}
+	for _, h := range s.Hists {
+		cum := uint64(0)
+		for _, bk := range h.Buckets {
+			cum += bk.Count
+			fmt.Fprintf(&b, "bcl_%s_bucket%s %d\n", h.Name,
+				h.Key.labels(fmt.Sprintf("le=\"%d\"", bk.Le)), cum)
+		}
+		fmt.Fprintf(&b, "bcl_%s_bucket%s %d\n", h.Name, h.Key.labels(`le="+Inf"`), h.Count)
+		fmt.Fprintf(&b, "bcl_%s_sum%s %d\n", h.Name, h.Key.labels(""), h.Sum)
+		fmt.Fprintf(&b, "bcl_%s_count%s %d\n", h.Name, h.Key.labels(""), h.Count)
+	}
+	return b.String()
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s *Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

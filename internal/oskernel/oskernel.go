@@ -16,6 +16,7 @@ import (
 
 	"bcl/internal/hw"
 	"bcl/internal/mem"
+	"bcl/internal/obs"
 	"bcl/internal/sim"
 )
 
@@ -81,6 +82,17 @@ func (k *Kernel) Node() int { return k.node }
 
 // Stats returns a snapshot of kernel counters.
 func (k *Kernel) Stats() Stats { return k.stats }
+
+// Collect publishes the kernel counters into a metrics snapshot under
+// layer "kernel" (pull-model; see obs.Collector).
+func (k *Kernel) Collect(set obs.Set) {
+	set(k.node, "kernel", "traps", k.stats.Traps)
+	set(k.node, "kernel", "ioctls", k.stats.Ioctls)
+	set(k.node, "kernel", "interrupts", k.stats.Interrupts)
+	set(k.node, "kernel", "security_rejects", k.stats.SecurityRejects)
+	set(k.node, "kernel", "pages_pinned", k.stats.PagesPinned)
+	set(k.node, "kernel", "context_switches", k.stats.ContextSwitches)
+}
 
 // PinTable exposes the pin-down page table (for stats in reports).
 func (k *Kernel) PinTable() *mem.PinTable { return k.pins }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"encoding/json"
+	"fmt"
 	"sort"
 )
 
@@ -29,9 +30,27 @@ type chromeMeta struct {
 	Args map[string]any `json:"args"`
 }
 
+// chromeFlow is one flow event ("ph" s/t/f): an arrow segment linking
+// the slices of one message across thread rows. Its ts must fall
+// inside the slice it binds to, so each segment sits at the start of
+// its span.
+type chromeFlow struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	ID   uint64  `json:"id"`
+	Ts   float64 `json:"ts"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+	BP   string  `json:"bp,omitempty"`
+}
+
 // ChromeTrace renders the spans as Chrome trace-event JSON. All spans
 // share pid 1; each distinct Where becomes a named thread row, ordered
-// alphabetically so hosts and NICs group nicely.
+// alphabetically so hosts and NICs group nicely. Spans tagged with a
+// flow id additionally emit flow events ("s"/"t"/"f") so Perfetto
+// draws arrows following each message across host, NIC and fabric
+// rows — retransmissions included.
 func (t *Tracer) ChromeTrace() ([]byte, error) {
 	if t == nil {
 		return []byte("[]"), nil
@@ -65,6 +84,37 @@ func (t *Tracer) ChromeTrace() ([]byte, error) {
 			PID:  1,
 			TID:  wheres[s.Where],
 		})
+	}
+	// Flow events: for every flow with at least two spans, a start
+	// segment on the first span, steps on the middle ones, and a final
+	// segment (binding enclosing, so the arrow ends inside the last
+	// slice). Flows are emitted in first-span order — deterministic for
+	// a deterministic simulation.
+	for _, id := range t.Flows() {
+		spans := t.FlowSpans(id)
+		if len(spans) < 2 {
+			continue
+		}
+		_, msg := IDParts(id)
+		for i, s := range spans {
+			f := chromeFlow{
+				Name: "msg " + fmt.Sprint(msg),
+				Cat:  "bcl-flow",
+				Ph:   "t",
+				ID:   id,
+				Ts:   float64(s.Start) / 1000,
+				PID:  1,
+				TID:  wheres[s.Where],
+			}
+			switch i {
+			case 0:
+				f.Ph = "s"
+			case len(spans) - 1:
+				f.Ph = "f"
+				f.BP = "e"
+			}
+			events = append(events, f)
+		}
 	}
 	return json.MarshalIndent(events, "", " ")
 }

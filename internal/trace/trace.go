@@ -14,12 +14,29 @@ import (
 	"bcl/internal/sim"
 )
 
-// Span is one labelled interval on the virtual clock.
+// Span is one labelled interval on the virtual clock. Flow, when
+// non-zero, is the causal trace id of the message the span belongs to
+// (see ID); spans sharing a flow are linked by Chrome flow events in
+// ChromeTrace and grouped by FlowTimeline.
 type Span struct {
 	Stage string
-	Where string // "host0", "nic1", ...
+	Where string // "host0", "nic1", "wire:myrinet", ...
 	Start sim.Time
 	End   sim.Time
+	Flow  uint64
+}
+
+// ID mints the causal trace id for message msg sent from node: unique
+// across the cluster because the message id is unique per NIC. The
+// node occupies the bits above 40 (offset by one so node 0 still
+// yields a non-zero id); 2^40 message ids per NIC is beyond any run.
+func ID(node int, msg uint64) uint64 {
+	return uint64(node+1)<<40 | (msg & (1<<40 - 1))
+}
+
+// IDParts splits a trace id back into (node, msg).
+func IDParts(id uint64) (node int, msg uint64) {
+	return int(id>>40) - 1, id & (1<<40 - 1)
 }
 
 // Dur returns the span length.
@@ -36,22 +53,32 @@ func New() *Tracer { return &Tracer{} }
 
 // Add records a span.
 func (t *Tracer) Add(stage, where string, start, end sim.Time) {
+	t.AddFlow(stage, where, 0, start, end)
+}
+
+// AddFlow records a span tagged with a causal trace id.
+func (t *Tracer) AddFlow(stage, where string, flow uint64, start, end sim.Time) {
 	if t == nil {
 		return
 	}
-	t.Spans = append(t.Spans, Span{Stage: stage, Where: where, Start: start, End: end})
+	t.Spans = append(t.Spans, Span{Stage: stage, Where: where, Start: start, End: end, Flow: flow})
 }
 
 // Do runs fn and records its duration as a span (using the process
 // clock).
 func (t *Tracer) Do(p *sim.Proc, stage, where string, fn func()) {
+	t.DoFlow(p, stage, where, 0, fn)
+}
+
+// DoFlow runs fn and records its duration as a span on the given flow.
+func (t *Tracer) DoFlow(p *sim.Proc, stage, where string, flow uint64, fn func()) {
 	if t == nil {
 		fn()
 		return
 	}
 	start := p.Now()
 	fn()
-	t.Add(stage, where, start, p.Now())
+	t.AddFlow(stage, where, flow, start, p.Now())
 }
 
 // Reset drops all recorded spans.
@@ -91,6 +118,63 @@ func (t *Tracer) Timeline() string {
 	for _, s := range spans {
 		fmt.Fprintf(&b, "%9.2fus  %-28s %-7s %8.2fus\n",
 			float64(s.Start-base)/1000, s.Stage, s.Where, float64(s.Dur())/1000)
+	}
+	return b.String()
+}
+
+// Flows returns the distinct non-zero flow ids in first-span order.
+func (t *Tracer) Flows() []uint64 {
+	if t == nil {
+		return nil
+	}
+	seen := map[uint64]bool{}
+	var out []uint64
+	for _, s := range t.Spans {
+		if s.Flow != 0 && !seen[s.Flow] {
+			seen[s.Flow] = true
+			out = append(out, s.Flow)
+		}
+	}
+	return out
+}
+
+// FlowSpans returns the spans of one flow sorted by start time.
+func (t *Tracer) FlowSpans(flow uint64) []Span {
+	if t == nil {
+		return nil
+	}
+	var out []Span
+	for _, s := range t.Spans {
+		if s.Flow == flow {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// FlowTimeline renders the spans grouped by causal trace id: one block
+// per message, each span on its own line with offsets relative to the
+// flow's first span — a message's full story (including retransmits)
+// in reading order.
+func (t *Tracer) FlowTimeline() string {
+	flows := t.Flows()
+	if len(flows) == 0 {
+		return "(no flows)\n"
+	}
+	var b strings.Builder
+	for i, id := range flows {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		node, msg := IDParts(id)
+		fmt.Fprintf(&b, "flow %x (node %d, msg %d):\n", id, node, msg)
+		spans := t.FlowSpans(id)
+		base := spans[0].Start
+		for _, s := range spans {
+			fmt.Fprintf(&b, "%9.2fus  %-32s %-14s %8.2fus\n",
+				float64(s.Start-base)/1000, s.Stage, s.Where, float64(s.Dur())/1000)
+		}
 	}
 	return b.String()
 }

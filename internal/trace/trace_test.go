@@ -138,3 +138,140 @@ func TestChromeTrace(t *testing.T) {
 		t.Fatalf("nil tracer chrome = %q, %v", out, err)
 	}
 }
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		node int
+		msg  uint64
+	}{{0, 0}, {0, 1}, {3, 42}, {255, 1<<40 - 1}} {
+		id := ID(tc.node, tc.msg)
+		if id == 0 {
+			t.Fatalf("ID(%d, %d) = 0", tc.node, tc.msg)
+		}
+		node, msg := IDParts(id)
+		if node != tc.node || msg != tc.msg {
+			t.Fatalf("IDParts(ID(%d, %d)) = (%d, %d)", tc.node, tc.msg, node, msg)
+		}
+	}
+}
+
+func TestNilTracerFlowMethodsAreSafe(t *testing.T) {
+	var tr *Tracer
+	tr.AddFlow("x", "y", 7, 0, 10)
+	env := sim.NewEnv(1)
+	ran := false
+	env.Go("p", func(p *sim.Proc) {
+		tr.DoFlow(p, "stage", "host", 7, func() { ran = true })
+	})
+	env.Run()
+	if !ran {
+		t.Fatal("nil tracer skipped the DoFlow body")
+	}
+	if tr.Flows() != nil || tr.FlowSpans(7) != nil {
+		t.Fatal("nil tracer returned flow data")
+	}
+	if tr.FlowTimeline() != "(no flows)\n" {
+		t.Fatal("nil tracer flow timeline")
+	}
+	if tr.Timeline() != "(no spans)\n" {
+		t.Fatal("nil tracer timeline")
+	}
+	if out, err := tr.ChromeTrace(); err != nil || string(out) != "[]" {
+		t.Fatalf("nil tracer chrome = %q, %v", out, err)
+	}
+	tr.Reset()
+	tr.Add("x", "y", 0, 1)
+	if order, totals := tr.Totals(); order != nil || totals != nil {
+		t.Fatal("nil tracer totals")
+	}
+	if tr.StageBreakdown(100) != "" {
+		t.Fatal("nil tracer breakdown")
+	}
+}
+
+func TestFlowGroupingAndOrder(t *testing.T) {
+	tr := New()
+	f1 := ID(0, 1)
+	f2 := ID(1, 9)
+	tr.AddFlow("send", "host0", f1, 0, 10)
+	tr.Add("unrelated", "host0", 5, 6) // flow 0: excluded from flows
+	tr.AddFlow("send", "host1", f2, 20, 30)
+	tr.AddFlow("recv", "nic1", f1, 40, 50)
+	flows := tr.Flows()
+	if len(flows) != 2 || flows[0] != f1 || flows[1] != f2 {
+		t.Fatalf("flows = %v", flows)
+	}
+	spans := tr.FlowSpans(f1)
+	if len(spans) != 2 || spans[0].Stage != "send" || spans[1].Stage != "recv" {
+		t.Fatalf("flow spans = %+v", spans)
+	}
+	out := tr.FlowTimeline()
+	if !strings.Contains(out, "(node 0, msg 1)") || !strings.Contains(out, "(node 1, msg 9)") {
+		t.Fatalf("flow timeline:\n%s", out)
+	}
+	if strings.Contains(out, "unrelated") {
+		t.Fatal("flow timeline includes flowless span")
+	}
+}
+
+func TestChromeTraceFlowEvents(t *testing.T) {
+	tr := New()
+	f := ID(2, 5)
+	tr.AddFlow("send", "host0", f, 100, 200)
+	tr.AddFlow("wire", "wire:myrinet", f, 200, 300)
+	tr.AddFlow("recv", "nic1", f, 300, 400)
+	tr.AddFlow("lonely", "host1", ID(0, 7), 50, 60) // single span: no arrows
+	out, err := tr.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := jsonUnmarshal(out, &events); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	var starts, steps, finishes int
+	tids := map[float64]bool{}
+	for _, e := range events {
+		switch e["ph"] {
+		case "s":
+			starts++
+			tids[e["tid"].(float64)] = true
+		case "t":
+			steps++
+			tids[e["tid"].(float64)] = true
+		case "f":
+			finishes++
+			tids[e["tid"].(float64)] = true
+			if e["bp"] != "e" {
+				t.Fatalf("finish event missing bp=e: %+v", e)
+			}
+			if e["name"] != "msg 5" {
+				t.Fatalf("flow name = %v", e["name"])
+			}
+		}
+	}
+	if starts != 1 || steps != 1 || finishes != 1 {
+		t.Fatalf("flow events s/t/f = %d/%d/%d, want 1/1/1", starts, steps, finishes)
+	}
+	if len(tids) != 3 {
+		t.Fatalf("flow events span %d rows, want 3", len(tids))
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	build := func() []byte {
+		tr := New()
+		tr.AddFlow("b", "nic1", ID(1, 2), 10, 20)
+		tr.AddFlow("a", "host0", ID(0, 1), 0, 5)
+		tr.AddFlow("c", "host0", ID(0, 1), 30, 40)
+		tr.AddFlow("d", "nic1", ID(1, 2), 50, 60)
+		out, err := tr.ChromeTrace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if string(build()) != string(build()) {
+		t.Fatal("chrome trace not byte-identical across identical builds")
+	}
+}
