@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test race short bench experiments chaos metrics examples tools clean
+.PHONY: all test race short bench experiments chaos collectives metrics examples tools clean
 
 all: test
 
@@ -30,6 +30,13 @@ experiments:
 CHAOS_SEED ?= 1
 chaos:
 	$(GO) run ./cmd/bclbench -seed $(CHAOS_SEED) chaos
+
+# NIC-offloaded collectives: host vs offload latency/trap table at
+# 2-64 ranks, the seeded fault soak (run twice, digests must match),
+# and the causal flow trace of one offloaded broadcast + barrier.
+collectives:
+	$(GO) run ./cmd/bclbench -seed $(CHAOS_SEED) collectives
+	$(GO) run ./cmd/bcltrace -coll
 
 # Metrics registry showcase: the metered ping-pong (registry snapshot
 # in Prometheus text + JSON) and the causal flow trace of one message

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
-	seed := flag.Uint64("seed", 1, "fault-schedule seed for the chaos experiment")
+	seed := flag.Uint64("seed", 1, "fault-schedule seed for the chaos and collectives experiments")
 	metrics := flag.Bool("metrics", false, "print each experiment's metrics registry snapshot (text and JSON)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bclbench [-list] [-seed N] [-metrics] all | <experiment> ...\n")
@@ -47,6 +47,8 @@ func main() {
 			var r *bench.Report
 			if strings.EqualFold(id, "chaos") {
 				r = bench.ChaosSeeded(*seed)
+			} else if strings.EqualFold(id, "collectives") {
+				r = bench.CollectivesSeeded(*seed)
 			} else {
 				r = bench.ByID(id)
 			}

@@ -14,6 +14,11 @@
 //	                            # includes the retransmission
 //	bcltrace -flow -chrome      # the same flow as Chrome JSON with
 //	                            # "bcl-flow" arrows linking the rows
+//	bcltrace -coll              # causal flow of one NIC-offloaded
+//	                            # broadcast + barrier: the root's single
+//	                            # trap, the tree fanout, landing-ring
+//	                            # DMAs, and the combine back up
+//	bcltrace -coll -chrome      # the same collective flow as Chrome JSON
 package main
 
 import (
@@ -28,11 +33,15 @@ func main() {
 	side := flag.String("side", "both", "which stages to print: send, recv, or both")
 	chrome := flag.Bool("chrome", false, "emit Chrome trace-event JSON instead of text")
 	flow := flag.Bool("flow", false, "trace the causal flow of one message under a forced packet drop")
+	coll := flag.Bool("coll", false, "trace the causal flow of one NIC-offloaded broadcast + barrier")
 	flag.Parse()
 	if *chrome {
 		gen := bench.ChromeTraceJSON
 		if *flow {
 			gen = bench.FlowChromeJSON
+		}
+		if *coll {
+			gen = bench.CollFlowChromeJSON
 		}
 		out, err := gen()
 		if err != nil {
@@ -41,6 +50,10 @@ func main() {
 		}
 		os.Stdout.Write(out)
 		fmt.Println()
+		return
+	}
+	if *coll {
+		fmt.Print(bench.ByID("collflow").String())
 		return
 	}
 	if *flow {

@@ -78,6 +78,8 @@ var experiments = []struct {
 	{id: "ablation-window", fn: AblationWindow},
 	{id: "ablation-intrapath", fn: AblationIntraPath},
 	{id: "chaos", fn: Chaos},
+	{id: "collectives", fn: Collectives},
+	{id: "collflow", fn: CollFlow},
 }
 
 // All runs every experiment in paper order.

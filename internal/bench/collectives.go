@@ -1,0 +1,409 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+
+	ibcl "bcl/internal/bcl"
+	"bcl/internal/cluster"
+	"bcl/internal/eadi"
+	"bcl/internal/fabric"
+	"bcl/internal/mpi"
+	"bcl/internal/sim"
+	"bcl/internal/trace"
+)
+
+// The collectives experiment measures what the NIC-resident offload
+// engine buys over the host algorithms: barrier, broadcast and reduce
+// latency at 2..64 nodes, host kernel traps per collective (the
+// offload's architectural win: O(1) traps per collective instead of
+// O(log n) per rank), and a seeded fault soak over the offloaded
+// paths whose digest must be bit-identical across same-seed runs.
+
+// collPayload is the bcast/reduce payload (fits one packet, so the
+// offloaded path is eligible).
+const collPayload = 1024
+
+// collRig builds an n-rank MPI world, one rank per node, optionally
+// attaching a NIC collective offload context to every communicator.
+func collRig(n int, offload bool, seed uint64) (*cluster.Cluster, []*mpi.Comm) {
+	c := newCluster(cluster.Config{Nodes: n, NIC: ibcl.DefaultNICConfig(), Seed: seed})
+	sys := ibcl.NewSystem(c)
+	ports := make([]*ibcl.Port, n)
+	c.Env.Go("setup", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			nd := c.Nodes[i]
+			ports[i], _ = sys.Open(p, nd, nd.Kernel.Spawn(), ibcl.Options{SystemBuffers: 64, SystemBufSize: eadi.EagerLimit})
+		}
+	})
+	c.Env.RunUntil(sim.Time(n) * 5 * sim.Millisecond)
+	addrs := make([]ibcl.Addr, n)
+	for i, pt := range ports {
+		if pt == nil {
+			panic("bench: collectives rig setup failed")
+		}
+		addrs[i] = pt.Addr()
+	}
+	comms := make([]*mpi.Comm, n)
+	for i, pt := range ports {
+		comms[i] = mpi.World(eadi.NewDevice(pt, i, addrs))
+	}
+	if offload {
+		for i := range comms {
+			r := i
+			c.Env.Go("collreg", func(p *sim.Proc) {
+				cc, err := eadi.NewCollContext(p, comms[r].Device(), 1, 0, 0)
+				if err != nil {
+					panic(err)
+				}
+				comms[r].AttachColl(cc)
+			})
+		}
+		c.Env.RunUntil(c.Env.Now() + 10*sim.Millisecond)
+	}
+	return c, comms
+}
+
+// collWave runs op once on every rank concurrently (all procs start at
+// the same virtual instant) and returns the wall-clock span to the
+// last finisher plus the kernel traps the wave cost.
+func collWave(c *cluster.Cluster, comms []*mpi.Comm, op func(p *sim.Proc, cm *mpi.Comm, rank int)) (sim.Time, uint64) {
+	n := len(comms)
+	ends := make([]sim.Time, n)
+	t0 := c.Env.Now()
+	traps0 := c.Obs.Snapshot(t0).SumCounter("kernel", "traps")
+	for i := range comms {
+		r := i
+		c.Env.Go(fmt.Sprintf("coll%d", r), func(p *sim.Proc) {
+			op(p, comms[r], r)
+			ends[r] = p.Now()
+		})
+	}
+	c.Env.RunUntil(c.Env.Now() + sim.Time(n)*40*sim.Millisecond)
+	var end sim.Time
+	for _, e := range ends {
+		if e == 0 {
+			panic("bench: collective wave did not finish")
+		}
+		if e > end {
+			end = e
+		}
+	}
+	traps1 := c.Obs.Snapshot(c.Env.Now()).SumCounter("kernel", "traps")
+	return end - t0, traps1 - traps0
+}
+
+// collOps are the three measured operations.
+func collBarrierOp(p *sim.Proc, cm *mpi.Comm, _ int) {
+	if err := cm.Barrier(p); err != nil {
+		panic(err)
+	}
+}
+
+func collBcastOp(p *sim.Proc, cm *mpi.Comm, rank int) {
+	sp := cm.Device().Port().Process().Space
+	va := sp.Alloc(collPayload)
+	if rank == 0 {
+		buf := make([]byte, collPayload)
+		for j := range buf {
+			buf[j] = byte(j * 5)
+		}
+		sp.Write(va, buf)
+	}
+	if err := cm.Bcast(p, va, collPayload, 0); err != nil {
+		panic(err)
+	}
+}
+
+func collReduceOp(p *sim.Proc, cm *mpi.Comm, rank int) {
+	sp := cm.Device().Port().Process().Space
+	count := collPayload / 8
+	send := sp.Alloc(collPayload)
+	recv := sp.Alloc(collPayload)
+	buf := make([]byte, collPayload)
+	for e := 0; e < count; e++ {
+		binary.LittleEndian.PutUint64(buf[e*8:], math.Float64bits(float64(rank+1)))
+	}
+	sp.Write(send, buf)
+	if err := cm.Reduce(p, send, recv, count, mpi.Float64, mpi.Sum, 0); err != nil {
+		panic(err)
+	}
+}
+
+// collPoint measures the three collectives at size n in one mode.
+type collPoint struct {
+	barrier, bcast, reduce                sim.Time
+	barrierTraps, bcastTraps, reduceTraps uint64
+}
+
+func collMeasure(n int, offload bool, seed uint64) collPoint {
+	c, comms := collRig(n, offload, seed)
+	// Warm-up: every path once (pin tables, flows, peer state).
+	collWave(c, comms, func(p *sim.Proc, cm *mpi.Comm, r int) {
+		collBarrierOp(p, cm, r)
+		collBcastOp(p, cm, r)
+		collReduceOp(p, cm, r)
+		collBarrierOp(p, cm, r)
+	})
+	var pt collPoint
+	pt.barrier, pt.barrierTraps = collWave(c, comms, collBarrierOp)
+	pt.bcast, pt.bcastTraps = collWave(c, comms, collBcastOp)
+	pt.reduce, pt.reduceTraps = collWave(c, comms, collReduceOp)
+	return pt
+}
+
+// ------------------------------------------------- seeded fault soak
+
+const (
+	collFaultNodes  = 8
+	collFaultRounds = 4
+	collFaultBytes  = 2048
+)
+
+// collFaultResult is one seeded soak over the offloaded collectives.
+type collFaultResult struct {
+	digest     uint64
+	byteErrors int
+	drops      int
+	dups       int
+	finished   bool
+	retries    uint64
+	forwards   uint64
+}
+
+// collFaultRun plays a seeded drop/duplicate schedule against the
+// collective packet kinds while 8 offloaded ranks run rounds of
+// bcast + allreduce, then folds every rank's received bytes and
+// reduction results into an order-independent-of-arrival digest.
+func collFaultRun(seed uint64) *collFaultResult {
+	res := &collFaultResult{}
+	c, comms := collRig(collFaultNodes, true, seed)
+	sched := seed
+	c.Fabric.SetFault(func(_ *sim.Env, pkt *fabric.Packet) fabric.Verdict {
+		if pkt.Kind != fabric.KindCollMcast && pkt.Kind != fabric.KindCollComb {
+			return fabric.Deliver
+		}
+		switch splitmix64(&sched) % 10 {
+		case 0:
+			res.drops++
+			return fabric.Drop
+		case 1:
+			res.dups++
+			return fabric.Duplicate
+		}
+		return fabric.Deliver
+	})
+	n := collFaultNodes
+	bcastGot := make([][]byte, n*collFaultRounds) // [round*n+rank]
+	allredGot := make([]uint64, n*collFaultRounds)
+	doneRanks := make([]bool, n)
+	doneAt := make([]sim.Time, n)
+	for i := range comms {
+		r := i
+		c.Env.Go(fmt.Sprintf("fault%d", r), func(p *sim.Proc) {
+			sp := comms[r].Device().Port().Process().Space
+			bva := sp.Alloc(collFaultBytes)
+			send := sp.Alloc(8)
+			recv := sp.Alloc(8)
+			w := make([]byte, 8)
+			for round := 0; round < collFaultRounds; round++ {
+				root := round % n
+				if r == root {
+					buf := make([]byte, collFaultBytes)
+					for j := range buf {
+						buf[j] = chaosPattern(root, 0, round, j)
+					}
+					sp.Write(bva, buf)
+				}
+				if err := comms[r].Bcast(p, bva, collFaultBytes, root); err != nil {
+					panic(err)
+				}
+				got, _ := sp.Read(bva, collFaultBytes)
+				bcastGot[round*n+r] = got
+				binary.LittleEndian.PutUint64(w, uint64(int64((r+1)*(round+1))))
+				sp.Write(send, w)
+				if err := comms[r].Allreduce(p, send, recv, 1, mpi.Int64, mpi.Sum); err != nil {
+					panic(err)
+				}
+				out, _ := sp.Read(recv, 8)
+				allredGot[round*n+r] = binary.LittleEndian.Uint64(out)
+			}
+			doneRanks[r] = true
+			doneAt[r] = p.Now()
+		})
+	}
+	c.Env.RunUntil(c.Env.Now() + 30*sim.Second)
+	res.finished = true
+	for _, d := range doneRanks {
+		if !d {
+			res.finished = false
+		}
+	}
+	// Verify bytes, then fold content AND trajectory (fault schedule,
+	// per-rank completion times) into the digest in fixed (round, rank)
+	// order: correct bytes alone would match across different seeds, so
+	// the determinism check would be vacuous without the timing.
+	const prime = 0x100000001b3
+	h := uint64(0xcbf29ce484222325)
+	for round := 0; round < collFaultRounds; round++ {
+		root := round % n
+		wantRed := uint64(0)
+		for r := 0; r < n; r++ {
+			wantRed += uint64(int64((r + 1) * (round + 1)))
+		}
+		for r := 0; r < n; r++ {
+			got := bcastGot[round*n+r]
+			if len(got) != collFaultBytes {
+				res.byteErrors++
+				continue
+			}
+			for j, bb := range got {
+				if bb != chaosPattern(root, 0, round, j) {
+					res.byteErrors++
+					break
+				}
+				h = (h ^ uint64(bb)) * prime
+			}
+			if allredGot[round*n+r] != wantRed {
+				res.byteErrors++
+			}
+			h = (h ^ allredGot[round*n+r]) * prime
+		}
+	}
+	h = (h ^ uint64(res.byteErrors)) * prime
+	h = (h ^ uint64(res.drops)) * prime
+	h = (h ^ uint64(res.dups)) * prime
+	for _, at := range doneAt {
+		h = (h ^ uint64(at)) * prime
+	}
+	res.digest = h
+	snap := c.Obs.Snapshot(c.Env.Now())
+	res.retries = snap.SumCounter("nic", "retransmits") + snap.SumCounter("nic", "coll_retries")
+	res.forwards = snap.SumCounter("nic", "coll_forwards")
+	return res
+}
+
+// Collectives runs the experiment with the default seed.
+func Collectives() *Report { return CollectivesSeeded(1) }
+
+// CollectivesSeeded measures host vs NIC-offloaded collectives at
+// 2..64 nodes and soaks the offloaded paths under a seeded fault
+// schedule — twice, demanding bit-identical digests.
+func CollectivesSeeded(seed uint64) *Report {
+	r := newReport("collectives", fmt.Sprintf("NIC-offloaded collectives vs host algorithms (seed %d)", seed))
+	var b strings.Builder
+	sizes := []int{2, 4, 8, 16, 32, 64}
+	fmt.Fprintf(&b, "%6s | %22s | %22s | %22s | %s\n", "ranks",
+		"barrier host/offl", "bcast host/offl", "reduce host/offl", "traps/coll host->offl (barrier)")
+	type row struct {
+		n          int
+		host, offl collPoint
+	}
+	var rows []row
+	for _, n := range sizes {
+		host := collMeasure(n, false, seed)
+		offl := collMeasure(n, true, seed)
+		rows = append(rows, row{n: n, host: host, offl: offl})
+		fmt.Fprintf(&b, "%6d | %8.1fus %8.1fus | %8.1fus %8.1fus | %8.1fus %8.1fus | %d -> %d\n",
+			n, us(host.barrier), us(offl.barrier), us(host.bcast), us(offl.bcast),
+			us(host.reduce), us(offl.reduce), host.barrierTraps, offl.barrierTraps)
+	}
+	b.WriteString("\nhost traps per collective: offloaded bcast needs ONE trap at the root\n")
+	b.WriteString("(receivers poll pure user-level); barrier/reduce need one per rank,\n")
+	b.WriteString("independent of fan-in — vs O(log n) send traps per rank on the host path.\n")
+
+	// Seeded fault soak over the offloaded paths, run twice.
+	fa := collFaultRun(seed)
+	fb := collFaultRun(seed)
+	deterministic := fa.digest == fb.digest && fa.drops == fb.drops &&
+		fa.dups == fb.dups && fa.byteErrors == fb.byteErrors
+	fmt.Fprintf(&b, "\nfault soak: %d ranks, %d rounds of offloaded bcast(%dB)+allreduce\n",
+		collFaultNodes, collFaultRounds, collFaultBytes)
+	fmt.Fprintf(&b, "schedule:   dropped %d, duplicated %d collective packets\n", fa.drops, fa.dups)
+	fmt.Fprintf(&b, "recovery:   %d retransmit/retry events, %d NIC tree forwards\n", fa.retries, fa.forwards)
+	fmt.Fprintf(&b, "integrity:  %d byte errors, finished: %v\n", fa.byteErrors, fa.finished)
+	fmt.Fprintf(&b, "digest:     %016x (run 1) / %016x (run 2) -> deterministic: %v\n",
+		fa.digest, fb.digest, deterministic)
+
+	r.Text = b.String()
+	for _, rw := range rows {
+		tag := fmt.Sprintf("%d", rw.n)
+		r.metric("barrier_host_"+tag+"_us", us(rw.host.barrier))
+		r.metric("barrier_offl_"+tag+"_us", us(rw.offl.barrier))
+		r.metric("bcast_host_"+tag+"_us", us(rw.host.bcast))
+		r.metric("bcast_offl_"+tag+"_us", us(rw.offl.bcast))
+		r.metric("reduce_host_"+tag+"_us", us(rw.host.reduce))
+		r.metric("reduce_offl_"+tag+"_us", us(rw.offl.reduce))
+		r.metric("traps_host_barrier_"+tag, float64(rw.host.barrierTraps))
+		r.metric("traps_offl_barrier_"+tag, float64(rw.offl.barrierTraps))
+		r.metric("traps_offl_bcast_"+tag, float64(rw.offl.bcastTraps))
+		if rw.offl.barrier > 0 {
+			r.metric("barrier_speedup_"+tag, float64(rw.host.barrier)/float64(rw.offl.barrier))
+		}
+	}
+	r.metric("fault_drops", float64(fa.drops))
+	r.metric("fault_dups", float64(fa.dups))
+	r.metric("byte_errors", float64(fa.byteErrors))
+	r.metric("finished", b2f(fa.finished))
+	r.metric("deterministic", b2f(deterministic))
+	return r
+}
+
+// collFlowTraced runs one offloaded broadcast + barrier on a 4-rank
+// tree with tracers attached (after a warm-up) and returns the tracer.
+func collFlowTraced() *trace.Tracer {
+	const n = 4
+	c, comms := collRig(n, true, 1)
+	collWave(c, comms, collBarrierOp) // steady-state before tracing
+	tr := trace.New()
+	c.SetTracer(tr)
+	for _, cm := range comms {
+		cm.Device().Port().SetTracer(tr)
+	}
+	collWave(c, comms, func(p *sim.Proc, cm *mpi.Comm, r int) {
+		collBcastOp(p, cm, r)
+		collBarrierOp(p, cm, r)
+	})
+	return tr
+}
+
+// CollFlow renders the causal flow of one NIC-offloaded broadcast and
+// barrier: the root's single injection trap, the NIC fanout forwards
+// down the tree, each member's landing-ring DMA delivery, then the
+// combine contributions converging back up and the release multicast
+// (cmd/bcltrace -coll).
+func CollFlow() *Report {
+	r := newReport("collflow", "Causal flow trace of one offloaded broadcast + barrier")
+	tr := collFlowTraced()
+	forwards, dmas := 0, 0
+	rows := map[string]bool{}
+	for _, id := range tr.Flows() {
+		for _, s := range tr.FlowSpans(id) {
+			rows[s.Where] = true
+			switch {
+			case strings.Contains(s.Stage, "coll forward"):
+				forwards++
+			case strings.Contains(s.Stage, "coll result DMA"):
+				dmas++
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(tr.FlowTimeline())
+	fmt.Fprintf(&b, "\nflows: %d; rows: %d; NIC tree forwards: %d; result DMAs: %d\n",
+		len(tr.Flows()), len(rows), forwards, dmas)
+	r.Text = b.String()
+	r.metric("flows", float64(len(tr.Flows())))
+	r.metric("flow_rows", float64(len(rows)))
+	r.metric("coll_forwards", float64(forwards))
+	r.metric("result_dmas", float64(dmas))
+	return r
+}
+
+// CollFlowChromeJSON renders the offloaded-collective flow as Chrome
+// trace-event JSON (cmd/bcltrace -coll -chrome).
+func CollFlowChromeJSON() ([]byte, error) {
+	return collFlowTraced().ChromeTrace()
+}

@@ -87,6 +87,7 @@ type Device struct {
 	rndvRecvs  map[int]*rndvRecv // keyed by data channel
 	nextID     int
 	returns    []returnBuf
+	colls      map[int]*CollContext // offload contexts by id
 
 	// Stats.
 	EagerSent, EagerRecv uint64
@@ -347,6 +348,11 @@ func (d *Device) progress(p *sim.Proc) {
 
 func (d *Device) handle(p *sim.Proc, ev *nic.Event) {
 	if ev.Type != nic.EvRecvDone {
+		return
+	}
+	// Collective completions ride their reserved channel.
+	if ev.Channel == bcl.CollChannel {
+		d.handleColl(p, ev)
 		return
 	}
 	// Rendezvous data arriving on its channel (intra-node path)?

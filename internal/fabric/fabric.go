@@ -32,6 +32,8 @@ const (
 	KindRMAWrite                   // RMA write payload fragment (open channel)
 	KindProbe                      // peer-health probe (firmware liveness check)
 	KindProbeAck                   // probe reply: the peer is reachable again
+	KindCollMcast                  // collective: NIC-forwarded multicast fragment
+	KindCollComb                   // collective: combine contribution toward the root
 )
 
 func (k PacketKind) String() string {
@@ -50,6 +52,10 @@ func (k PacketKind) String() string {
 		return "PROBE"
 	case KindProbeAck:
 		return "PROBE-ACK"
+	case KindCollMcast:
+		return "COLL-MCAST"
+	case KindCollComb:
+		return "COLL-COMB"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -89,10 +95,25 @@ type Packet struct {
 	Tag     uint64 // upper-layer immediate word
 
 	AckSeq  uint64 // for ACK/NACK: cumulative sequence
+	Coll    CollHdr // collective header (KindCollMcast/KindCollComb only)
 	Payload []byte
 	CRC     uint32
 
 	Sent sim.Time // injection timestamp (diagnostics)
+}
+
+// CollHdr is the collective sub-header carried by KindCollMcast and
+// KindCollComb packets. It is a value field so clonePacket's shallow
+// struct copy duplicates it safely.
+type CollHdr struct {
+	Ctx     int    // collective context id
+	Seq     uint64 // per-context (combine) or per-origin (mcast) sequence
+	Origin  int    // member index that injected the collective
+	Mask    uint64 // combine: member-coverage bits accumulated so far
+	Dead    uint64 // combine: members known dead along the way
+	Op      uint8  // combine operator (coll.Op)
+	DT      uint8  // combine element type (coll.DT)
+	Release bool   // combine: root must multicast the result back down
 }
 
 // WireSize returns the serialized size in bytes.

@@ -83,6 +83,11 @@ type Profile struct {
 	MCPEventDMA       sim.Time // firmware cost of composing a completion event
 	EventBusTime      sim.Time // bus occupancy DMAing the event record to host
 	MCPAckProc        sim.Time // processing an ACK/NACK
+	MCPCollProc       sim.Time // collective engine per-packet handling (0: MCPPacketProc)
+	MCPCombineProc    sim.Time // combine arithmetic per contribution (0: MCPRecvProc)
+	// CollRetryTimeout paces release-mode combine re-contributions while
+	// the result has not come back (0 means 8x RetransmitTimeout).
+	CollRetryTimeout sim.Time
 	MaxPacket         int      // payload bytes per wire packet
 	NICMemBytes       int      // NIC SRAM capacity
 	RetransmitTimeout sim.Time // go-back-N retransmit timer (base, first round)
@@ -151,6 +156,8 @@ func DAWNING3000() *Profile {
 		MCPEventDMA:          1000,
 		EventBusTime:         400,
 		MCPAckProc:           600,
+		MCPCollProc:          1800,
+		MCPCombineProc:       900,
 		MaxPacket:            4096,
 		NICMemBytes:          1 << 20, // 1 MB LANai SRAM
 		RetransmitTimeout:    400 * sim.Microsecond,

@@ -11,12 +11,9 @@
 package mpi
 
 import (
-	"encoding/binary"
-	"fmt"
-	"math"
-
 	"bcl/internal/eadi"
 	"bcl/internal/mem"
+	"bcl/internal/nic/coll"
 	"bcl/internal/sim"
 )
 
@@ -56,16 +53,26 @@ type Status = eadi.Status
 
 // Comm is a communicator: a context over the job's process group.
 type Comm struct {
-	dev *eadi.Device
-	ctx int
+	dev  *eadi.Device
+	ctx  int
+	coll *eadi.CollContext // NIC offload context, nil = host algorithms
 }
 
 // World wraps an EADI device as the world communicator (context 0).
 func World(dev *eadi.Device) *Comm { return &Comm{dev: dev, ctx: 0} }
 
 // Dup returns a communicator with a fresh context, isolating its
-// traffic from the parent's.
-func (c *Comm) Dup(ctx int) *Comm { return &Comm{dev: c.dev, ctx: ctx} }
+// traffic from the parent's. An attached offload context carries over
+// (it covers the same process group).
+func (c *Comm) Dup(ctx int) *Comm { return &Comm{dev: c.dev, ctx: ctx, coll: c.coll} }
+
+// AttachColl enables NIC collective offload: Barrier/Bcast/Reduce/
+// Allreduce transparently use the offloaded path when the payload fits
+// one packet, falling back to the host algorithms otherwise.
+func (c *Comm) AttachColl(cc *eadi.CollContext) { c.coll = cc }
+
+// Coll returns the attached offload context (nil when none).
+func (c *Comm) Coll() *eadi.CollContext { return c.coll }
 
 // Rank returns the caller's rank.
 func (c *Comm) Rank() int { return c.dev.Rank() }
@@ -115,12 +122,17 @@ func (c *Comm) Sendrecv(p *sim.Proc, sendVA mem.VAddr, sendN, dst, sendTag int,
 	return st, c.Send(p, sendVA, sendN, dst, sendTag)
 }
 
-// Barrier blocks until every rank has entered it (dissemination
-// algorithm: ceil(log2 n) rounds of pairwise notifications).
+// Barrier blocks until every rank has entered it. With an offload
+// context attached it is one NIC combine (one trap per rank);
+// otherwise the dissemination algorithm runs ceil(log2 n) rounds of
+// pairwise notifications.
 func (c *Comm) Barrier(p *sim.Proc) error {
 	size := c.Size()
 	if size == 1 {
 		return nil
+	}
+	if c.coll != nil {
+		return c.coll.Barrier(p)
 	}
 	rank := c.Rank()
 	token := c.space().Alloc(8)
@@ -135,53 +147,48 @@ func (c *Comm) Barrier(p *sim.Proc) error {
 	return nil
 }
 
-// Bcast distributes n bytes at va from root to every rank (binomial
-// tree).
+// Bcast distributes n bytes at va from root to every rank: one NIC
+// multicast when offloaded, a binomial tree of point-to-point messages
+// otherwise.
 func (c *Comm) Bcast(p *sim.Proc, va mem.VAddr, n, root int) error {
 	size := c.Size()
 	if size == 1 {
 		return nil
 	}
-	// Rotate so the root is virtual rank 0.
-	vrank := (c.Rank() - root + size) % size
-	tag := internalTag + 2000
-	// Receive from parent (highest set bit), then forward to children.
-	if vrank != 0 {
-		mask := 1
-		for mask <= vrank {
-			mask <<= 1
-		}
-		mask >>= 1
-		parent := ((vrank - mask) + root) % size
+	if c.coll != nil && n <= c.coll.MaxPayload() {
+		return c.coll.Bcast(p, root, va, n)
+	}
+	return c.bcastOn(p, coll.Binomial(size, root), va, n, internalTag+2000)
+}
+
+// bcastOn pushes n bytes at va down the plan's tree: receive from the
+// parent, forward to each child. Shared by Bcast and Allreduce so both
+// walk the exact same topology.
+func (c *Comm) bcastOn(p *sim.Proc, pl coll.Plan, va mem.VAddr, n, tag int) error {
+	me := c.Rank()
+	if parent := pl.Parent(me); parent >= 0 {
 		if _, err := c.Recv(p, va, n, parent, tag); err != nil {
 			return err
 		}
 	}
-	for mask := nextPow2(vrank + 1); mask < size; mask <<= 1 {
-		child := vrank + mask
-		if child >= size {
-			break
-		}
-		if err := c.Send(p, va, n, (child+root)%size, tag); err != nil {
+	for _, child := range pl.Children(me) {
+		if err := c.Send(p, va, n, child, tag); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func nextPow2(v int) int {
-	m := 1
-	for m < v {
-		m <<= 1
-	}
-	return m
-}
-
 // Reduce combines count elements from sendVA across all ranks into
-// recvVA at root (binomial tree).
+// recvVA at root: one NIC combine when offloaded and the tree is
+// rooted at root, a binomial tree of point-to-point messages
+// otherwise.
 func (c *Comm) Reduce(p *sim.Proc, sendVA, recvVA mem.VAddr, count int, dt Datatype, op Op, root int) error {
 	size := c.Size()
 	n := count * dt.Size()
+	if c.coll != nil && size > 1 && n <= c.coll.MaxPayload() && root == c.coll.Root() {
+		return c.coll.Reduce(p, sendVA, recvVA, n, coll.Op(op), coll.DT(dt))
+	}
 	sp := c.space()
 	// Work in a local accumulator.
 	acc := sp.Alloc(n)
@@ -192,28 +199,9 @@ func (c *Comm) Reduce(p *sim.Proc, sendVA, recvVA mem.VAddr, count int, dt Datat
 	if err := sp.Write(acc, buf); err != nil {
 		return err
 	}
-	vrank := (c.Rank() - root + size) % size
-	tag := internalTag + 3000
 	tmp := sp.Alloc(n)
-	// Receive from children (low bits), combine, send to parent.
-	for mask := 1; mask < size; mask <<= 1 {
-		if vrank&mask != 0 {
-			parent := ((vrank &^ mask) + root) % size
-			if err := c.Send(p, acc, n, parent, tag); err != nil {
-				return err
-			}
-			break
-		}
-		child := vrank | mask
-		if child >= size {
-			continue
-		}
-		if _, err := c.Recv(p, tmp, n, (child+root)%size, tag); err != nil {
-			return err
-		}
-		if err := c.combine(p, acc, tmp, count, dt, op); err != nil {
-			return err
-		}
+	if err := c.reduceOn(p, coll.Binomial(size, root), acc, tmp, count, dt, op, internalTag+3000); err != nil {
+		return err
 	}
 	if c.Rank() == root {
 		data, err := sp.Read(acc, n)
@@ -226,16 +214,67 @@ func (c *Comm) Reduce(p *sim.Proc, sendVA, recvVA mem.VAddr, count int, dt Datat
 	return nil
 }
 
-// Allreduce is Reduce to rank 0 followed by Bcast.
-func (c *Comm) Allreduce(p *sim.Proc, sendVA, recvVA mem.VAddr, count int, dt Datatype, op Op) error {
-	if err := c.Reduce(p, sendVA, recvVA, count, dt, op, 0); err != nil {
-		return err
+// reduceOn folds contributions up the plan's tree: receive each
+// child's partial into tmp, combine into acc, send acc to the parent.
+// Shared by Reduce and Allreduce so both walk the exact same topology.
+func (c *Comm) reduceOn(p *sim.Proc, pl coll.Plan, acc, tmp mem.VAddr, count int, dt Datatype, op Op, tag int) error {
+	n := count * dt.Size()
+	me := c.Rank()
+	for _, child := range pl.Children(me) {
+		if _, err := c.Recv(p, tmp, n, child, tag); err != nil {
+			return err
+		}
+		if err := c.combine(p, acc, tmp, count, dt, op); err != nil {
+			return err
+		}
 	}
-	return c.Bcast(p, recvVA, count*dt.Size(), 0)
+	if parent := pl.Parent(me); parent >= 0 {
+		return c.Send(p, acc, n, parent, tag)
+	}
+	return nil
 }
 
-// combine applies op element-wise: acc = acc (op) tmp. The arithmetic
-// is real; the CPU cost is a memcpy-rate pass over the operands.
+// Allreduce folds everyone's contribution and hands every rank the
+// result: one releasing NIC combine when offloaded; otherwise a reduce
+// up and a broadcast down ONE shared tree plan (historically this built
+// the topology twice with duplicated mask arithmetic).
+func (c *Comm) Allreduce(p *sim.Proc, sendVA, recvVA mem.VAddr, count int, dt Datatype, op Op) error {
+	size := c.Size()
+	n := count * dt.Size()
+	if c.coll != nil && size > 1 && n <= c.coll.MaxPayload() {
+		return c.coll.Allreduce(p, sendVA, recvVA, n, coll.Op(op), coll.DT(dt))
+	}
+	sp := c.space()
+	acc := sp.Alloc(n)
+	buf, err := sp.Read(sendVA, n)
+	if err != nil {
+		return err
+	}
+	if err := sp.Write(acc, buf); err != nil {
+		return err
+	}
+	tmp := sp.Alloc(n)
+	pl := coll.Binomial(size, 0)
+	if err := c.reduceOn(p, pl, acc, tmp, count, dt, op, internalTag+3000); err != nil {
+		return err
+	}
+	if c.Rank() == pl.Root {
+		data, rerr := sp.Read(acc, n)
+		if rerr != nil {
+			return rerr
+		}
+		c.dev.Port().Node().Memcpy(p, n)
+		if werr := sp.Write(recvVA, data); werr != nil {
+			return werr
+		}
+	}
+	return c.bcastOn(p, pl, recvVA, n, internalTag+2000)
+}
+
+// combine applies op element-wise: acc = acc (op) tmp. The fold is the
+// same code the NIC firmware runs (coll.Combine), so host and offloaded
+// reductions agree bit-for-bit on identical fold orders; the CPU cost
+// is a memcpy-rate pass over the operands.
 func (c *Comm) combine(p *sim.Proc, acc, tmp mem.VAddr, count int, dt Datatype, op Op) error {
 	n := count * dt.Size()
 	c.dev.Port().Node().Memcpy(p, 2*n) // read both operands, write one
@@ -248,50 +287,8 @@ func (c *Comm) combine(p *sim.Proc, acc, tmp mem.VAddr, count int, dt Datatype, 
 	if err != nil {
 		return err
 	}
-	for i := 0; i < count; i++ {
-		off := i * 8
-		switch dt {
-		case Float64:
-			x := math.Float64frombits(binary.LittleEndian.Uint64(a[off:]))
-			y := math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
-			binary.LittleEndian.PutUint64(a[off:], math.Float64bits(applyF(op, x, y)))
-		case Int64:
-			x := int64(binary.LittleEndian.Uint64(a[off:]))
-			y := int64(binary.LittleEndian.Uint64(b[off:]))
-			binary.LittleEndian.PutUint64(a[off:], uint64(applyI(op, x, y)))
-		}
-	}
+	coll.Combine(a, b, coll.Op(op), coll.DT(dt))
 	return sp.Write(acc, a)
-}
-
-func applyF(op Op, x, y float64) float64 {
-	switch op {
-	case Sum:
-		return x + y
-	case Max:
-		return math.Max(x, y)
-	case Min:
-		return math.Min(x, y)
-	}
-	panic(fmt.Sprintf("mpi: unknown op %d", op))
-}
-
-func applyI(op Op, x, y int64) int64 {
-	switch op {
-	case Sum:
-		return x + y
-	case Max:
-		if x > y {
-			return x
-		}
-		return y
-	case Min:
-		if x < y {
-			return x
-		}
-		return y
-	}
-	panic(fmt.Sprintf("mpi: unknown op %d", op))
 }
 
 // Gather collects n bytes from every rank into root's buffer (laid out

@@ -180,6 +180,21 @@ func (n *NIC) injectEngine(p *sim.Proc) {
 			}
 			continue
 		}
+		if d.Kind == DescCollMcast || d.Kind == DescCollComb {
+			if j.fragIdx != 0 {
+				// Collective payloads are single-packet by contract (the
+				// library validates); drop stray fragments defensively.
+				if j.sram > 0 {
+					n.sram.Release(j.sram)
+				}
+				continue
+			}
+			// Hand the staged payload (and its SRAM accounting) to the
+			// collective engine: from here on the message fans out over
+			// the tree without re-touching host memory.
+			n.collQ.Post(collJob{kind: collJobLocal, desc: d, payload: j.payload, sram: j.sram})
+			continue
+		}
 		flow := n.flowTo(d.DstNode)
 		if d.Kind == DescRMARead {
 			n.cpu.Use(p, 1, n.prof.MCPSendProc)
@@ -500,6 +515,15 @@ func (n *NIC) failFlow(p *sim.Proc, f *txFlow) {
 		if pd.sram > 0 {
 			n.sram.Release(pd.sram)
 		}
+		if pd.desc.OnFail != nil {
+			// Collective forwards: the engine reparents the branch
+			// instead of surfacing a host event.
+			if !seen[pd.pkt.MsgID] {
+				seen[pd.pkt.MsgID] = true
+				pd.desc.OnFail()
+			}
+			continue
+		}
 		if !seen[pd.pkt.MsgID] && !pd.desc.NoEvent {
 			seen[pd.pkt.MsgID] = true
 			if !complete[pd.pkt.MsgID] {
@@ -572,6 +596,10 @@ func (n *NIC) markPeerUp(f *txFlow) {
 // failMessage reports a send failure detected before injection (bad
 // descriptor) or a fail-fast rejection.
 func (n *NIC) failMessage(p *sim.Proc, d *SendDesc) {
+	if d.OnFail != nil {
+		d.OnFail()
+		return
+	}
 	if !d.NoEvent {
 		n.stats.SendFailures++
 		n.postEvent(p, d.SrcPort, EvSendFailed, d, 0)
@@ -603,6 +631,8 @@ func (n *NIC) recvEngine(p *sim.Proc) {
 			n.markPeerUp(f)
 		case fabric.KindData, fabric.KindRMAWrite, fabric.KindRMARead:
 			n.handleData(p, pkt)
+		case fabric.KindCollMcast, fabric.KindCollComb:
+			n.handleCollPkt(p, pkt)
 		default:
 			panic(fmt.Sprintf("nic%d: unknown packet kind %v", n.node, pkt.Kind))
 		}

@@ -64,9 +64,11 @@ type DescKind uint8
 
 // Send descriptor kinds.
 const (
-	DescData     DescKind = iota // ordinary message to a channel
-	DescRMAWrite                 // one-sided write into an open channel
-	DescRMARead                  // one-sided read request from an open channel
+	DescData      DescKind = iota // ordinary message to a channel
+	DescRMAWrite                  // one-sided write into an open channel
+	DescRMARead                   // one-sided read request from an open channel
+	DescCollMcast                 // collective: inject a tree multicast
+	DescCollComb                  // collective: contribute to a combine tree
 )
 
 // SendDesc is a send request descriptor as the host writes it into the
@@ -93,6 +95,15 @@ type SendDesc struct {
 	// NoEvent suppresses the sender completion event (internal
 	// firmware-generated traffic such as RMA read replies).
 	NoEvent bool
+
+	// Coll is the collective header for DescCollMcast/DescCollComb
+	// descriptors: context id, sequence, op/datatype and release flag.
+	Coll fabric.CollHdr
+	// OnFail, when set, is invoked (instead of posting EvSendFailed)
+	// when the message is abandoned by fail-fast or retry exhaustion.
+	// The collective engine uses it to reparent a tree branch around a
+	// dead member. It runs in firmware context and must not block.
+	OnFail func()
 
 	// Trace is the causal trace id minted at the library send call (see
 	// trace.ID); the firmware stamps it onto every packet of the message
@@ -148,7 +159,27 @@ type Event struct {
 	VA      mem.VAddr // receive buffer base (for the library's benefit)
 	Stamp   sim.Time
 	Trace   uint64 // causal trace id of the message, 0 if untraced
+
+	// Collective event fields (Channel == CollChannel only).
+	CollKind   uint8  // CollEvMcast or CollEvResult
+	CollOrigin int    // member index that injected the collective
+	CollDead   uint64 // members found dead while the collective ran
 }
+
+// CollHdr aliases the wire collective header so library callers need
+// not import the fabric package.
+type CollHdr = fabric.CollHdr
+
+// CollChannel is the reserved channel id collective completion events
+// carry; the library demultiplexes them away from point-to-point
+// traffic on it.
+const CollChannel = -2
+
+// Collective event kinds (Event.CollKind).
+const (
+	CollEvMcast  uint8 = 1 // a tree-multicast payload landed
+	CollEvResult uint8 = 2 // a combine result (barrier/reduce) landed
+)
 
 // Port is the NIC-resident state of one BCL-style communication port:
 // its event queues (conceptually rings in pinned user memory) and
@@ -231,6 +262,17 @@ type Stats struct {
 	Probes         uint64 // liveness probes sent
 	PeerDeaths     uint64 // Up/Suspect -> Dead transitions
 	PeerRecoveries uint64 // Dead/Probing -> Up transitions
+
+	// Collective offload engine.
+	CollMcasts       uint64 // multicast descriptors injected by hosts
+	CollCombines     uint64 // combine contributions (host + network)
+	CollForwards     uint64 // tree packets this NIC forwarded onward
+	CollDeliveries   uint64 // collective events DMAed to user space
+	CollDups         uint64 // duplicate/subset contributions dropped
+	CollOverlapDrops uint64 // partially-overlapping contributions dropped
+	CollReparents    uint64 // dead members routed around
+	CollAdoptions    uint64 // orphaned subtree members adopted
+	CollRetries      uint64 // release-mode re-contributions fired
 }
 
 // NIC is one adapter instance.
@@ -249,9 +291,11 @@ type NIC struct {
 	sendQ  *sim.Queue[*SendDesc]
 	fetchQ *sim.Queue[fetchJob]
 	retxQ  *sim.Queue[*txFlow]
+	collQ  *sim.Queue[collJob]
 	ports  map[int]*Port
 	tx     map[int]*txFlow
 	rx     map[int]*rxFlow
+	colls  map[int]*CollCtx
 	nextID uint64
 
 	// InterruptHandler is invoked (in scheduler context) for each
@@ -298,15 +342,18 @@ func New(env *sim.Env, prof *hw.Profile, cfg Config, node int, ep *fabric.Endpoi
 		sendQ:  sim.NewQueue[*SendDesc](env, fmt.Sprintf("nic%d/sendq", node), 0),
 		fetchQ: sim.NewQueue[fetchJob](env, fmt.Sprintf("nic%d/fetchq", node), 2),
 		retxQ:  sim.NewQueue[*txFlow](env, fmt.Sprintf("nic%d/retxq", node), 0),
+		collQ:  sim.NewQueue[collJob](env, fmt.Sprintf("nic%d/collq", node), 0),
 		ports:  make(map[int]*Port),
 		tx:     make(map[int]*txFlow),
 		rx:     make(map[int]*rxFlow),
+		colls:  make(map[int]*CollCtx),
 		tlb:    newNICTLB(cfg.TLBEntries),
 	}
 	env.Go(fmt.Sprintf("nic%d/send-engine", node), n.sendEngine)
 	env.Go(fmt.Sprintf("nic%d/inject-engine", node), n.injectEngine)
 	env.Go(fmt.Sprintf("nic%d/recv-engine", node), n.recvEngine)
 	env.Go(fmt.Sprintf("nic%d/retx-engine", node), n.retxEngine)
+	env.Go(fmt.Sprintf("nic%d/coll-engine", node), n.collEngine)
 	return n
 }
 
@@ -346,6 +393,15 @@ func (n *NIC) Collect(set obs.Set) {
 		{"probes", s.Probes},
 		{"peer_deaths", s.PeerDeaths},
 		{"peer_recoveries", s.PeerRecoveries},
+		{"coll_mcasts", s.CollMcasts},
+		{"coll_combines", s.CollCombines},
+		{"coll_forwards", s.CollForwards},
+		{"coll_deliveries", s.CollDeliveries},
+		{"coll_dups", s.CollDups},
+		{"coll_overlap_drops", s.CollOverlapDrops},
+		{"coll_reparents", s.CollReparents},
+		{"coll_adoptions", s.CollAdoptions},
+		{"coll_retries", s.CollRetries},
 	} {
 		set(n.node, "nic", c.name, c.v)
 	}

@@ -1,0 +1,98 @@
+package pvm
+
+import (
+	"testing"
+
+	"bcl/internal/eadi"
+	"bcl/internal/sim"
+)
+
+// TestOffloadedGroupOps drives whole-machine PVM group broadcast and
+// barrier over the NIC collective offload path and verifies the
+// receivers see ordinary tagged messages.
+func TestOffloadedGroupOps(t *testing.T) {
+	const n = 4
+	c, tasks := vm(t, n, []int{0, 1, 2, 3})
+	for i := range tasks {
+		r := i
+		c.Env.Go("collreg", func(p *sim.Proc) {
+			cc, err := eadi.NewCollContext(p, tasks[r].Device(), 1, 0, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tasks[r].UseColl(cc)
+		})
+	}
+	c.Env.RunUntil(c.Env.Now() + 10*sim.Millisecond)
+
+	got := make([]string, n)
+	bars := make([]bool, n)
+	for i := range tasks {
+		r := i
+		c.Env.Go("task", func(p *sim.Proc) {
+			if r == 2 {
+				// Join last so this task's membership snapshot covers
+				// the whole machine (it is the broadcaster below).
+				p.Sleep(5 * sim.Millisecond)
+			}
+			if _, err := tasks[r].JoinGroup(p, "world"); err != nil {
+				t.Error(err)
+				return
+			}
+			if r == 0 {
+				// The coordinator serves the other joins itself (one
+				// process per device: a separate serving proc would
+				// steal this proc's progress wake-ups).
+				for joins := 0; joins < n-1; {
+					served, err := tasks[0].ServeGroups(p)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if served {
+						joins++
+					}
+					p.Sleep(20 * sim.Microsecond)
+				}
+			}
+			// Offloaded whole-machine barrier (no coordinator serving
+			// needed: the NIC combine replaces the group server).
+			if err := tasks[r].GroupBarrier(p, "world", n); err != nil {
+				t.Error(err)
+				return
+			}
+			if r == 2 {
+				tasks[r].InitSend(DataDefault).PackString("offloaded bcast")
+				if err := tasks[r].GroupBcast(p, "world", 33); err != nil {
+					t.Error(err)
+					return
+				}
+			} else {
+				m, err := tasks[r].Recv(p, Tid(2), 33)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got[r], _ = m.UnpackString()
+			}
+			if err := tasks[r].Barrier(p); err != nil {
+				t.Error(err)
+				return
+			}
+			bars[r] = true
+		})
+	}
+	c.Env.RunUntil(c.Env.Now() + 10*sim.Second)
+	for r := 0; r < n; r++ {
+		if !bars[r] {
+			t.Fatalf("task %d never finished", r)
+		}
+		if r != 2 && got[r] != "offloaded bcast" {
+			t.Fatalf("task %d got %q", r, got[r])
+		}
+	}
+	if c.Obs.Snapshot(c.Env.Now()).SumCounter("nic", "coll_mcasts") == 0 {
+		t.Fatal("group bcast did not use the NIC multicast path")
+	}
+}

@@ -150,6 +150,14 @@ func (t *Task) GroupBarrier(p *sim.Proc, name string, count int) error {
 	if _, ok := t.groups[name]; !ok {
 		return ErrNotInGroup
 	}
+	if t.coll != nil && count == t.Size() {
+		// Whole-machine barrier with an offload context: one NIC
+		// combine replaces the coordinator round-trip. Every member
+		// passes the same count, so all take this path together (the
+		// join-time membership snapshot may lag at early joiners, which
+		// is why the guard is on count, not on the snapshot).
+		return t.coll.Barrier(p)
+	}
 	if t.dev.Rank() == 0 {
 		// Coordinator: register own arrival, then serve until released.
 		t.ensureBarrierState()
@@ -183,12 +191,31 @@ func (t *Task) GroupBarrier(p *sim.Proc, name string, count int) error {
 }
 
 // GroupBcast sends the active buffer to every member of the group
-// except the caller (pvm_bcast semantics).
+// except the caller (pvm_bcast semantics). When the group spans the
+// whole virtual machine and an offload context is attached, the send
+// is ONE NIC tree multicast; receivers still see an ordinary tagged
+// message via Recv.
 func (t *Task) GroupBcast(p *sim.Proc, name string, msgtag int) error {
 	t.ensureGroups()
 	gv, ok := t.groups[name]
 	if !ok {
 		return ErrNotInGroup
+	}
+	if t.coll != nil && len(gv.members) == t.Size() && t.sendBuf != nil {
+		b := t.sendBuf
+		if b.enc == DataInPlace && b.n <= t.coll.MaxPayload() {
+			return t.coll.McastEager(p, pvmContext, msgtag, b.va, b.n)
+		}
+		if b.enc != DataInPlace && len(b.data) <= t.coll.MaxPayload() {
+			// Same pack copy as Send: library buffer -> staging.
+			if len(b.data) > smallFastPath {
+				t.dev.Port().Node().Memcpy(p, len(b.data))
+			}
+			if err := t.space().Write(t.staging, b.data); err != nil {
+				return err
+			}
+			return t.coll.McastEager(p, pvmContext, msgtag, t.staging, len(b.data))
+		}
 	}
 	for _, tid := range gv.members {
 		if tid == t.MyTid() {

@@ -65,6 +65,10 @@ type Task struct {
 	groups         map[string]*groupView
 	coord          map[string][]int
 	barrierArrived map[string][]int
+
+	// coll is a NIC collective offload context covering the whole
+	// virtual machine (UseColl); nil keeps the host algorithms.
+	coll *eadi.CollContext
 }
 
 // Buffer is a pack/unpack buffer.
@@ -96,6 +100,12 @@ func (t *Task) Size() int { return t.dev.Size() }
 
 // Device returns the underlying EADI device.
 func (t *Task) Device() *eadi.Device { return t.dev }
+
+// UseColl attaches a NIC collective offload context: Barrier and the
+// whole-machine group operations then run on the offloaded tree (one
+// trap instead of a coordinator round-trip). Every task must attach
+// the same context before any offloaded collective runs.
+func (t *Task) UseColl(cc *eadi.CollContext) { t.coll = cc }
 
 // InitSend starts a fresh send buffer with the given encoding.
 func (t *Task) InitSend(enc Encoding) *Buffer {
@@ -312,9 +322,13 @@ func (t *Task) Probe(p *sim.Proc, tid, msgtag int) (int, bool) {
 	return st.Len, ok
 }
 
-// Barrier synchronizes all tasks (rank 0 coordinates, like the PVM
+// Barrier synchronizes all tasks: one NIC combine when an offload
+// context is attached, otherwise rank 0 coordinates (like the PVM
 // group server).
 func (t *Task) Barrier(p *sim.Proc) error {
+	if t.coll != nil {
+		return t.coll.Barrier(p)
+	}
 	const tag = 1<<23 + 77
 	me := t.dev.Rank()
 	if me == 0 {
