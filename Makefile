@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test race short bench experiments chaos collectives metrics examples tools clean
+.PHONY: all test race short bench experiments chaos collectives metrics profile baseline check examples tools clean
 
 all: test
 
@@ -44,6 +44,23 @@ collectives:
 metrics:
 	$(GO) run ./cmd/bclbench -metrics pingpong
 	$(GO) run ./cmd/bcltrace -flow
+
+# Virtual-time profiler: attribution table for one 8-byte eager send
+# (exclusive per-(node, layer, phase) times, per-CPU busy/idle, host
+# overlap) plus the LogP/LogGP parameters fitted from profiler spans.
+profile:
+	$(GO) run ./cmd/bcltrace -prof
+	$(GO) run ./cmd/bclbench logp
+
+# Continuous benchmark gate. `make baseline` (re)writes
+# baselines/BENCH_*.json from a fresh run of the gated experiments;
+# `make check` reruns them and fails on any metric outside its
+# tolerance band. CI runs `check` on every push.
+baseline:
+	$(GO) run ./cmd/bclbench -baseline
+
+check:
+	$(GO) run ./cmd/bclbench -check
 
 examples:
 	$(GO) run ./examples/quickstart

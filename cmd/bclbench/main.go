@@ -1,5 +1,6 @@
 // Command bclbench regenerates the paper's evaluation tables and
-// figures from the simulated cluster.
+// figures from the simulated cluster, and runs the continuous
+// benchmark gate against committed baselines.
 //
 // Usage:
 //
@@ -8,12 +9,17 @@
 //	bclbench table1 fig7 ...   # run selected experiments
 //	bclbench -metrics pingpong # append the registry snapshot
 //	                           # (Prometheus text + JSON) to each report
+//	bclbench -baseline         # (re)write baselines/BENCH_*.json
+//	bclbench -check            # rerun the gated experiments, compare
+//	                           # against baselines/, exit 1 on regression
+//	bclbench -check -out dir   # also write the fresh artifacts to dir
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"bcl/internal/bench"
@@ -23,8 +29,13 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	seed := flag.Uint64("seed", 1, "fault-schedule seed for the chaos and collectives experiments")
 	metrics := flag.Bool("metrics", false, "print each experiment's metrics registry snapshot (text and JSON)")
+	check := flag.Bool("check", false, "run the gated experiments and compare against committed baselines (exit 1 on regression)")
+	baseline := flag.Bool("baseline", false, "run the gated experiments and (re)write the baselines")
+	dir := flag.String("dir", "baselines", "baseline directory for -check / -baseline")
+	out := flag.String("out", "", "also write fresh BENCH_<name>.json artifacts to this directory")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bclbench [-list] [-seed N] [-metrics] all | <experiment> ...\n")
+		fmt.Fprintf(os.Stderr, "usage: bclbench [-list] [-seed N] [-metrics] [-out dir] all | <experiment> ...\n")
+		fmt.Fprintf(os.Stderr, "       bclbench [-check | -baseline] [-dir baselines] [-out dir]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(bench.IDs(), " "))
 	}
 	flag.Parse()
@@ -33,6 +44,13 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+	if *check || *baseline {
+		if flag.NArg() != 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		os.Exit(runGate(*check, *dir, *out, *seed))
 	}
 	args := flag.Args()
 	if len(args) == 0 {
@@ -44,14 +62,7 @@ func main() {
 		reports = bench.All()
 	} else {
 		for _, id := range args {
-			var r *bench.Report
-			if strings.EqualFold(id, "chaos") {
-				r = bench.ChaosSeeded(*seed)
-			} else if strings.EqualFold(id, "collectives") {
-				r = bench.CollectivesSeeded(*seed)
-			} else {
-				r = bench.ByID(id)
-			}
+			r := bench.ByIDSeeded(id, *seed)
 			if r == nil {
 				fmt.Fprintf(os.Stderr, "bclbench: unknown experiment %q\n", id)
 				os.Exit(2)
@@ -65,6 +76,12 @@ func main() {
 		}
 		fmt.Print(r.String())
 		fmt.Println(r.Summary)
+		if *out != "" {
+			if err := writeArtifact(*out, artifactName(r.ID), r); err != nil {
+				fmt.Fprintf(os.Stderr, "bclbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		if *metrics && r.Snap != nil {
 			fmt.Println()
 			fmt.Print(r.Snap.Text())
@@ -77,4 +94,82 @@ func main() {
 			fmt.Println()
 		}
 	}
+}
+
+// artifactName maps an experiment id to the gate's artifact name (the
+// id itself when the experiment is not in the gated set).
+func artifactName(id string) string {
+	for _, g := range bench.GatedExperiments {
+		if g.ID == id {
+			return g.Name
+		}
+	}
+	return id
+}
+
+func writeArtifact(dir, name string, r *bench.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, err := bench.FromReport(r).Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, bench.ArtifactFile(name)), b, 0o644)
+}
+
+// runGate runs every gated experiment once and either rewrites the
+// baselines (check=false) or compares against them (check=true).
+// Returns the process exit code.
+func runGate(check bool, dir, out string, seed uint64) int {
+	failed := false
+	for _, g := range bench.GatedExperiments {
+		r := bench.ByIDSeeded(g.ID, seed)
+		if r == nil {
+			fmt.Fprintf(os.Stderr, "bclbench: unknown gated experiment %q\n", g.ID)
+			return 2
+		}
+		fresh := bench.FromReport(r)
+		if out != "" {
+			if err := writeArtifact(out, g.Name, r); err != nil {
+				fmt.Fprintf(os.Stderr, "bclbench: %v\n", err)
+				return 1
+			}
+		}
+		path := filepath.Join(dir, bench.ArtifactFile(g.Name))
+		if !check {
+			if err := writeArtifact(dir, g.Name, r); err != nil {
+				fmt.Fprintf(os.Stderr, "bclbench: %v\n", err)
+				return 1
+			}
+			fmt.Printf("baseline %-12s -> %s (%d metrics)\n", g.Name, path, len(fresh.Metrics))
+			continue
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bclbench: %s: %v (run `bclbench -baseline` to create it)\n", g.Name, err)
+			failed = true
+			continue
+		}
+		base, err := bench.DecodeArtifact(raw)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bclbench: %s: bad baseline: %v\n", g.Name, err)
+			failed = true
+			continue
+		}
+		bad := bench.Check(fresh, base)
+		if len(bad) == 0 {
+			fmt.Printf("check %-12s PASS (%d metrics within tolerance)\n", g.Name, len(base.Metrics))
+			continue
+		}
+		failed = true
+		fmt.Printf("check %-12s FAIL\n", g.Name)
+		for _, m := range bad {
+			fmt.Printf("  regression: %s\n", m)
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
 }

@@ -19,6 +19,10 @@
 //	                            # trap, the tree fanout, landing-ring
 //	                            # DMAs, and the combine back up
 //	bcltrace -coll -chrome      # the same collective flow as Chrome JSON
+//	bcltrace -prof              # virtual-time attribution table for one
+//	                            # traced 8-byte eager send: exclusive
+//	                            # (node, layer, phase) times, per-CPU
+//	                            # busy/idle, host-CPU overlap
 package main
 
 import (
@@ -34,7 +38,12 @@ func main() {
 	chrome := flag.Bool("chrome", false, "emit Chrome trace-event JSON instead of text")
 	flow := flag.Bool("flow", false, "trace the causal flow of one message under a forced packet drop")
 	coll := flag.Bool("coll", false, "trace the causal flow of one NIC-offloaded broadcast + barrier")
+	profFlag := flag.Bool("prof", false, "print the virtual-time attribution table for one traced message")
 	flag.Parse()
+	if *profFlag {
+		fmt.Print(bench.ByID("profile").String())
+		return
+	}
 	if *chrome {
 		gen := bench.ChromeTraceJSON
 		if *flow {

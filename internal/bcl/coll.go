@@ -143,7 +143,11 @@ func (pt *Port) collPost(p *sim.Proc, kind nic.DescKind, ctx *CollCtx, va mem.VA
 			if err := k.CheckRequest(p, pt.proc.PID, va, n, pt.addr.Node, pt.sys.Cluster.Size()); err != nil {
 				return err
 			}
-			segs, err := k.TranslateAndPin(p, pt.proc.PID, pt.proc.Space, va, n)
+			var segs []mem.Segment
+			var err error
+			pt.tr.Do(p, "kernel: pin/translate", host(pt), func() {
+				segs, err = k.TranslateAndPin(p, pt.proc.PID, pt.proc.Space, va, n)
+			})
 			if err != nil {
 				return err
 			}

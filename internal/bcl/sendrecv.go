@@ -47,7 +47,11 @@ func (pt *Port) Send(p *sim.Proc, dst Addr, channel int, va mem.VAddr, n int, ta
 			if err := k.CheckRequest(p, pt.proc.PID, va, n, dst.Node, pt.sys.Cluster.Size()); err != nil {
 				return err
 			}
-			segs, err := k.TranslateAndPin(p, pt.proc.PID, pt.proc.Space, va, n)
+			var segs []mem.Segment
+			var err error
+			pt.tr.Do(p, "kernel: pin/translate", host(pt), func() {
+				segs, err = k.TranslateAndPin(p, pt.proc.PID, pt.proc.Space, va, n)
+			})
 			if err != nil {
 				return err
 			}

@@ -20,6 +20,7 @@ import (
 	"bcl/internal/mem"
 	"bcl/internal/mpi"
 	"bcl/internal/obs"
+	"bcl/internal/obs/prof"
 	"bcl/internal/pvm"
 	"bcl/internal/sim"
 	"bcl/internal/ulc"
@@ -37,6 +38,12 @@ type Report struct {
 	// set one itself). Summary is its one-line digest.
 	Snap    *obs.Snapshot
 	Summary string
+
+	// Attribution and LogP carry the structured profiler outputs of the
+	// profile/logp experiments (nil elsewhere); the benchmark artifact
+	// embeds them.
+	Attribution *prof.Profile
+	LogP        *prof.LogGP
 }
 
 func (r *Report) String() string {
@@ -80,6 +87,8 @@ var experiments = []struct {
 	{id: "chaos", fn: Chaos},
 	{id: "collectives", fn: Collectives},
 	{id: "collflow", fn: CollFlow},
+	{id: "profile", fn: Profile},
+	{id: "logp", fn: LogP},
 }
 
 // All runs every experiment in paper order.
@@ -171,7 +180,7 @@ func summaryLine(s *obs.Snapshot) string {
 		s.SumCounter("nic", "msgs_sent"), s.SumCounter("nic", "retransmits"))
 	if h.Count > 0 {
 		line += fmt.Sprintf(" p50=%.1fus p99=%.1fus",
-			float64(h.Quantile(0.5))/1000, float64(h.Quantile(0.99))/1000)
+			float64(h.P50())/1000, float64(h.P99())/1000)
 	}
 	return line
 }

@@ -91,8 +91,8 @@ func PingPong() *Report {
 		}
 	}
 	h := snap.MergedHist("nic", "msg_latency_ns")
-	fmt.Fprintf(&b, "\nend-to-end latency histogram: %d observations, p50 <= %.1f µs, p99 <= %.1f µs\n",
-		h.Count, float64(h.Quantile(0.5))/1000, float64(h.Quantile(0.99))/1000)
+	fmt.Fprintf(&b, "\nend-to-end latency histogram: %d observations, p50 ~ %.1f µs, p99 ~ %.1f µs\n",
+		h.Count, float64(h.P50())/1000, float64(h.P99())/1000)
 	fmt.Fprintf(&b, "\nsampler timeline (%d samples on the virtual clock):\n", len(rg.c.Obs.Samples()))
 	b.WriteString(rg.c.Obs.TimelineText([]obs.TimelineCol{
 		{Label: "msgs_sent", Layer: "nic", Name: "msgs_sent"},

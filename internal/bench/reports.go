@@ -187,14 +187,23 @@ func Overheads() *Report {
 
 // tracedMessage runs one traced 0-length message and returns the
 // shared tracer plus total one-way time.
-func tracedMessage() (*trace.Tracer, sim.Time) {
+func tracedMessage() (*trace.Tracer, sim.Time) { return tracedMessageN(0) }
+
+// tracedMessageN runs one warm eager send of n payload bytes on the
+// system channel with tracers attached only for the measured message,
+// and returns the shared tracer plus total one-way time.
+func tracedMessageN(n int) (*trace.Tracer, sim.Time) {
 	rg := newBCLRig(hw.DAWNING3000(), false)
 	tr := trace.New()
 	var oneWay sim.Time
 	var sentAt sim.Time
 	rg.c.Env.Go("warm", func(p *sim.Proc) {
-		va := rg.a.Process().Space.Alloc(64)
-		rg.a.Send(p, rg.b.Addr(), ibcl.SystemChannel, va, 0, 0)
+		bufN := n
+		if bufN == 0 {
+			bufN = 64
+		}
+		va := rg.a.Process().Space.Alloc(bufN)
+		rg.a.Send(p, rg.b.Addr(), ibcl.SystemChannel, va, n, 0)
 		rg.a.WaitSend(p)
 		p.Sleep(300 * sim.Microsecond)
 		// Attach tracers for the measured message: ports, NICs and the
@@ -203,7 +212,7 @@ func tracedMessage() (*trace.Tracer, sim.Time) {
 		rg.b.SetTracer(tr)
 		rg.c.SetTracer(tr)
 		sentAt = p.Now()
-		rg.a.Send(p, rg.b.Addr(), ibcl.SystemChannel, va, 0, 0)
+		rg.a.Send(p, rg.b.Addr(), ibcl.SystemChannel, va, n, 0)
 		rg.a.WaitSend(p)
 	})
 	rg.c.Env.Go("recv", func(p *sim.Proc) {

@@ -245,6 +245,7 @@ func (n *NIC) fetchRange(p *sim.Proc, d *SendDesc, lo, ln int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	dmaStart := p.Now()
 	done := 0
 	for _, s := range segs {
 		n.busDMA(p, s.Len)
@@ -253,6 +254,7 @@ func (n *NIC) fetchRange(p *sim.Proc, d *SendDesc, lo, ln int) ([]byte, error) {
 		}
 		done += s.Len
 	}
+	n.Tracer.AddFlow("nic: host DMA fetch", n.where(), d.Trace, dmaStart, p.Now())
 	return buf, nil
 }
 
@@ -743,6 +745,7 @@ func (n *NIC) handleData(p *sim.Proc, pkt *fabric.Packet) {
 			}
 			return
 		}
+		dmaStart := p.Now()
 		done := 0
 		for _, s := range segs {
 			n.busDMA(p, s.Len)
@@ -755,6 +758,7 @@ func (n *NIC) handleData(p *sim.Proc, pkt *fabric.Packet) {
 			}
 			done += s.Len
 		}
+		n.Tracer.AddFlow("nic: payload DMA to host", n.where(), pkt.Trace, dmaStart, p.Now())
 	}
 	n.stats.BytesReceived += uint64(len(pkt.Payload))
 

@@ -153,9 +153,12 @@ func addBuckets(a, b []Bucket, sign int64) []Bucket {
 	return out
 }
 
-// Quantile returns the upper bound of the bucket containing the q-th
-// quantile observation (0 on an empty histogram), clamped to the
-// observed [Min, Max] range so summary lines read naturally.
+// Quantile returns the q-th quantile in nanoseconds (0 on an empty
+// histogram), interpolating linearly inside the bucket holding the
+// quantile rank: a bucket (lo, le] contributing c observations is
+// treated as c observations spread evenly across it. The result is
+// clamped to the observed [Min, Max] range, so a single-valued
+// histogram reports that exact value at every quantile.
 func (p HistPoint) Quantile(q float64) int64 {
 	if p.Count == 0 {
 		return 0
@@ -166,24 +169,39 @@ func (p HistPoint) Quantile(q float64) int64 {
 	if q > 1 {
 		q = 1
 	}
-	target := uint64(q * float64(p.Count))
-	if target == 0 {
-		target = 1
+	rank := q * float64(p.Count)
+	if rank < 1 {
+		rank = 1
 	}
-	cum := uint64(0)
-	v := p.Max
+	cum := 0.0
+	v := float64(p.Max)
 	for _, b := range p.Buckets {
-		cum += b.Count
-		if cum >= target {
-			v = b.Le
+		c := float64(b.Count)
+		if cum+c >= rank {
+			lo := 0.0
+			if b.Le > 1 {
+				lo = float64(b.Le) / 2
+			}
+			v = lo + (rank-cum)/c*(float64(b.Le)-lo)
 			break
 		}
+		cum += c
 	}
-	if v > p.Max {
-		v = p.Max
+	out := int64(v + 0.5)
+	if out > p.Max {
+		out = p.Max
 	}
-	if v < p.Min {
-		v = p.Min
+	if out < p.Min {
+		out = p.Min
 	}
-	return v
+	return out
 }
+
+// P50 is the interpolated median.
+func (p HistPoint) P50() int64 { return p.Quantile(0.5) }
+
+// P90 is the interpolated 90th percentile.
+func (p HistPoint) P90() int64 { return p.Quantile(0.9) }
+
+// P99 is the interpolated 99th percentile.
+func (p HistPoint) P99() int64 { return p.Quantile(0.99) }

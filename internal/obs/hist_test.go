@@ -1,0 +1,96 @@
+package obs
+
+import "testing"
+
+// TestQuantileInterpolation: observations spread across buckets give
+// interpolated (not bucket-upper-bound) quantiles.
+func TestQuantileInterpolation(t *testing.T) {
+	h := &Histogram{}
+	// Two observations in the (2, 4] bucket. Rank p50 = 1 ->
+	// halfway through the first observation's share: 2 + 0.5*2 = 3.
+	h.Observe(3)
+	h.Observe(4)
+	p := h.point(Key{})
+	if got := p.Quantile(0.5); got != 3 {
+		t.Fatalf("p50 = %d, want interpolated 3", got)
+	}
+	// p100 lands at the bucket's top, clamped to Max = 4.
+	if got := p.Quantile(1); got != 4 {
+		t.Fatalf("p100 = %d, want 4", got)
+	}
+}
+
+// TestQuantileBucketBoundary: a rank exactly on a bucket boundary
+// takes the lower bucket's upper edge, and the next rank starts
+// interpolating inside the upper bucket.
+func TestQuantileBucketBoundary(t *testing.T) {
+	h := &Histogram{}
+	// 2 observations in (2, 4], 2 in (4, 8].
+	h.Observe(3)
+	h.Observe(4)
+	h.Observe(6)
+	h.Observe(8)
+	p := h.point(Key{})
+	// Rank 2 of 4 = exactly the boundary: end of the (2,4] bucket.
+	if got := p.Quantile(0.5); got != 4 {
+		t.Fatalf("p50 = %d, want 4 (bucket boundary)", got)
+	}
+	// Rank 3 = halfway into (4, 8]: 4 + 0.5*4 = 6.
+	if got := p.Quantile(0.75); got != 6 {
+		t.Fatalf("p75 = %d, want 6", got)
+	}
+	// Rank 4 = the top of (4, 8], clamped to Max = 8.
+	if got := p.Quantile(1); got != 8 {
+		t.Fatalf("p100 = %d, want 8", got)
+	}
+}
+
+// TestQuantileSingleValue: every quantile of a single-valued
+// histogram is that value (Min/Max clamping).
+func TestQuantileSingleValue(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+	p := h.point(Key{})
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if got := p.Quantile(q); got != 1000 {
+			t.Fatalf("q%v = %d, want 1000", q, got)
+		}
+	}
+}
+
+// TestQuantileAccessors: P50/P90/P99 agree with Quantile and order
+// correctly on a spread distribution.
+func TestQuantileAccessors(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i) * 100) // 100..10000 ns
+	}
+	p := h.point(Key{})
+	if p.P50() != p.Quantile(0.5) || p.P90() != p.Quantile(0.9) || p.P99() != p.Quantile(0.99) {
+		t.Fatal("accessors disagree with Quantile")
+	}
+	if !(p.P50() < p.P90() && p.P90() <= p.P99()) {
+		t.Fatalf("ordering violated: p50=%d p90=%d p99=%d", p.P50(), p.P90(), p.P99())
+	}
+	// The p50 of 100 evenly spread values must land in the right
+	// bucket region: values 100..10000, median ~5000, log2 bucket
+	// (4096, 8192]. Interpolation keeps it well inside, not at 8192.
+	if p.P50() < 4096 || p.P50() >= 8192 {
+		t.Fatalf("p50 = %d, want inside (4096, 8192)", p.P50())
+	}
+	// First bucket: the (0, 1] bucket interpolates from 0.
+	h2 := &Histogram{}
+	h2.Observe(0)
+	h2.Observe(1)
+	p2 := h2.point(Key{})
+	if got := p2.Quantile(0.5); got != 1 { // interpolates to 0.5, rounds to 1, clamped >= Min=0
+		t.Fatalf("first-bucket p50 = %d", got)
+	}
+	// Zero quantile on empty stays 0.
+	var empty HistPoint
+	if empty.P99() != 0 {
+		t.Fatal("empty P99 != 0")
+	}
+}

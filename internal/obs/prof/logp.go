@@ -1,0 +1,124 @@
+package prof
+
+import (
+	"fmt"
+	"strings"
+
+	"bcl/internal/sim"
+)
+
+// The LogP/LogGP extractor: given per-message-size measurements (the
+// attribution of a traced one-way send plus a sender-side gap
+// microbenchmark), it fits the model's five parameters.
+//
+//	o_s — send overhead: host CPU time to inject a message (compose +
+//	      trap + translate/pin + PIO fill), from the profiler's
+//	      send-side host rows;
+//	o_r — receive overhead: host CPU time to consume a message (the
+//	      completion poll + event decode), from the receive-side rows;
+//	L   — latency: one-way time not covered by either overhead (NIC
+//	      firmware, DMA and wire time);
+//	g   — gap: the fitted per-message cost of a saturated send
+//	      stream (the intercept of gap(size));
+//	G   — Gap per byte (LogGP): the fitted slope of gap(size), the
+//	      reciprocal of streaming bandwidth.
+
+// LogPPoint is the model measured at one message size.
+type LogPPoint struct {
+	Size   int      `json:"size"`
+	OneWay sim.Time `json:"oneway_ns"`
+	L      sim.Time `json:"l_ns"`
+	Os     sim.Time `json:"os_ns"`
+	Or     sim.Time `json:"or_ns"`
+	Gap    sim.Time `json:"gap_ns"`
+}
+
+// LogGP is the fitted model: the per-size points plus the linear fit
+// of gap(size) = g + G*size.
+type LogGP struct {
+	Points []LogPPoint `json:"points"`
+	// SmallG is the fitted zero-byte gap g in nanoseconds.
+	SmallG sim.Time `json:"g_ns"`
+	// G is the fitted per-byte gap in ns/byte; BandwidthMBps is its
+	// reciprocal expressed as a stream rate.
+	G             float64 `json:"G_ns_per_byte"`
+	BandwidthMBps float64 `json:"bandwidth_mbps"`
+}
+
+// SendOverhead extracts o_s from an attribution: the send-side host
+// CPU time, excluding the asynchronous completion poll (which the
+// LogP model does not charge to injection — the paper reports it
+// separately as the 0.82 µs completion cost).
+func (p *Profile) SendOverhead(node int) sim.Time {
+	return p.Sum(func(r Row) bool {
+		return r.Node == node && (r.Layer == "user" || r.Layer == "kernel") &&
+			!strings.Contains(r.Phase, "send completion")
+	})
+}
+
+// RecvOverhead extracts o_r: the receive-side host CPU time (the
+// semi-user-level receive path never traps, so this is pure
+// user-space polling).
+func (p *Profile) RecvOverhead(node int) sim.Time {
+	return p.Sum(func(r Row) bool {
+		return r.Node == node && (r.Layer == "user" || r.Layer == "kernel")
+	})
+}
+
+// FitLogGP assembles the model from per-size measurements, deriving
+// each point's L = oneway - o_s - o_r and least-squares fitting
+// gap(size) to obtain g (intercept) and G (slope).
+func FitLogGP(points []LogPPoint) *LogGP {
+	m := &LogGP{Points: append([]LogPPoint(nil), points...)}
+	for i := range m.Points {
+		pt := &m.Points[i]
+		pt.L = pt.OneWay - pt.Os - pt.Or
+		if pt.L < 0 {
+			pt.L = 0
+		}
+	}
+	// Least squares over (size, gap).
+	n := float64(len(m.Points))
+	if n == 0 {
+		return m
+	}
+	var sx, sy, sxx, sxy float64
+	for _, pt := range m.Points {
+		x, y := float64(pt.Size), float64(pt.Gap)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den != 0 {
+		m.G = (n*sxy - sx*sy) / den
+		g := (sy - m.G*sx) / n
+		if g < 0 {
+			g = 0
+		}
+		m.SmallG = sim.Time(g + 0.5)
+	} else if len(m.Points) > 0 {
+		m.SmallG = m.Points[0].Gap
+	}
+	if m.G > 0 {
+		// ns/byte -> MB/s: 1e9 ns/s / (G ns/byte) / 1e6 bytes/MB.
+		m.BandwidthMBps = 1e3 / m.G
+	}
+	return m
+}
+
+// Table renders the fitted model, one row per message size.
+func (m *LogGP) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %10s %10s %10s %10s %10s\n",
+		"bytes", "oneway", "o_s", "o_r", "L", "gap")
+	for _, pt := range m.Points {
+		fmt.Fprintf(&b, "%10d %8.2fus %8.2fus %8.2fus %8.2fus %8.2fus\n",
+			pt.Size, float64(pt.OneWay)/1000, float64(pt.Os)/1000,
+			float64(pt.Or)/1000, float64(pt.L)/1000, float64(pt.Gap)/1000)
+	}
+	fmt.Fprintf(&b, "\nfit: g = %.2fus, G = %.4f ns/byte (stream rate %.1f MB/s)\n",
+		float64(m.SmallG)/1000, m.G, m.BandwidthMBps)
+	return b.String()
+}

@@ -1,0 +1,288 @@
+// Package prof is the virtual-time profiler: it consumes the spans a
+// trace.Tracer recorded for a run and attributes every simulated
+// nanosecond to a (node, layer, phase) triple — trap entry/exit,
+// pin/translate, PIO descriptor fill, DMA, wire time, MCP firmware
+// work, completion polling — the paper's cost decomposition as a
+// first-class table instead of prose.
+//
+// Attribution is exclusive: a span nested inside another span on the
+// same execution context (same Where row) only counts its own time,
+// and the parent keeps the remainder. The kernel trap span therefore
+// reports the trap entry/exit and check cost alone, with the
+// pin/translate and PIO-fill phases it encloses broken out on their
+// own rows, so the table's rows sum to the observed busy time with no
+// double counting.
+//
+// The profiler also derives per-CPU busy/idle accounting (the union
+// of spans per execution context against the profiled window) and the
+// host-CPU-overlap metric: the fraction of the window during which no
+// host CPU was busy — time the NIC firmware and the wire carried the
+// message while the hosts were free to compute.
+package prof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bcl/internal/sim"
+	"bcl/internal/trace"
+)
+
+// Row is one attribution entry: exclusive virtual time spent in one
+// phase of one layer on one node. Node is -1 for the wire (the fabric
+// is not a CPU).
+type Row struct {
+	Node  int      `json:"node"`
+	Layer string   `json:"layer"` // "user", "kernel", "nic", "shm", "wire"
+	Phase string   `json:"phase"` // "trap+check+translate+fill", "PIO descriptor fill", ...
+	Time  sim.Time `json:"time_ns"`
+	Count int      `json:"count"`
+}
+
+// CPU is the busy/idle accounting for one execution context (one host
+// CPU or one NIC processor, identified by its trace row).
+type CPU struct {
+	Where string   `json:"where"` // "host0", "nic1", "wire:myrinet"
+	Busy  sim.Time `json:"busy_ns"`
+	Idle  sim.Time `json:"idle_ns"`
+	Spans int      `json:"spans"`
+}
+
+// Profile is the attribution of one traced run.
+type Profile struct {
+	Rows []Row `json:"rows"`
+	CPUs []CPU `json:"cpus"`
+	// Start/End bound the profiled window (first span start to last
+	// span end); Window is their difference.
+	Start  sim.Time `json:"start_ns"`
+	End    sim.Time `json:"end_ns"`
+	Window sim.Time `json:"window_ns"`
+	// HostBusy is the union of busy time across all host rows;
+	// Overlap is 1 - HostBusy/Window — the fraction of the window the
+	// host CPUs were free while the NICs and wire moved the message.
+	HostBusy sim.Time `json:"host_busy_ns"`
+	Overlap  float64  `json:"overlap"`
+}
+
+// Locate parses a span row name into (node, context kind):
+// "host3" -> (3, "host"), "nic0" -> (0, "nic"), "wire:myrinet" ->
+// (-1, "wire"). Unrecognized rows map to (-1, the row itself).
+func Locate(where string) (int, string) {
+	for _, kind := range []string{"host", "nic"} {
+		if strings.HasPrefix(where, kind) {
+			n := 0
+			ok := len(where) > len(kind)
+			for _, c := range where[len(kind):] {
+				if c < '0' || c > '9' {
+					ok = false
+					break
+				}
+				n = n*10 + int(c-'0')
+			}
+			if ok {
+				return n, kind
+			}
+		}
+	}
+	if strings.HasPrefix(where, "wire") {
+		return -1, "wire"
+	}
+	return -1, where
+}
+
+// SplitStage splits a stage label "kernel: PIO descriptor fill" into
+// its layer ("kernel") and phase ("PIO descriptor fill"). A label
+// without the "layer: " prefix becomes layer "" with the whole label
+// as the phase.
+func SplitStage(stage string) (layer, phase string) {
+	if i := strings.Index(stage, ": "); i >= 0 {
+		return stage[:i], stage[i+2:]
+	}
+	return "", stage
+}
+
+// FromSpans attributes a span set. Spans on the same row are expected
+// to nest properly (they come from Tracer.Do/DoFlow around call
+// trees); a child's duration is subtracted from its innermost
+// enclosing span so the attribution is exclusive.
+func FromSpans(spans []trace.Span) *Profile {
+	p := &Profile{}
+	if len(spans) == 0 {
+		return p
+	}
+
+	// Window bounds.
+	p.Start, p.End = spans[0].Start, spans[0].End
+	for _, s := range spans {
+		if s.Start < p.Start {
+			p.Start = s.Start
+		}
+		if s.End > p.End {
+			p.End = s.End
+		}
+	}
+	p.Window = p.End - p.Start
+
+	// Group spans by execution context.
+	byWhere := map[string][]trace.Span{}
+	var whereOrder []string
+	for _, s := range spans {
+		if _, ok := byWhere[s.Where]; !ok {
+			whereOrder = append(whereOrder, s.Where)
+		}
+		byWhere[s.Where] = append(byWhere[s.Where], s)
+	}
+	sort.Strings(whereOrder)
+
+	type key struct {
+		node         int
+		layer, phase string
+	}
+	acc := map[key]*Row{}
+	var keyOrder []key
+
+	for _, w := range whereOrder {
+		group := byWhere[w]
+		node, _ := Locate(w)
+		// Sort by start ascending, longer spans first at equal start, so
+		// a stack walk sees parents before their children.
+		sort.SliceStable(group, func(i, j int) bool {
+			if group[i].Start != group[j].Start {
+				return group[i].Start < group[j].Start
+			}
+			return group[i].End > group[j].End
+		})
+		excl := make([]sim.Time, len(group))
+		var stack []int
+		var busy sim.Time
+		var busyEnd sim.Time // high-water mark of covered time
+		busyStart := group[0].Start
+		busyEnd = group[0].Start
+		for i, s := range group {
+			excl[i] = s.Dur()
+			for len(stack) > 0 && group[stack[len(stack)-1]].End <= s.Start {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 && s.End <= group[stack[len(stack)-1]].End {
+				// Nested: charge the child's time to itself only.
+				excl[stack[len(stack)-1]] -= s.Dur()
+			}
+			stack = append(stack, i)
+			// Busy union: spans are sorted by start, so extending the
+			// high-water mark accumulates the union of intervals.
+			if s.Start > busyEnd {
+				busy += busyEnd - busyStart
+				busyStart = s.Start
+				busyEnd = s.Start
+			}
+			if s.End > busyEnd {
+				busyEnd = s.End
+			}
+		}
+		busy += busyEnd - busyStart
+		p.CPUs = append(p.CPUs, CPU{Where: w, Busy: busy, Idle: p.Window - busy, Spans: len(group)})
+		if _, kind := Locate(w); kind == "host" {
+			p.HostBusy += busy
+		}
+
+		for i, s := range group {
+			layer, phase := SplitStage(s.Stage)
+			k := key{node, layer, phase}
+			r, ok := acc[k]
+			if !ok {
+				r = &Row{Node: node, Layer: layer, Phase: phase}
+				acc[k] = r
+				keyOrder = append(keyOrder, k)
+			}
+			r.Time += excl[i]
+			r.Count++
+		}
+	}
+
+	sort.Slice(keyOrder, func(i, j int) bool {
+		a, b := keyOrder[i], keyOrder[j]
+		if a.node != b.node {
+			// Hosts and NICs in node order; the wire (-1) last.
+			if a.node < 0 || b.node < 0 {
+				return b.node < 0
+			}
+			return a.node < b.node
+		}
+		if a.layer != b.layer {
+			return a.layer < b.layer
+		}
+		return a.phase < b.phase
+	})
+	for _, k := range keyOrder {
+		p.Rows = append(p.Rows, *acc[k])
+	}
+
+	if p.Window > 0 {
+		p.Overlap = 1 - float64(p.HostBusy)/float64(p.Window)
+		if p.Overlap < 0 {
+			p.Overlap = 0
+		}
+	}
+	return p
+}
+
+// Sum totals the exclusive time of every row the filter accepts.
+func (p *Profile) Sum(keep func(Row) bool) sim.Time {
+	var t sim.Time
+	for _, r := range p.Rows {
+		if keep(r) {
+			t += r.Time
+		}
+	}
+	return t
+}
+
+// LayerTime totals one layer on one node (node -1 matches the wire).
+func (p *Profile) LayerTime(node int, layer string) sim.Time {
+	return p.Sum(func(r Row) bool { return r.Node == node && r.Layer == layer })
+}
+
+// Table renders the attribution as the paper-style cost breakdown:
+// one row per (node, layer, phase) with exclusive time and its share
+// of the profiled window.
+func (p *Profile) Table() string {
+	if len(p.Rows) == 0 {
+		return "(no spans)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-8s %-34s %5s %10s %7s\n", "node", "layer", "phase", "n", "time", "window%")
+	for _, r := range p.Rows {
+		node := fmt.Sprintf("%d", r.Node)
+		if r.Node < 0 {
+			node = "-"
+		}
+		pct := 0.0
+		if p.Window > 0 {
+			pct = 100 * float64(r.Time) / float64(p.Window)
+		}
+		fmt.Fprintf(&b, "%-6s %-8s %-34s %5d %8.2fus %6.1f%%\n",
+			node, r.Layer, r.Phase, r.Count, float64(r.Time)/1000, pct)
+	}
+	return b.String()
+}
+
+// CPUTable renders the per-context busy/idle accounting.
+func (p *Profile) CPUTable() string {
+	if len(p.CPUs) == 0 {
+		return "(no spans)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %6s %10s %10s %7s\n", "cpu", "spans", "busy", "idle", "busy%")
+	for _, c := range p.CPUs {
+		pct := 0.0
+		if p.Window > 0 {
+			pct = 100 * float64(c.Busy) / float64(p.Window)
+		}
+		fmt.Fprintf(&b, "%-14s %6d %8.2fus %8.2fus %6.1f%%\n",
+			c.Where, c.Spans, float64(c.Busy)/1000, float64(c.Idle)/1000, pct)
+	}
+	fmt.Fprintf(&b, "\nwindow %.2fus, host CPUs busy %.2fus -> host-CPU overlap %.1f%%\n",
+		float64(p.Window)/1000, float64(p.HostBusy)/1000, 100*p.Overlap)
+	return b.String()
+}

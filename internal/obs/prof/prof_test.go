@@ -1,0 +1,218 @@
+package prof
+
+import (
+	"strings"
+	"testing"
+
+	"bcl/internal/trace"
+)
+
+func TestLocate(t *testing.T) {
+	for _, tc := range []struct {
+		where string
+		node  int
+		kind  string
+	}{
+		{"host0", 0, "host"},
+		{"host12", 12, "host"},
+		{"nic3", 3, "nic"},
+		{"wire:myrinet", -1, "wire"},
+		{"wire:mesh", -1, "wire"},
+		{"weird", -1, "weird"},
+	} {
+		n, k := Locate(tc.where)
+		if n != tc.node || k != tc.kind {
+			t.Fatalf("Locate(%q) = (%d, %q), want (%d, %q)", tc.where, n, k, tc.node, tc.kind)
+		}
+	}
+}
+
+func TestSplitStage(t *testing.T) {
+	l, p := SplitStage("kernel: PIO descriptor fill")
+	if l != "kernel" || p != "PIO descriptor fill" {
+		t.Fatalf("SplitStage = (%q, %q)", l, p)
+	}
+	l, p = SplitStage("bare")
+	if l != "" || p != "bare" {
+		t.Fatalf("SplitStage(bare) = (%q, %q)", l, p)
+	}
+}
+
+// TestExclusiveAttribution: a child span nested inside a parent on
+// the same row is charged to itself only; the parent keeps the
+// remainder. Every nanosecond of the window is attributed exactly
+// once per busy CPU.
+func TestExclusiveAttribution(t *testing.T) {
+	tr := trace.New()
+	tr.Add("kernel: trap", "host0", 0, 100)
+	tr.Add("kernel: pio fill", "host0", 20, 60) // nested inside the trap
+	tr.Add("nic: send proc", "nic0", 100, 130)
+	p := FromSpans(tr.Spans)
+
+	find := func(node int, phase string) *Row {
+		for i := range p.Rows {
+			if p.Rows[i].Node == node && p.Rows[i].Phase == phase {
+				return &p.Rows[i]
+			}
+		}
+		return nil
+	}
+	if r := find(0, "trap"); r == nil || r.Time != 60 {
+		t.Fatalf("trap exclusive = %+v, want 60", r)
+	}
+	if r := find(0, "pio fill"); r == nil || r.Time != 40 {
+		t.Fatalf("pio fill exclusive = %+v, want 40", r)
+	}
+	if r := find(0, "send proc"); r == nil || r.Time != 30 {
+		t.Fatalf("send proc = %+v, want 30", r)
+	}
+	// host0 busy = union(0..100, 20..60) = 100; window = 130.
+	var host CPU
+	for _, c := range p.CPUs {
+		if c.Where == "host0" {
+			host = c
+		}
+	}
+	if host.Busy != 100 || host.Idle != 30 {
+		t.Fatalf("host0 busy/idle = %d/%d, want 100/30", host.Busy, host.Idle)
+	}
+	if p.Window != 130 || p.HostBusy != 100 {
+		t.Fatalf("window %d hostBusy %d", p.Window, p.HostBusy)
+	}
+	if p.Overlap < 0.22 || p.Overlap > 0.24 { // 30/130
+		t.Fatalf("overlap = %v", p.Overlap)
+	}
+}
+
+// TestDeepNesting: three levels on one row attribute exclusively at
+// every level.
+func TestDeepNesting(t *testing.T) {
+	tr := trace.New()
+	tr.Add("kernel: a", "host0", 0, 100)
+	tr.Add("kernel: b", "host0", 10, 90)
+	tr.Add("kernel: c", "host0", 20, 30)
+	p := FromSpans(tr.Spans)
+	want := map[string]int64{"a": 20, "b": 70, "c": 10}
+	for _, r := range p.Rows {
+		if w, ok := want[r.Phase]; ok && r.Time != w {
+			t.Fatalf("phase %s exclusive = %d, want %d", r.Phase, r.Time, w)
+		}
+	}
+}
+
+// TestSiblingsNotSubtracted: two sequential spans inside one parent
+// both subtract from the parent, not from each other.
+func TestSiblingsNotSubtracted(t *testing.T) {
+	tr := trace.New()
+	tr.Add("kernel: parent", "host0", 0, 100)
+	tr.Add("kernel: s1", "host0", 10, 30)
+	tr.Add("kernel: s2", "host0", 40, 80)
+	p := FromSpans(tr.Spans)
+	for _, r := range p.Rows {
+		switch r.Phase {
+		case "parent":
+			if r.Time != 40 {
+				t.Fatalf("parent exclusive = %d, want 40", r.Time)
+			}
+		case "s1":
+			if r.Time != 20 {
+				t.Fatalf("s1 = %d", r.Time)
+			}
+		case "s2":
+			if r.Time != 40 {
+				t.Fatalf("s2 = %d", r.Time)
+			}
+		}
+	}
+}
+
+// TestWireRowsHaveNodeMinusOne and do not count toward host busy.
+func TestWireRows(t *testing.T) {
+	tr := trace.New()
+	tr.Add("user: poll", "host1", 0, 10)
+	tr.Add("wire: DATA", "wire:myrinet", 10, 50)
+	p := FromSpans(tr.Spans)
+	if p.HostBusy != 10 {
+		t.Fatalf("hostBusy = %d, want 10", p.HostBusy)
+	}
+	foundWire := false
+	for _, r := range p.Rows {
+		if r.Layer == "wire" {
+			foundWire = true
+			if r.Node != -1 {
+				t.Fatalf("wire row node = %d", r.Node)
+			}
+		}
+	}
+	if !foundWire {
+		t.Fatal("no wire row")
+	}
+	if !strings.Contains(p.Table(), "wire") {
+		t.Fatalf("table missing wire row:\n%s", p.Table())
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	p := FromSpans(nil)
+	if len(p.Rows) != 0 || p.Window != 0 {
+		t.Fatalf("empty profile = %+v", p)
+	}
+	if p.Table() != "(no spans)\n" || p.CPUTable() != "(no spans)\n" {
+		t.Fatal("empty tables not flagged")
+	}
+}
+
+func TestFitLogGP(t *testing.T) {
+	// gap(size) = 1000 + 2*size exactly: the fit must recover both.
+	pts := []LogPPoint{
+		{Size: 0, OneWay: 5000, Os: 1500, Or: 500, Gap: 1000},
+		{Size: 100, OneWay: 5400, Os: 1500, Or: 500, Gap: 1200},
+		{Size: 1000, OneWay: 9000, Os: 1500, Or: 500, Gap: 3000},
+	}
+	m := FitLogGP(pts)
+	if m.SmallG != 1000 {
+		t.Fatalf("g = %d, want 1000", m.SmallG)
+	}
+	if m.G < 1.999 || m.G > 2.001 {
+		t.Fatalf("G = %v, want 2", m.G)
+	}
+	// L = oneway - os - or.
+	if m.Points[0].L != 3000 || m.Points[2].L != 7000 {
+		t.Fatalf("L = %d / %d", m.Points[0].L, m.Points[2].L)
+	}
+	// Bandwidth = 1e3/G MB/s = 500.
+	if m.BandwidthMBps < 499 || m.BandwidthMBps > 501 {
+		t.Fatalf("bw = %v", m.BandwidthMBps)
+	}
+	if !strings.Contains(m.Table(), "G = 2.0000") {
+		t.Fatalf("table:\n%s", m.Table())
+	}
+}
+
+func TestFitLogGPDegenerate(t *testing.T) {
+	m := FitLogGP(nil)
+	if len(m.Points) != 0 || m.G != 0 {
+		t.Fatalf("empty fit = %+v", m)
+	}
+	// A single size cannot fix a slope: g falls back to that gap.
+	m = FitLogGP([]LogPPoint{{Size: 64, OneWay: 100, Os: 10, Or: 5, Gap: 77}})
+	if m.SmallG != 77 {
+		t.Fatalf("single-point g = %d", m.SmallG)
+	}
+}
+
+func TestOverheadExtractors(t *testing.T) {
+	tr := trace.New()
+	tr.Add("user: compose request", "host0", 0, 10)
+	tr.Add("kernel: trap+check+translate+fill", "host0", 10, 50)
+	tr.Add("user: send completion", "host0", 200, 210)
+	tr.Add("nic: send proc", "nic0", 50, 80)
+	tr.Add("user: poll+decode event", "host1", 150, 160)
+	p := FromSpans(tr.Spans)
+	if got := p.SendOverhead(0); got != 50 {
+		t.Fatalf("o_s = %d, want 50 (completion poll excluded)", got)
+	}
+	if got := p.RecvOverhead(1); got != 10 {
+		t.Fatalf("o_r = %d, want 10", got)
+	}
+}
