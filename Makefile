@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test race short bench experiments chaos collectives metrics profile baseline check examples tools clean
+.PHONY: all test race short bench experiments chaos collectives metrics profile multitenant baseline check examples tools clean
 
 all: test
 
@@ -51,6 +51,13 @@ metrics:
 profile:
 	$(GO) run ./cmd/bcltrace -prof
 	$(GO) run ./cmd/bclbench logp
+
+# Multi-tenant cluster: the gang scheduler admits a latency-sensitive
+# pingpong job next to a bandwidth hog, the kernel's endpoint ownership
+# checks reject cross-tenant buffer/ring access, and weighted
+# round-robin send arbitration bounds the pingpong tail.
+multitenant:
+	$(GO) run ./cmd/bclbench multitenant
 
 # Continuous benchmark gate. `make baseline` (re)writes
 # baselines/BENCH_*.json from a fresh run of the gated experiments;

@@ -40,8 +40,22 @@ func main() {
 	}
 	flag.Parse()
 	if *list {
-		for _, id := range bench.IDs() {
-			fmt.Println(id)
+		for _, e := range bench.List() {
+			var marks []string
+			if len(e.Aliases) > 0 {
+				marks = append(marks, "alias: "+strings.Join(e.Aliases, ", "))
+			}
+			if e.Seeded {
+				marks = append(marks, "seeded: varies with -seed N")
+			}
+			if e.Gated {
+				marks = append(marks, "gated: baselines/"+bench.ArtifactFile(artifactName(e.ID)))
+			}
+			suffix := ""
+			if len(marks) > 0 {
+				suffix = "  [" + strings.Join(marks, "; ") + "]"
+			}
+			fmt.Printf("%-22s %s%s\n", e.ID, e.Title, suffix)
 		}
 		return
 	}

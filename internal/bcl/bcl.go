@@ -65,6 +65,16 @@ type Options struct {
 	SystemBuffers int // preposted system-channel pool entries (default 16)
 	SystemBufSize int // size of each pool buffer (default MaxPacket)
 	Tracer        *trace.Tracer
+
+	// Label tags the port with the job it belongs to. Labeled ports
+	// publish an extra per-job copy of their counters under the "job"
+	// metrics layer (name-prefixed with the label) and label their trace
+	// rows, so multi-tenant runs can attribute traffic to tenants.
+	Label string
+	// QoSWeight is the endpoint's send-DMA arbitration weight: the
+	// number of wire fragments the NIC grants it per weighted
+	// round-robin round when the card runs with Config.QoS. 0 means 1.
+	QoSWeight int
 }
 
 // System is the cluster-wide BCL instance: it owns the port registry
@@ -100,9 +110,10 @@ func DefaultNICConfig() nic.Config {
 type Port struct {
 	sys  *System
 	node *node.Node
-	proc *oskernel.Process
-	addr Addr
-	tr   *trace.Tracer
+	proc  *oskernel.Process
+	addr  Addr
+	tr    *trace.Tracer
+	label string // owning job's label ("" = unlabeled)
 
 	nicPort *nic.Port
 	events  *sim.Queue[*nic.Event] // merged receive events (NIC + intra)
@@ -136,6 +147,7 @@ func (s *System) Open(p *sim.Proc, n *node.Node, proc *oskernel.Process, opts Op
 		proc:     proc,
 		addr:     Addr{Node: n.ID, Port: s.nextID[n.ID]},
 		tr:       opts.Tracer,
+		label:    opts.Label,
 		events:   sim.NewQueue[*nic.Event](n.Env, "bcl/events", 0),
 		sendEvs:  sim.NewQueue[*nic.Event](n.Env, "bcl/sendevs", 0),
 		intraQ:   sim.NewQueue[*intraFrag](n.Env, "bcl/intra", 0),
@@ -145,9 +157,18 @@ func (s *System) Open(p *sim.Proc, n *node.Node, proc *oskernel.Process, opts Op
 		if err := n.Kernel.CheckRequest(p, proc.PID, 0, 0, n.ID, s.Cluster.Size()); err != nil {
 			return err
 		}
-		// Program the port control block into NIC memory.
+		// Allocate the virtualized endpoint: bind it to the calling
+		// process (from here on, send-path requests naming it are
+		// admitted only from this PID), program the port control block
+		// into NIC memory, and set the QoS arbitration weight.
+		if err := n.Kernel.BindEndpoint(proc.PID, pt.addr.Port); err != nil {
+			return err
+		}
 		p.Sleep(n.Prof.PIOFill(8))
 		pt.nicPort = n.NIC.RegisterPort(pt.addr.Port)
+		if opts.QoSWeight > 0 {
+			n.NIC.SetPortWeight(pt.addr.Port, opts.QoSWeight)
+		}
 		return nil
 	})
 	if err != nil {
@@ -163,6 +184,14 @@ func (s *System) Open(p *sim.Proc, n *node.Node, proc *oskernel.Process, opts Op
 		set(pt.addr.Node, "bcl", "received", pt.received)
 		set(pt.addr.Node, "bcl", "bytes_sent", pt.bytesSent)
 		set(pt.addr.Node, "bcl", "bytes_received", pt.bytesReceived)
+		if pt.label != "" {
+			// Per-tenant attribution: an extra copy of the counters
+			// under the "job" layer, keyed by the owning job's label.
+			set(pt.addr.Node, "job", pt.label+"/sent", pt.sent)
+			set(pt.addr.Node, "job", pt.label+"/received", pt.received)
+			set(pt.addr.Node, "job", pt.label+"/bytes_sent", pt.bytesSent)
+			set(pt.addr.Node, "job", pt.label+"/bytes_received", pt.bytesReceived)
+		}
 	})
 
 	// Initialize the system-channel buffer pool.
@@ -233,9 +262,13 @@ func (pt *Port) Close(p *sim.Proc) error {
 	delete(pt.sys.ports, pt.addr)
 	return pt.node.Kernel.Trap(p, func() error {
 		pt.node.NIC.ClosePort(pt.addr.Port)
+		pt.node.Kernel.UnbindEndpoint(pt.addr.Port)
 		return nil
 	})
 }
+
+// Label returns the owning job's label ("" if the port is unlabeled).
+func (pt *Port) Label() string { return pt.label }
 
 // Stats returns message and byte counters.
 func (pt *Port) Stats() (sent, received, bytesSent, bytesReceived uint64) {

@@ -2,6 +2,7 @@ package bcl
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 	"testing/quick"
@@ -10,6 +11,7 @@ import (
 	"bcl/internal/fabric"
 	"bcl/internal/mem"
 	"bcl/internal/nic"
+	"bcl/internal/oskernel"
 	"bcl/internal/sim"
 	"bcl/internal/trace"
 )
@@ -288,6 +290,42 @@ func TestSecurityRejectsInKernel(t *testing.T) {
 	// Nothing reached the wire.
 	if st := tb.c.Nodes[0].NIC.Stats(); st.MsgsSent != 0 {
 		t.Fatalf("NIC sent %d messages from rejected requests", st.MsgsSent)
+	}
+}
+
+// TestCrossEndpointSendRejected is the cross-process half of the
+// send-path security check: a process forging requests that name an
+// endpoint bound to ANOTHER process (here, by fielding them through
+// the victim's port with its own PID) must be turned away by the
+// kernel's ownership check, with nothing reaching the wire — even
+// though its buffer is perfectly valid in its own address space.
+func TestCrossEndpointSendRejected(t *testing.T) {
+	tb := newTestbed(t, cluster.Myrinet, 2, []int{0, 1})
+	victim, peer := tb.ports[0], tb.ports[1]
+	kern := tb.c.Nodes[0].Kernel
+	before := kern.Stats().SecurityRejects
+	wireBefore := tb.c.Nodes[0].NIC.Stats().MsgsSent
+	intruder := kern.Spawn()
+	var sendErr, recvErr error
+	tb.c.Env.Go("intruder", func(p *sim.Proc) {
+		forged := *victim
+		forged.proc = intruder
+		va := intruder.Space.Alloc(64)
+		_, sendErr = forged.Send(p, peer.Addr(), SystemChannel, va, 64, 0)
+		recvErr = forged.PostRecv(p, 1, va, 64)
+	})
+	tb.run(t, sim.Millisecond)
+	if !errors.Is(sendErr, oskernel.ErrNotOwner) {
+		t.Fatalf("forged send error = %v, want ErrNotOwner", sendErr)
+	}
+	if !errors.Is(recvErr, oskernel.ErrNotOwner) {
+		t.Fatalf("forged post-recv error = %v, want ErrNotOwner", recvErr)
+	}
+	if got := kern.Stats().SecurityRejects - before; got != 2 {
+		t.Fatalf("security rejects = %d, want 2", got)
+	}
+	if st := tb.c.Nodes[0].NIC.Stats(); st.MsgsSent != wireBefore {
+		t.Fatalf("NIC sent %d messages from forged requests", st.MsgsSent-wireBefore)
 	}
 }
 

@@ -72,6 +72,9 @@ func (pt *Port) RegisterColl(p *sim.Proc, id, me int, members []Addr, plan coll.
 		if cerr := k.CheckRequest(p, pt.proc.PID, va, ringLen, pt.addr.Node, pt.sys.Cluster.Size()); cerr != nil {
 			return cerr
 		}
+		if cerr := pt.checkOwner(); cerr != nil {
+			return cerr
+		}
 		segs, terr := k.TranslateAndPin(p, pt.proc.PID, pt.proc.Space, va, ringLen)
 		if terr != nil {
 			return terr
@@ -141,6 +144,9 @@ func (pt *Port) collPost(p *sim.Proc, kind nic.DescKind, ctx *CollCtx, va mem.VA
 	pt.tr.DoFlow(p, "kernel: trap+check+translate+fill", host(pt), tid, func() {
 		trapErr = k.Trap(p, func() error {
 			if err := k.CheckRequest(p, pt.proc.PID, va, n, pt.addr.Node, pt.sys.Cluster.Size()); err != nil {
+				return err
+			}
+			if err := pt.checkOwner(); err != nil {
 				return err
 			}
 			var segs []mem.Segment

@@ -29,6 +29,9 @@ func (pt *Port) RegisterOpen(p *sim.Proc, channel int, va mem.VAddr, n int) erro
 		if err := k.CheckRequest(p, pt.proc.PID, va, n, pt.addr.Node, pt.sys.Cluster.Size()); err != nil {
 			return err
 		}
+		if err := pt.checkOwner(); err != nil {
+			return err
+		}
 		segs, err := k.TranslateAndPin(p, pt.proc.PID, pt.proc.Space, va, n)
 		if err != nil {
 			return err
@@ -53,6 +56,9 @@ func (pt *Port) RMAWrite(p *sim.Proc, dst Addr, channel, offset int, va mem.VAdd
 	k := pt.node.Kernel
 	err := k.Trap(p, func() error {
 		if cerr := k.CheckRequest(p, pt.proc.PID, va, n, dst.Node, pt.sys.Cluster.Size()); cerr != nil {
+			return cerr
+		}
+		if cerr := pt.checkOwner(); cerr != nil {
 			return cerr
 		}
 		segs, terr := k.TranslateAndPin(p, pt.proc.PID, pt.proc.Space, va, n)
@@ -94,6 +100,9 @@ func (pt *Port) RMARead(p *sim.Proc, dst Addr, channel, offset int, va mem.VAddr
 	k := pt.node.Kernel
 	err := k.Trap(p, func() error {
 		if cerr := k.CheckRequest(p, pt.proc.PID, va, n, dst.Node, pt.sys.Cluster.Size()); cerr != nil {
+			return cerr
+		}
+		if cerr := pt.checkOwner(); cerr != nil {
 			return cerr
 		}
 		p.Sleep(k.PIOFillCost(pt.node.Prof.SendDescWords, 1))

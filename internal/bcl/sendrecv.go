@@ -47,6 +47,9 @@ func (pt *Port) Send(p *sim.Proc, dst Addr, channel int, va mem.VAddr, n int, ta
 			if err := k.CheckRequest(p, pt.proc.PID, va, n, dst.Node, pt.sys.Cluster.Size()); err != nil {
 				return err
 			}
+			if err := pt.checkOwner(); err != nil {
+				return err
+			}
 			var segs []mem.Segment
 			var err error
 			pt.tr.Do(p, "kernel: pin/translate", host(pt), func() {
@@ -98,6 +101,9 @@ func (pt *Port) PostRecv(p *sim.Proc, channel int, va mem.VAddr, n int) error {
 			if cerr := k.CheckRequest(p, pt.proc.PID, va, n, pt.addr.Node, pt.sys.Cluster.Size()); cerr != nil {
 				return cerr
 			}
+			if cerr := pt.checkOwner(); cerr != nil {
+				return cerr
+			}
 			segs, terr := k.TranslateAndPin(p, pt.proc.PID, pt.proc.Space, va, n)
 			if terr != nil {
 				return terr
@@ -117,6 +123,9 @@ func (pt *Port) addSystemBuffer(p *sim.Proc, va mem.VAddr, n int) error {
 	k := pt.node.Kernel
 	return k.Trap(p, func() error {
 		if err := k.CheckRequest(p, pt.proc.PID, va, n, pt.addr.Node, pt.sys.Cluster.Size()); err != nil {
+			return err
+		}
+		if err := pt.checkOwner(); err != nil {
 			return err
 		}
 		segs, err := k.TranslateAndPin(p, pt.proc.PID, pt.proc.Space, va, n)
@@ -151,6 +160,9 @@ func (pt *Port) ReturnSystemBuffers(p *sim.Proc, bufs []SystemBuf) error {
 	}
 	k := pt.node.Kernel
 	return k.Trap(p, func() error {
+		if err := pt.checkOwner(); err != nil {
+			return err
+		}
 		for _, b := range bufs {
 			if err := k.CheckRequest(p, pt.proc.PID, b.VA, b.Len, pt.addr.Node, pt.sys.Cluster.Size()); err != nil {
 				return err
@@ -239,4 +251,17 @@ func (pt *Port) WaitSend(p *sim.Proc) *nic.Event {
 	return ev
 }
 
-func host(pt *Port) string { return fmt.Sprintf("host%d", pt.addr.Node) }
+func host(pt *Port) string {
+	if pt.label != "" {
+		return fmt.Sprintf("host%d[%s]", pt.addr.Node, pt.label)
+	}
+	return fmt.Sprintf("host%d", pt.addr.Node)
+}
+
+// checkOwner is the cross-endpoint half of the kernel's send-path
+// security check: the calling process must still own this port's NIC
+// endpoint. Runs inside a Trap body; the cost is part of the
+// SecurityCheck charge CheckRequest already paid.
+func (pt *Port) checkOwner() error {
+	return pt.node.Kernel.CheckEndpointOwner(pt.proc.PID, pt.addr.Port)
+}

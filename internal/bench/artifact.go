@@ -77,6 +77,7 @@ var GatedExperiments = []struct{ Name, ID string }{
 	{"collectives", "collectives"},
 	{"profile", "profile"},
 	{"logp", "logp"},
+	{"multitenant", "multitenant"},
 }
 
 // ArtifactFile returns the artifact filename for a gate entry name.
@@ -176,6 +177,12 @@ var exactMetrics = map[string]bool{
 	"byte_errors":     true,
 	"registry_agrees": true,
 	"finished":        true,
+	// Multi-tenant correctness: every staged attack must be rejected,
+	// teardown must unbind, and the QoS/backfill wins must hold.
+	"security_rejects":    true,
+	"teardown_ok":         true,
+	"qos_beats_fifo":      true,
+	"backfill_beats_fifo": true,
 }
 
 // tolFor picks the acceptance band for one metric.

@@ -58,37 +58,69 @@ func newReport(id, title string) *Report {
 }
 
 // experiments maps every experiment id (and alias) to its constructor,
-// in paper order.
+// in paper order. seeded marks the experiments whose fault/traffic
+// schedule honors -seed (ByIDSeeded runs their seed-taking variant).
 var experiments = []struct {
 	id      string
 	aliases []string
+	title   string
+	seeded  bool
 	fn      func() *Report
 }{
-	{id: "table1", fn: Table1},
-	{id: "overheads", fn: Overheads},
-	{id: "fig5", aliases: []string{"figure5"}, fn: Figure5},
-	{id: "fig6", aliases: []string{"figure6"}, fn: Figure6},
-	{id: "fig7", aliases: []string{"figure7"}, fn: Figure7},
-	{id: "fig8", aliases: []string{"figure8"}, fn: Figure8},
-	{id: "fig9", aliases: []string{"figure9"}, fn: Figure9},
-	{id: "table2", fn: Table2},
-	{id: "table3", fn: Table3},
-	{id: "fabrics", fn: Fabrics},
-	{id: "scale", fn: Scale},
-	{id: "pingpong", fn: PingPong},
-	{id: "flowtrace", fn: FlowTrace},
-	{id: "ablation-pio", fn: AblationPIO},
-	{id: "ablation-cpu", fn: AblationCPU},
-	{id: "ablation-reliability", fn: AblationReliability},
-	{id: "ablation-kernelpath", fn: AblationKernelPath},
-	{id: "ablation-pipeline", fn: AblationPipeline},
-	{id: "ablation-window", fn: AblationWindow},
-	{id: "ablation-intrapath", fn: AblationIntraPath},
-	{id: "chaos", fn: Chaos},
-	{id: "collectives", fn: Collectives},
-	{id: "collflow", fn: CollFlow},
-	{id: "profile", fn: Profile},
-	{id: "logp", fn: LogP},
+	{id: "table1", title: "Comparison of three communication architectures", fn: Table1},
+	{id: "overheads", title: "Processor overheads (send/completion/receive)", fn: Overheads},
+	{id: "fig5", aliases: []string{"figure5"}, title: "Transmission timeline for a BCL message", fn: Figure5},
+	{id: "fig6", aliases: []string{"figure6"}, title: "Reception timeline for a BCL message", fn: Figure6},
+	{id: "fig7", aliases: []string{"figure7"}, title: "One-way latency timeline, 0-length message", fn: Figure7},
+	{id: "fig8", aliases: []string{"figure8"}, title: "Latency vs message size", fn: Figure8},
+	{id: "fig9", aliases: []string{"figure9"}, title: "Bandwidth vs message size", fn: Figure9},
+	{id: "table2", title: "Comparison of communication protocols", fn: Table2},
+	{id: "table3", title: "Performance of BCL and MPI/PVM over BCL", fn: Table3},
+	{id: "fabrics", title: "BCL over Myrinet, nwrc mesh, and the composite", fn: Fabrics},
+	{id: "scale", title: "Collective scaling to the full 70-node machine", fn: Scale},
+	{id: "pingpong", title: "BCL ping-pong with cluster-wide metrics registry", fn: PingPong},
+	{id: "flowtrace", title: "Causal flow trace of one message (forced retransmission)", fn: FlowTrace},
+	{id: "ablation-pio", title: "PIO cost sweep", fn: AblationPIO},
+	{id: "ablation-cpu", title: "Host CPU speed sweep", fn: AblationCPU},
+	{id: "ablation-reliability", title: "Reliable vs raw firmware", fn: AblationReliability},
+	{id: "ablation-kernelpath", title: "Kernel path vs bandwidth", fn: AblationKernelPath},
+	{id: "ablation-pipeline", title: "Intra-node pipelining", fn: AblationPipeline},
+	{id: "ablation-window", title: "Go-back-N window sweep", fn: AblationWindow},
+	{id: "ablation-intrapath", title: "Intra-node strategies: loopback vs shm vs direct", fn: AblationIntraPath},
+	{id: "chaos", title: "Deterministic chaos soak", seeded: true, fn: Chaos},
+	{id: "collectives", title: "NIC-offloaded collectives vs host algorithms", seeded: true, fn: Collectives},
+	{id: "collflow", title: "Causal flow trace of one offloaded broadcast + barrier", fn: CollFlow},
+	{id: "profile", title: "Virtual-time attribution of one eager send", fn: Profile},
+	{id: "logp", title: "LogP/LogGP parameters extracted from profiler spans", fn: LogP},
+	{id: "multitenant", aliases: []string{"mt"}, title: "Multi-tenant cluster: scheduler, endpoint isolation, QoS arbitration", fn: Multitenant},
+}
+
+// Info describes one registered experiment for listings.
+type Info struct {
+	ID      string
+	Aliases []string
+	Title   string
+	Seeded  bool // honors -seed (fault/traffic schedule variants)
+	Gated   bool // compared against a committed baseline by -check
+}
+
+// List returns every registered experiment in paper order.
+func List() []Info {
+	gated := make(map[string]bool, len(GatedExperiments))
+	for _, g := range GatedExperiments {
+		gated[g.ID] = true
+	}
+	var out []Info
+	for _, e := range experiments {
+		out = append(out, Info{
+			ID:      e.id,
+			Aliases: e.aliases,
+			Title:   e.title,
+			Seeded:  e.seeded,
+			Gated:   gated[e.id],
+		})
+	}
+	return out
 }
 
 // All runs every experiment in paper order.

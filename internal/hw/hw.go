@@ -55,6 +55,11 @@ type Profile struct {
 	TranslateMiss   sim.Time // page-table walk on miss, per page
 	PinPage         sim.Time // pin one page (on miss)
 	UnpinPage       sim.Time // unpin one page
+	// PinTableCapacity bounds the kernel's pin-down page table, in
+	// page entries; beyond it the LRU translation is evicted and its
+	// frame unpinned (0 means a default of 8192 entries — the table is
+	// host-resident, but pinned memory is still a finite resource).
+	PinTableCapacity int
 	CompletionPoll  sim.Time // user polls a completion queue slot
 	EventDecode     sim.Time // user decodes a completion event
 	SendComplete    sim.Time // user handles the send-done event (paper: 0.82 µs)
@@ -130,6 +135,7 @@ func DAWNING3000() *Profile {
 		TranslateMiss:   2500,
 		PinPage:         3000,
 		UnpinPage:       1500,
+		PinTableCapacity: 8192, // 32 MB of pinned pages per node
 		CompletionPoll:  610,
 		EventDecode:     400,
 		SendComplete:    820,

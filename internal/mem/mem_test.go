@@ -164,22 +164,24 @@ func TestPinTableHitMissEvict(t *testing.T) {
 	pt := NewPinTable(2)
 	page0 := int64(va) / 4096
 
-	if _, hit, err := pt.Lookup(1, as, page0); err != nil || hit {
+	if _, hit, _, err := pt.Lookup(1, as, page0); err != nil || hit {
 		t.Fatalf("first lookup hit=%v err=%v, want miss", hit, err)
 	}
-	if _, hit, _ := pt.Lookup(1, as, page0); !hit {
+	if _, hit, _, _ := pt.Lookup(1, as, page0); !hit {
 		t.Fatal("second lookup missed")
 	}
 	pt.Lookup(1, as, page0+1)
-	pt.Lookup(1, as, page0+2) // capacity 2: evicts page0, the LRU entry
+	if _, _, evicted, _ := pt.Lookup(1, as, page0+2); !evicted { // capacity 2: evicts page0, the LRU entry
+		t.Fatal("third distinct page did not report an eviction")
+	}
 	hits, misses, evict := pt.Stats()
 	if hits != 1 || misses != 3 || evict != 1 {
 		t.Fatalf("stats = %d/%d/%d, want 1/3/1", hits, misses, evict)
 	}
-	if _, hit, _ := pt.Lookup(1, as, page0+1); !hit {
+	if _, hit, _, _ := pt.Lookup(1, as, page0+1); !hit {
 		t.Fatal("recently used entry was evicted")
 	}
-	if _, hit, _ := pt.Lookup(1, as, page0); hit {
+	if _, hit, _, _ := pt.Lookup(1, as, page0); hit {
 		t.Fatal("evicted entry still cached")
 	}
 	if now, _ := m.PinnedPages(); now != 2 {
@@ -200,7 +202,9 @@ func TestPinTableInvalidate(t *testing.T) {
 	if pt.Len() != 4 {
 		t.Fatalf("len = %d, want 4", pt.Len())
 	}
-	pt.Invalidate(9)
+	if dropped := pt.Invalidate(9); dropped != 3 {
+		t.Fatalf("invalidate dropped %d pages, want 3", dropped)
+	}
 	if pt.Len() != 1 {
 		t.Fatalf("after invalidate len = %d, want 1", pt.Len())
 	}
@@ -213,7 +217,7 @@ func TestPinTableUnmappedPage(t *testing.T) {
 	m := NewMemory(4096)
 	as := NewAddrSpace(m)
 	pt := NewPinTable(0)
-	if _, _, err := pt.Lookup(1, as, 99999); !errors.Is(err, ErrFault) {
+	if _, _, _, err := pt.Lookup(1, as, 99999); !errors.Is(err, ErrFault) {
 		t.Fatalf("lookup of unmapped page = %v, want ErrFault", err)
 	}
 }

@@ -45,31 +45,32 @@ func NewPinTable(capacity int) *PinTable {
 }
 
 // Lookup resolves one virtual page of a process's buffer. It returns
-// the physical base address of the frame and whether the lookup hit
-// the cache; on a miss it walks the page table, pins the frame and
-// caches the translation. The caller charges the appropriate time for
-// hit vs miss.
-func (t *PinTable) Lookup(pid int, space *AddrSpace, vpage int64) (PAddr, bool, error) {
+// the physical base address of the frame, whether the lookup hit the
+// cache, and whether a full table forced the LRU entry out (the
+// caller charges the unpin cost on top of the miss). On a miss it
+// walks the page table, pins the frame and caches the translation.
+func (t *PinTable) Lookup(pid int, space *AddrSpace, vpage int64) (pa PAddr, hit, evicted bool, err error) {
 	key := pinKey{pid: pid, vpage: vpage}
 	if el, ok := t.entries[key]; ok {
 		t.hits++
 		t.lru.MoveToFront(el)
-		return el.Value.(*pinEntry).phys, true, nil
+		return el.Value.(*pinEntry).phys, true, false, nil
 	}
 	t.misses++
-	pa, err := space.Translate(VAddr(vpage * int64(space.mem.pageSize)))
+	pa, err = space.Translate(VAddr(vpage * int64(space.mem.pageSize)))
 	if err != nil {
-		return 0, false, err
+		return 0, false, false, err
 	}
 	if err := space.mem.PinFrame(pa); err != nil {
-		return 0, false, err
+		return 0, false, false, err
 	}
 	if t.capacity > 0 && t.lru.Len() >= t.capacity {
 		t.evictOldest()
+		evicted = true
 	}
 	el := t.lru.PushFront(&pinEntry{key: key, phys: pa, space: space})
 	t.entries[key] = el
-	return pa, false, nil
+	return pa, false, evicted, nil
 }
 
 func (t *PinTable) evictOldest() {
@@ -86,8 +87,9 @@ func (t *PinTable) evictOldest() {
 }
 
 // Invalidate drops every entry belonging to pid (process exit),
-// unpinning the frames.
-func (t *PinTable) Invalidate(pid int) {
+// unpinning the frames. It returns how many pages were unpinned.
+func (t *PinTable) Invalidate(pid int) int {
+	dropped := 0
 	for el := t.lru.Front(); el != nil; {
 		next := el.Next()
 		e := el.Value.(*pinEntry)
@@ -95,10 +97,15 @@ func (t *PinTable) Invalidate(pid int) {
 			t.lru.Remove(el)
 			delete(t.entries, e.key)
 			_ = e.space.mem.UnpinFrame(e.phys)
+			dropped++
 		}
 		el = next
 	}
+	return dropped
 }
+
+// Capacity returns the table's entry bound (0 = unbounded).
+func (t *PinTable) Capacity() int { return t.capacity }
 
 // Len returns the number of cached (pinned) pages.
 func (t *PinTable) Len() int { return t.lru.Len() }

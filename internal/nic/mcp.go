@@ -115,46 +115,142 @@ type fetchJob struct {
 }
 
 func (n *NIC) sendEngine(p *sim.Proc) {
-	// The fetch half: drain the send request queue, stage payload
-	// fragments into SRAM by host DMA, hand them to the injector.
+	// The fetch half: arbitrate across the per-endpoint send rings,
+	// stage payload fragments into SRAM by host DMA, hand them to the
+	// injector. With QoS off the arbiter replays strict cross-ring
+	// arrival order one whole message at a time (single-tenant
+	// behaviour); with QoS on it grants wire fragments under weighted
+	// round-robin so endpoints share the DMA engine proportionally.
 	for {
-		d := n.sendQ.Recv(p)
-		n.stats.MsgsSent++
-		if d.Born == 0 {
-			// Raw-NIC callers (and firmware-generated descriptors that
-			// did not inherit a birth time) are born at dequeue, so the
-			// latency histogram covers every architecture.
-			d.Born = p.Now()
+		r, d, idx := n.nextFrag(p)
+		if idx == 0 {
+			n.stats.MsgsSent++
+			if d.Born == 0 {
+				// Raw-NIC callers (and firmware-generated descriptors
+				// that did not inherit a birth time) are born at
+				// dequeue, so the latency histogram covers every
+				// architecture.
+				d.Born = p.Now()
+			}
 		}
 		if d.Kind == DescRMARead {
 			// A read request is a single control packet: no payload.
 			n.fetchQ.Send(p, fetchJob{desc: d, frags: 1, lastFrag: true})
+			n.finishMsg(r)
 			continue
 		}
-		frags := n.prof.Packets(d.Len)
-		for i := 0; i < frags; i++ {
-			lo := i * n.prof.MaxPacket
-			hi := lo + n.prof.MaxPacket
-			if hi > d.Len {
-				hi = d.Len
-			}
-			if hi < lo {
-				hi = lo
-			}
-			buf, err := n.fetchRange(p, d, lo, hi-lo)
-			sram := len(buf)
-			if sram > 0 {
-				n.sram.Acquire(p, sram)
-			}
-			n.fetchQ.Send(p, fetchJob{
-				desc: d, fragIdx: i, frags: frags, payload: buf,
-				sram: sram, lastFrag: i == frags-1, err: err,
-			})
-			if err != nil {
-				break
-			}
+		lo := idx * n.prof.MaxPacket
+		hi := lo + n.prof.MaxPacket
+		if hi > d.Len {
+			hi = d.Len
+		}
+		if hi < lo {
+			hi = lo
+		}
+		buf, err := n.fetchRange(p, d, lo, hi-lo)
+		sram := len(buf)
+		if sram > 0 {
+			n.sram.Acquire(p, sram)
+		}
+		last := idx == r.frags-1
+		n.fetchQ.Send(p, fetchJob{
+			desc: d, fragIdx: idx, frags: r.frags, payload: buf,
+			sram: sram, lastFrag: last, err: err,
+		})
+		if err != nil || last {
+			// A fetch error abandons the rest of the message (the
+			// injector surfaces the failure).
+			n.finishMsg(r)
 		}
 	}
+}
+
+// nextFrag blocks until some ring has work, picks the ring the active
+// arbitration policy grants, and returns the next fragment of its
+// in-service message. The ring's fragment cursor is advanced; the
+// caller must finishMsg once the message's last (or failing) fragment
+// has been handed to the injector.
+func (n *NIC) nextFrag(p *sim.Proc) (*sendRing, *SendDesc, int) {
+	for {
+		var r *sendRing
+		if n.cfg.QoS {
+			r = n.pickWRR()
+		} else {
+			r = n.pickFIFO()
+		}
+		if r == nil {
+			n.sendWork.Wait(p)
+			continue
+		}
+		if r.cur == nil {
+			r.cur = r.q[0]
+			r.q = r.q[1:]
+			r.fragIdx = 0
+			r.frags = 1
+			if r.cur.Kind != DescRMARead {
+				r.frags = n.prof.Packets(r.cur.Len)
+			}
+		}
+		idx := r.fragIdx
+		r.fragIdx++
+		return r, r.cur, idx
+	}
+}
+
+// finishMsg retires a ring's in-service message and reaps the ring if
+// its port closed and the backlog has drained.
+func (n *NIC) finishMsg(r *sendRing) {
+	r.cur = nil
+	if r.closed && !r.hasWork() {
+		n.removeRing(r.port)
+	}
+}
+
+// pickFIFO is the single-tenant arbitration policy: once a message is
+// in service it runs to completion, and the next message is the one
+// that was posted earliest across all rings — exactly the behaviour of
+// one shared send queue.
+func (n *NIC) pickFIFO() *sendRing {
+	var best *sendRing
+	var bestSeq uint64
+	for _, id := range n.ringOrder {
+		r := n.rings[id]
+		if r.cur != nil {
+			return r
+		}
+		if len(r.q) == 0 {
+			continue
+		}
+		if best == nil || r.q[0].arrival < bestSeq {
+			best = r
+			bestSeq = r.q[0].arrival
+		}
+	}
+	return best
+}
+
+// pickWRR grants wire fragments under weighted round-robin: a ring
+// with work keeps the grant while it has round credits, then refills
+// and passes the grant on. Every ring with work is served at least its
+// weight's worth of fragments per full rotation, so no endpoint can
+// starve another regardless of backlog depth.
+func (n *NIC) pickWRR() *sendRing {
+	// Two full rotations: the first may only refill exhausted credits,
+	// the second is then guaranteed to grant any ring that has work.
+	for scanned := 0; scanned < 2*len(n.ringOrder); scanned++ {
+		if n.rrPos >= len(n.ringOrder) {
+			n.rrPos = 0
+		}
+		r := n.rings[n.ringOrder[n.rrPos]]
+		if r.hasWork() && r.credits > 0 {
+			r.credits--
+			n.stats.QoSFrags++
+			return r
+		}
+		r.credits = r.weight
+		n.rrPos++
+	}
+	return nil
 }
 
 // injectEngine is the injection half of the send pipeline.
@@ -872,7 +968,7 @@ func (n *NIC) handleRMARead(p *sim.Proc, pkt *fabric.Packet) bool {
 		Trace:   pkt.Trace, // the reply stays on the initiator's flow
 		Born:    pkt.Born,
 	}
-	n.sendQ.Post(reply)
+	n.postDesc(reply)
 	return true
 }
 

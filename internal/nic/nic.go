@@ -22,6 +22,7 @@ package nic
 
 import (
 	"fmt"
+	"sort"
 
 	"bcl/internal/fabric"
 	"bcl/internal/hw"
@@ -57,6 +58,15 @@ type Config struct {
 	Window     int // go-back-N window (packets); 0 means default 32
 	MaxRetries int // timeouts before a message is failed; 0 means default 10
 	TLBEntries int // NIC translation cache size (NICTranslated); 0 means 256
+
+	// QoS enables weighted-round-robin arbitration of the send DMA
+	// across per-endpoint rings, at wire-fragment granularity: each
+	// endpoint gets up to its weight's worth of fragments per arbiter
+	// round, so a bandwidth-hog endpoint cannot starve a
+	// latency-sensitive one behind its queued backlog. When false the
+	// card drains descriptors in strict cross-ring arrival order, one
+	// whole message at a time — the single-tenant behaviour.
+	QoS bool
 }
 
 // DescKind discriminates send descriptors.
@@ -112,6 +122,10 @@ type SendDesc struct {
 	// Born is when the message entered the stack (library send time);
 	// the receiving NIC uses it for the end-to-end latency histogram.
 	Born sim.Time
+
+	// arrival is the card-global post order stamp the FIFO arbiter
+	// replays across rings (assigned by postDesc).
+	arrival uint64
 }
 
 // RecvDesc describes a posted receive buffer (or an open-channel
@@ -258,6 +272,7 @@ type Stats struct {
 	BytesReceived  uint64
 	SendFailures   uint64 // EvSendFailed events posted (any cause)
 	FastFails      uint64 // sends failed fast against a Dead/Probing peer
+	QoSFrags       uint64 // fragments granted by the WRR endpoint arbiter
 	Backoffs       uint64 // retransmit timer arms beyond the base timeout
 	Probes         uint64 // liveness probes sent
 	PeerDeaths     uint64 // Up/Suspect -> Dead transitions
@@ -288,7 +303,6 @@ type NIC struct {
 	Bus    *sim.Resource // PCI bus (host side shares it for PIO)
 	cpu    *sim.Resource // LANai control processor
 	sram   *sim.Resource // NIC buffer memory, in bytes
-	sendQ  *sim.Queue[*SendDesc]
 	fetchQ *sim.Queue[fetchJob]
 	retxQ  *sim.Queue[*txFlow]
 	collQ  *sim.Queue[collJob]
@@ -297,6 +311,18 @@ type NIC struct {
 	rx     map[int]*rxFlow
 	colls  map[int]*CollCtx
 	nextID uint64
+
+	// Virtualized per-endpoint send rings. Each registered port owns a
+	// ring; descriptors from unregistered sources (raw NIC callers,
+	// firmware-generated replies whose port closed) land in a control
+	// ring with id ctrlRing. ringOrder keeps ids sorted so every scan of
+	// the ring table is deterministic; sendWork wakes the send engine
+	// when any ring gains a descriptor.
+	rings     map[int]*sendRing
+	ringOrder []int
+	rrPos     int // WRR arbiter scan position into ringOrder
+	sendWork  *sim.Cond
+	arriveSeq uint64 // card-global post order, stamps SendDesc.arrival
 
 	// InterruptHandler is invoked (in scheduler context) for each
 	// event when Config.Completion == Interrupt. The kernel model
@@ -339,7 +365,7 @@ func New(env *sim.Env, prof *hw.Profile, cfg Config, node int, ep *fabric.Endpoi
 		Bus:    sim.NewResource(env, fmt.Sprintf("pci%d", node), 1),
 		cpu:    sim.NewResource(env, fmt.Sprintf("lanai%d", node), 1),
 		sram:   sim.NewResource(env, fmt.Sprintf("sram%d", node), prof.NICMemBytes),
-		sendQ:  sim.NewQueue[*SendDesc](env, fmt.Sprintf("nic%d/sendq", node), 0),
+		rings:  make(map[int]*sendRing),
 		fetchQ: sim.NewQueue[fetchJob](env, fmt.Sprintf("nic%d/fetchq", node), 2),
 		retxQ:  sim.NewQueue[*txFlow](env, fmt.Sprintf("nic%d/retxq", node), 0),
 		collQ:  sim.NewQueue[collJob](env, fmt.Sprintf("nic%d/collq", node), 0),
@@ -349,6 +375,7 @@ func New(env *sim.Env, prof *hw.Profile, cfg Config, node int, ep *fabric.Endpoi
 		colls:  make(map[int]*CollCtx),
 		tlb:    newNICTLB(cfg.TLBEntries),
 	}
+	n.sendWork = sim.NewCond(env)
 	env.Go(fmt.Sprintf("nic%d/send-engine", node), n.sendEngine)
 	env.Go(fmt.Sprintf("nic%d/inject-engine", node), n.injectEngine)
 	env.Go(fmt.Sprintf("nic%d/recv-engine", node), n.recvEngine)
@@ -389,6 +416,7 @@ func (n *NIC) Collect(set obs.Set) {
 		{"bytes_received", s.BytesReceived},
 		{"send_failures", s.SendFailures},
 		{"fast_fails", s.FastFails},
+		{"qos_frags", s.QoSFrags},
 		{"backoffs", s.Backoffs},
 		{"probes", s.Probes},
 		{"peer_deaths", s.PeerDeaths},
@@ -432,8 +460,10 @@ func (n *NIC) NextMsgID() uint64 {
 	return n.nextID
 }
 
-// RegisterPort creates NIC-side state for a port. The host pays the
-// setup cost before calling.
+// RegisterPort creates NIC-side state for a port: event queues, channel
+// tables, and a virtualized send ring with weight 1. The host pays the
+// setup cost before calling (the BCL kernel module does this from the
+// endpoint-allocation ioctl).
 func (n *NIC) RegisterPort(id int) *Port {
 	if _, dup := n.ports[id]; dup {
 		panic(fmt.Sprintf("nic%d: port %d registered twice", n.node, id))
@@ -447,11 +477,42 @@ func (n *NIC) RegisterPort(id int) *Port {
 		system:  sim.NewQueue[*RecvDesc](n.env, fmt.Sprintf("nic%d/p%d/syspool", n.node, id), 0),
 	}
 	n.ports[id] = p
+	if r, ok := n.rings[id]; ok {
+		// A previous incarnation is still draining; reuse its ring.
+		r.closed = false
+	} else {
+		n.addRing(id, 1)
+	}
 	return p
 }
 
-// ClosePort tears down a port's NIC state.
-func (n *NIC) ClosePort(id int) { delete(n.ports, id) }
+// SetPortWeight sets the WRR arbitration weight of a port's send ring:
+// the number of wire fragments the endpoint may inject per arbiter
+// round when Config.QoS is on. Weights below 1 are clamped to 1.
+func (n *NIC) SetPortWeight(id, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	if r, ok := n.rings[id]; ok {
+		r.weight = weight
+		if r.credits > weight {
+			r.credits = weight
+		}
+	}
+}
+
+// ClosePort tears down a port's NIC state. The send ring is marked
+// closed and removed once the firmware has drained any descriptors the
+// process posted before closing.
+func (n *NIC) ClosePort(id int) {
+	delete(n.ports, id)
+	if r, ok := n.rings[id]; ok {
+		r.closed = true
+		if !r.hasWork() {
+			n.removeRing(id)
+		}
+	}
+}
 
 // LookupPort returns the NIC state for a port, if registered.
 func (n *NIC) LookupPort(id int) (*Port, bool) {
@@ -459,12 +520,82 @@ func (n *NIC) LookupPort(id int) (*Port, bool) {
 	return p, ok
 }
 
-// PostSend enqueues a send descriptor into the NIC's send request
-// queue, blocking if the queue is full (the host spins on the queue
-// head in that case). The caller has already paid the PIO cost of
+// ctrlRing is the ring id descriptors from unregistered source ports
+// fall into: a control ring owned by the firmware itself. It sorts
+// before every real endpoint, but carries arrival stamps like any
+// other ring so FIFO arbitration stays globally ordered.
+const ctrlRing = -1
+
+// sendRing is one virtualized endpoint's send request ring plus its
+// arbiter state. Rings are served by the send engine under either
+// strict cross-ring arrival order (QoS off) or fragment-granular
+// weighted round-robin (QoS on).
+type sendRing struct {
+	port    int
+	weight  int // WRR: fragments per arbiter round
+	credits int // WRR: fragments left in the current round
+	q       []*SendDesc
+	cur     *SendDesc // message currently being fragmented
+	fragIdx int       // next fragment of cur to fetch
+	frags   int       // total fragments of cur
+	closed  bool      // port closed; drain remaining work, then remove
+}
+
+// hasWork reports whether the ring has a message in flight or queued.
+func (r *sendRing) hasWork() bool { return r.cur != nil || len(r.q) > 0 }
+
+// addRing creates a ring and splices its id into the sorted scan order.
+func (n *NIC) addRing(id, weight int) *sendRing {
+	r := &sendRing{port: id, weight: weight, credits: weight}
+	n.rings[id] = r
+	pos := sort.SearchInts(n.ringOrder, id)
+	n.ringOrder = append(n.ringOrder, 0)
+	copy(n.ringOrder[pos+1:], n.ringOrder[pos:])
+	n.ringOrder[pos] = id
+	if n.rrPos > pos {
+		n.rrPos++ // keep the WRR scan anchored on the same ring
+	}
+	return r
+}
+
+// removeRing drops a drained ring from the table and scan order.
+func (n *NIC) removeRing(id int) {
+	delete(n.rings, id)
+	for i, rid := range n.ringOrder {
+		if rid == id {
+			n.ringOrder = append(n.ringOrder[:i], n.ringOrder[i+1:]...)
+			if n.rrPos > i {
+				n.rrPos--
+			}
+			break
+		}
+	}
+}
+
+// postDesc routes a descriptor to its source endpoint's ring (or the
+// control ring for unregistered sources), stamps the card-global
+// arrival order, and wakes the send engine. Callable from both process
+// and firmware-callback context.
+func (n *NIC) postDesc(d *SendDesc) {
+	id := ctrlRing
+	if _, ok := n.rings[d.SrcPort]; ok {
+		id = d.SrcPort
+	}
+	r, ok := n.rings[id]
+	if !ok {
+		r = n.addRing(ctrlRing, 1)
+	}
+	n.arriveSeq++
+	d.arrival = n.arriveSeq
+	r.q = append(r.q, d)
+	n.sendWork.Broadcast()
+}
+
+// PostSend enqueues a send descriptor into the source endpoint's
+// virtualized send ring. The caller has already paid the PIO cost of
 // filling the descriptor.
 func (n *NIC) PostSend(p *sim.Proc, d *SendDesc) {
-	n.sendQ.Send(p, d)
+	n.postDesc(d)
 }
 
 // PostRecv binds a receive buffer to a normal channel. One buffer may

@@ -36,6 +36,8 @@ type Stats struct {
 	Interrupts      uint64
 	SecurityRejects uint64
 	PagesPinned     uint64
+	PagesUnpinned   uint64
+	PinEvictions    uint64
 	ContextSwitches uint64
 }
 
@@ -54,19 +56,25 @@ type Kernel struct {
 	mem   *mem.Memory
 	pins  *mem.PinTable
 	procs map[int]*Process
+	eps   map[int]int // NIC endpoint (port id) -> owning PID
 	next  int
 	stats Stats
 }
 
 // New boots a kernel over the node's physical memory.
 func New(env *sim.Env, prof *hw.Profile, node int, m *mem.Memory) *Kernel {
+	cap := prof.PinTableCapacity
+	if cap <= 0 {
+		cap = 8192
+	}
 	return &Kernel{
 		env:   env,
 		prof:  prof,
 		node:  node,
 		mem:   m,
-		pins:  mem.NewPinTable(0), // host-resident: effectively unbounded
+		pins:  mem.NewPinTable(cap),
 		procs: make(map[int]*Process),
+		eps:   make(map[int]int),
 		next:  100,
 	}
 }
@@ -91,6 +99,8 @@ func (k *Kernel) Collect(set obs.Set) {
 	set(k.node, "kernel", "interrupts", k.stats.Interrupts)
 	set(k.node, "kernel", "security_rejects", k.stats.SecurityRejects)
 	set(k.node, "kernel", "pages_pinned", k.stats.PagesPinned)
+	set(k.node, "kernel", "pages_unpinned", k.stats.PagesUnpinned)
+	set(k.node, "kernel", "pin_evictions", k.stats.PinEvictions)
 	set(k.node, "kernel", "context_switches", k.stats.ContextSwitches)
 }
 
@@ -105,10 +115,56 @@ func (k *Kernel) Spawn() *Process {
 	return p
 }
 
-// Exit tears a process down, dropping its pinned pages.
+// Exit tears a process down, dropping its pinned pages and releasing
+// any NIC endpoints it still owns.
 func (k *Kernel) Exit(p *Process) {
-	k.pins.Invalidate(p.PID)
+	k.stats.PagesUnpinned += uint64(k.pins.Invalidate(p.PID))
+	for port, pid := range k.eps {
+		if pid == p.PID {
+			delete(k.eps, port)
+		}
+	}
 	delete(k.procs, p.PID)
+}
+
+// BindEndpoint records a NIC endpoint (virtualized port: send ring +
+// landing rings) as owned by pid. The BCL kernel module calls it from
+// the port-creation ioctl; from then on send-path requests naming the
+// endpoint are admitted only from that process.
+func (k *Kernel) BindEndpoint(pid, port int) error {
+	if _, ok := k.procs[pid]; !ok {
+		k.stats.SecurityRejects++
+		return fmt.Errorf("%w: pid %d", ErrBadPID, pid)
+	}
+	if owner, taken := k.eps[port]; taken {
+		k.stats.SecurityRejects++
+		return fmt.Errorf("%w: endpoint %d owned by pid %d", ErrNotOwner, port, owner)
+	}
+	k.eps[port] = pid
+	return nil
+}
+
+// UnbindEndpoint releases an endpoint (port-teardown ioctl).
+func (k *Kernel) UnbindEndpoint(port int) { delete(k.eps, port) }
+
+// EndpointOwner returns the owning PID of an endpoint (0 = unbound).
+func (k *Kernel) EndpointOwner(port int) int { return k.eps[port] }
+
+// CheckEndpointOwner rejects a request naming an endpoint the calling
+// process does not own — the cross-endpoint half of the send-path
+// security check. The cost is part of the SecurityCheck charge paid by
+// CheckRequest; this only validates and counts.
+func (k *Kernel) CheckEndpointOwner(pid, port int) error {
+	owner, bound := k.eps[port]
+	if !bound {
+		k.stats.SecurityRejects++
+		return fmt.Errorf("%w: endpoint %d not bound", ErrBadTarget, port)
+	}
+	if owner != pid {
+		k.stats.SecurityRejects++
+		return fmt.Errorf("%w: endpoint %d owned by pid %d, caller pid %d", ErrNotOwner, port, owner, pid)
+	}
+	return nil
 }
 
 // Trap performs a user-to-kernel crossing: it charges the entry cost
@@ -160,7 +216,7 @@ func (k *Kernel) TranslateAndPin(p *sim.Proc, pid int, space *mem.AddrSpace, va 
 	for addr := int64(va); addr < end; {
 		vpage := addr / pageSize
 		off := addr % pageSize
-		base, hit, err := k.pins.Lookup(pid, space, vpage)
+		base, hit, evicted, err := k.pins.Lookup(pid, space, vpage)
 		if err != nil {
 			return nil, err
 		}
@@ -169,6 +225,13 @@ func (k *Kernel) TranslateAndPin(p *sim.Proc, pid int, space *mem.AddrSpace, va 
 		} else {
 			p.Sleep(k.prof.TranslateMiss + k.prof.PinPage)
 			k.stats.PagesPinned++
+			if evicted {
+				// A full table pushed out its LRU translation: the
+				// kernel unpins that frame before pinning ours.
+				p.Sleep(k.prof.UnpinPage)
+				k.stats.PinEvictions++
+				k.stats.PagesUnpinned++
+			}
 		}
 		chunk := pageSize - off
 		if chunk > end-addr {

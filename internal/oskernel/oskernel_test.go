@@ -198,6 +198,101 @@ func TestInterruptDispatch(t *testing.T) {
 	}
 }
 
+func TestEndpointOwnership(t *testing.T) {
+	_, k := newKernel()
+	a, b := k.Spawn(), k.Spawn()
+	if err := k.BindEndpoint(a.PID, 1); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	if err := k.CheckEndpointOwner(a.PID, 1); err != nil {
+		t.Fatalf("owner check on own endpoint: %v", err)
+	}
+	// Unknown process.
+	if err := k.BindEndpoint(424242, 2); !errors.Is(err, ErrBadPID) {
+		t.Fatalf("bind by unknown pid = %v, want ErrBadPID", err)
+	}
+	// Endpoint already bound to someone else.
+	if err := k.BindEndpoint(b.PID, 1); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("double bind = %v, want ErrNotOwner", err)
+	}
+	// Request naming a foreign endpoint.
+	if err := k.CheckEndpointOwner(b.PID, 1); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("foreign endpoint check = %v, want ErrNotOwner", err)
+	}
+	// Request naming an endpoint nobody allocated.
+	if err := k.CheckEndpointOwner(a.PID, 9); !errors.Is(err, ErrBadTarget) {
+		t.Fatalf("unbound endpoint check = %v, want ErrBadTarget", err)
+	}
+	if got := k.Stats().SecurityRejects; got != 4 {
+		t.Fatalf("security rejects = %d, want 4", got)
+	}
+	// Teardown makes the endpoint reallocatable.
+	if k.EndpointOwner(1) != a.PID {
+		t.Fatalf("owner = %d, want %d", k.EndpointOwner(1), a.PID)
+	}
+	k.UnbindEndpoint(1)
+	if k.EndpointOwner(1) != 0 {
+		t.Fatalf("owner after unbind = %d, want 0", k.EndpointOwner(1))
+	}
+	if err := k.BindEndpoint(b.PID, 1); err != nil {
+		t.Fatalf("rebind after unbind: %v", err)
+	}
+	// Process exit releases everything it still owns.
+	k.Exit(b)
+	if k.EndpointOwner(1) != 0 {
+		t.Fatalf("owner after exit = %d, want 0", k.EndpointOwner(1))
+	}
+}
+
+// TestPinTableEviction bounds the pin-down table: with capacity 2, a
+// third pinned page must evict the least recently used translation,
+// charging the unpin on top of the miss+pin, and the pinned-page count
+// must never exceed the capacity.
+func TestPinTableEviction(t *testing.T) {
+	env := sim.NewEnv(1)
+	prof := hw.DAWNING3000()
+	prof.PinTableCapacity = 2
+	m := mem.NewMemory(prof.PageSize)
+	k := New(env, prof, 0, m)
+	proc := k.Spawn()
+	page := mem.VAddr(prof.PageSize)
+	va := proc.Space.Alloc(3 * prof.PageSize)
+	env.Go("p", func(p *sim.Proc) {
+		pin := func(at mem.VAddr) sim.Time {
+			start := p.Now()
+			if _, err := k.TranslateAndPin(p, proc.PID, proc.Space, at, prof.PageSize); err != nil {
+				t.Error(err)
+			}
+			return p.Now() - start
+		}
+		pin(va)          // page 0: miss+pin
+		pin(va + page)   // page 1: miss+pin, table now full
+		evictCost := pin(va + 2*page) // page 2: must push out the LRU (page 0)
+		if want := prof.TranslateMiss + prof.PinPage + prof.UnpinPage; evictCost != want {
+			t.Errorf("eviction cost = %d, want miss+pin+unpin = %d", evictCost, want)
+		}
+		// Page 1 survived (hit); page 0 did not (miss again, second
+		// eviction).
+		if got := pin(va + page); got != prof.TranslateHit {
+			t.Errorf("warm page cost = %d, want hit %d", got, prof.TranslateHit)
+		}
+		if got := pin(va); got != prof.TranslateMiss+prof.PinPage+prof.UnpinPage {
+			t.Errorf("evicted page cost = %d, want miss+pin+unpin", got)
+		}
+	})
+	env.Run()
+	s := k.Stats()
+	if s.PinEvictions != 2 || s.PagesUnpinned != 2 {
+		t.Fatalf("evictions = %d unpinned = %d, want 2/2", s.PinEvictions, s.PagesUnpinned)
+	}
+	if s.PagesPinned != 4 {
+		t.Fatalf("pages pinned = %d, want 4 (three cold + one re-pin)", s.PagesPinned)
+	}
+	if now, _ := m.PinnedPages(); now > 2 {
+		t.Fatalf("%d pages pinned, capacity 2", now)
+	}
+}
+
 func TestCopyToFromUser(t *testing.T) {
 	env, k := newKernel()
 	proc := k.Spawn()
