@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test race short bench experiments chaos collectives metrics profile multitenant baseline check examples tools clean
+.PHONY: all test race short bench experiments chaos survival collectives metrics profile multitenant baseline check examples tools clean
 
 all: test
 
@@ -30,6 +30,18 @@ experiments:
 CHAOS_SEED ?= 1
 chaos:
 	$(GO) run ./cmd/bclbench -seed $(CHAOS_SEED) chaos
+
+# Survivable-NIC gauntlet: firmware crashes healed by the kernel
+# watchdog (journal replay + epoch resync, exactly-once delivery),
+# random bit corruption caught by the per-fragment CRC, and a gray
+# slow-rail window where the adaptive RTO must beat fixed backoff on
+# the P99.9 tail. Runs twice, digests must match. Override the crash
+# schedule with SURVIVAL_SEED=<n>; the crash flow trace shows one
+# message crossing a firmware reboot.
+SURVIVAL_SEED ?= 1
+survival:
+	$(GO) run ./cmd/bclbench -seed $(SURVIVAL_SEED) survival
+	$(GO) run ./cmd/bcltrace -crash
 
 # NIC-offloaded collectives: host vs offload latency/trap table at
 # 2-64 ranks, the seeded fault soak (run twice, digests must match),

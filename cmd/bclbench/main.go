@@ -57,6 +57,7 @@ func main() {
 			}
 			fmt.Printf("%-22s %s%s\n", e.ID, e.Title, suffix)
 		}
+		fmt.Print(faultVocabulary)
 		return
 	}
 	if *check || *baseline {
@@ -187,3 +188,22 @@ func runGate(check bool, dir, out string, seed uint64) int {
 	}
 	return 0
 }
+
+// faultVocabulary documents every fault injector the seeded
+// experiments draw from (the authoritative description lives on
+// fabric.Fault). -list prints it so the vocabulary is discoverable
+// without reading source.
+const faultVocabulary = `
+fault injectors (chaos / survival schedules, seeded by -seed N):
+  per-packet hooks        Fabric.SetFault: DropEvery(n), DuplicateEvery(n),
+                          CorruptEvery(n); RandomLoss(p), RandomCorrupt(p)
+                          (probabilistic, seeded RNG -> reproducible)
+  outage windows          Network.LinkDown(node, from, to), AllDown(from, to):
+                          crash-stop, every packet in the window is lost
+  gray (slow) windows     Network.SlowLink(node, from, to, factor),
+                          AllSlow(from, to, factor), hetero RailSlow(rail, ...):
+                          latency multiplied, nothing lost -- degraded but alive
+  firmware crashes        (*nic.NIC).CrashAt(t) / CrashFirmware(): MCP dies and
+                          SRAM state is wiped until the kernel watchdog reboots
+                          the NIC and replays its journal (cluster Watchdog: true)
+`

@@ -19,6 +19,11 @@
 //	                            # trap, the tree fanout, landing-ring
 //	                            # DMAs, and the combine back up
 //	bcltrace -coll -chrome      # the same collective flow as Chrome JSON
+//	bcltrace -crash             # causal flow of one message across a
+//	                            # firmware crash: watchdog trip, journal
+//	                            # replay, reboot, epoch resync, rewound
+//	                            # retransmission, exactly-once delivery
+//	bcltrace -crash -chrome     # the same crash flow as Chrome JSON
 //	bcltrace -prof              # virtual-time attribution table for one
 //	                            # traced 8-byte eager send: exclusive
 //	                            # (node, layer, phase) times, per-CPU
@@ -38,6 +43,7 @@ func main() {
 	chrome := flag.Bool("chrome", false, "emit Chrome trace-event JSON instead of text")
 	flow := flag.Bool("flow", false, "trace the causal flow of one message under a forced packet drop")
 	coll := flag.Bool("coll", false, "trace the causal flow of one NIC-offloaded broadcast + barrier")
+	crash := flag.Bool("crash", false, "trace the causal flow of one message across a firmware crash + watchdog recovery")
 	profFlag := flag.Bool("prof", false, "print the virtual-time attribution table for one traced message")
 	flag.Parse()
 	if *profFlag {
@@ -52,6 +58,9 @@ func main() {
 		if *coll {
 			gen = bench.CollFlowChromeJSON
 		}
+		if *crash {
+			gen = bench.CrashFlowChromeJSON
+		}
 		out, err := gen()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bcltrace: %v\n", err)
@@ -63,6 +72,10 @@ func main() {
 	}
 	if *coll {
 		fmt.Print(bench.ByID("collflow").String())
+		return
+	}
+	if *crash {
+		fmt.Print(bench.ByID("crashflow").String())
 		return
 	}
 	if *flow {

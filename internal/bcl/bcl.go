@@ -169,6 +169,7 @@ func (s *System) Open(p *sim.Proc, n *node.Node, proc *oskernel.Process, opts Op
 		if opts.QoSWeight > 0 {
 			n.NIC.SetPortWeight(pt.addr.Port, opts.QoSWeight)
 		}
+		n.Kernel.ShadowPort(pt.addr.Port, opts.QoSWeight)
 		return nil
 	})
 	if err != nil {
@@ -263,6 +264,7 @@ func (pt *Port) Close(p *sim.Proc) error {
 	return pt.node.Kernel.Trap(p, func() error {
 		pt.node.NIC.ClosePort(pt.addr.Port)
 		pt.node.Kernel.UnbindEndpoint(pt.addr.Port)
+		pt.node.Kernel.ShadowClosePort(pt.addr.Port)
 		return nil
 	})
 }

@@ -81,11 +81,16 @@ func (pt *Port) RegisterColl(p *sim.Proc, id, me int, members []Addr, plan coll.
 		}
 		// Program the context control block: membership, plan, ring.
 		p.Sleep(k.PIOFillCost(pt.node.Prof.RecvDescWords+2*plan.N, len(segs)))
-		return pt.node.NIC.RegisterCollCtx(&nic.CollSpec{
+		spec := &nic.CollSpec{
 			ID: id, Me: me, Nodes: nodes, Ports: ports, Plan: plan,
 			Landing:  nic.RecvDesc{Len: ringLen, Segs: segs, VA: va, Space: pt.proc.Space},
 			SlotSize: slotSize, Slots: CollSlots,
-		})
+		}
+		if rerr := pt.node.NIC.RegisterCollCtx(spec); rerr != nil {
+			return rerr
+		}
+		k.ShadowColl(spec)
+		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -100,6 +105,7 @@ func (pt *Port) CloseColl(p *sim.Proc, id int) error {
 	}
 	return pt.node.Kernel.Trap(p, func() error {
 		pt.node.NIC.CloseCollCtx(id)
+		pt.node.Kernel.ShadowCloseColl(id)
 		return nil
 	})
 }

@@ -134,6 +134,13 @@ func (pt *Port) intraEngine(p *sim.Proc) {
 			if desc == nil {
 				continue // message dropped
 			}
+			// The intra-node path consumed the posting without the NIC
+			// seeing it; keep the kernel's recovery journal honest.
+			if f.channel == SystemChannel {
+				pt.node.Kernel.ShadowSysConsumed(pt.addr.Port, desc.VA)
+			} else {
+				pt.node.Kernel.ShadowRecvConsumed(pt.addr.Port, f.channel)
+			}
 			st = &state{desc: desc}
 			open[f.msgID] = st
 		}

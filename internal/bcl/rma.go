@@ -37,9 +37,12 @@ func (pt *Port) RegisterOpen(p *sim.Proc, channel int, va mem.VAddr, n int) erro
 			return err
 		}
 		p.Sleep(k.PIOFillCost(pt.node.Prof.RecvDescWords, len(segs)))
-		return pt.node.NIC.RegisterOpen(pt.addr.Port, channel, &nic.RecvDesc{
-			Len: n, Segs: segs, VA: va, Space: pt.proc.Space,
-		})
+		d := &nic.RecvDesc{Len: n, Segs: segs, VA: va, Space: pt.proc.Space}
+		if rerr := pt.node.NIC.RegisterOpen(pt.addr.Port, channel, d); rerr != nil {
+			return rerr
+		}
+		k.ShadowOpen(pt.addr.Port, channel, d)
+		return nil
 	})
 }
 

@@ -109,9 +109,12 @@ func (pt *Port) PostRecv(p *sim.Proc, channel int, va mem.VAddr, n int) error {
 				return terr
 			}
 			p.Sleep(k.PIOFillCost(pt.node.Prof.RecvDescWords, len(segs)))
-			return pt.node.NIC.PostRecv(pt.addr.Port, channel, &nic.RecvDesc{
-				Len: n, Segs: segs, VA: va, Space: pt.proc.Space,
-			})
+			d := &nic.RecvDesc{Len: n, Segs: segs, VA: va, Space: pt.proc.Space}
+			if perr := pt.node.NIC.PostRecv(pt.addr.Port, channel, d); perr != nil {
+				return perr
+			}
+			k.ShadowPostRecv(pt.addr.Port, channel, d)
+			return nil
 		})
 	})
 	return err
@@ -133,9 +136,12 @@ func (pt *Port) addSystemBuffer(p *sim.Proc, va mem.VAddr, n int) error {
 			return err
 		}
 		p.Sleep(k.PIOFillCost(pt.node.Prof.RecvDescWords, len(segs)))
-		return pt.node.NIC.AddSystemBuffer(pt.addr.Port, &nic.RecvDesc{
-			Len: n, Segs: segs, VA: va, Space: pt.proc.Space,
-		})
+		d := &nic.RecvDesc{Len: n, Segs: segs, VA: va, Space: pt.proc.Space}
+		if aerr := pt.node.NIC.AddSystemBuffer(pt.addr.Port, d); aerr != nil {
+			return aerr
+		}
+		k.ShadowSysBuf(pt.addr.Port, va, d)
+		return nil
 	})
 }
 
@@ -172,11 +178,11 @@ func (pt *Port) ReturnSystemBuffers(p *sim.Proc, bufs []SystemBuf) error {
 				return err
 			}
 			p.Sleep(k.PIOFillCost(pt.node.Prof.RecvDescWords, len(segs)))
-			if err := pt.node.NIC.AddSystemBuffer(pt.addr.Port, &nic.RecvDesc{
-				Len: b.Len, Segs: segs, VA: b.VA, Space: pt.proc.Space,
-			}); err != nil {
+			d := &nic.RecvDesc{Len: b.Len, Segs: segs, VA: b.VA, Space: pt.proc.Space}
+			if err := pt.node.NIC.AddSystemBuffer(pt.addr.Port, d); err != nil {
 				return err
 			}
+			k.ShadowSysBuf(pt.addr.Port, b.VA, d)
 		}
 		return nil
 	})

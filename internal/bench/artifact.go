@@ -74,6 +74,7 @@ var GatedExperiments = []struct{ Name, ID string }{
 	{"scale", "scale"},
 	{"intrapath", "ablation-intrapath"},
 	{"chaos", "chaos"},
+	{"survival", "survival"},
 	{"collectives", "collectives"},
 	{"profile", "profile"},
 	{"logp", "logp"},
@@ -183,6 +184,14 @@ var exactMetrics = map[string]bool{
 	"teardown_ok":         true,
 	"qos_beats_fifo":      true,
 	"backfill_beats_fifo": true,
+	// Survivability correctness: exactly-once delivery through crash +
+	// corruption + gray chaos, the faults must actually have fired, and
+	// the adaptive-RTO tail must strictly beat fixed backoff.
+	"exactly_once":          true,
+	"crc_drops_nonzero":     true,
+	"nic_reboots_nonzero":   true,
+	"adaptive_beats_fixed":  true,
+	"gray_failover_nonzero": true,
 }
 
 // tolFor picks the acceptance band for one metric.
@@ -319,6 +328,8 @@ func ByIDSeeded(id string, seed uint64) *Report {
 		return runExperiment(func() *Report { return ChaosSeeded(seed) })
 	case "collectives":
 		return runExperiment(func() *Report { return CollectivesSeeded(seed) })
+	case "survival":
+		return runExperiment(func() *Report { return SurvivalSeeded(seed) })
 	}
 	return ByID(id)
 }

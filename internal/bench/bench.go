@@ -88,8 +88,10 @@ var experiments = []struct {
 	{id: "ablation-window", title: "Go-back-N window sweep", fn: AblationWindow},
 	{id: "ablation-intrapath", title: "Intra-node strategies: loopback vs shm vs direct", fn: AblationIntraPath},
 	{id: "chaos", title: "Deterministic chaos soak", seeded: true, fn: Chaos},
+	{id: "survival", title: "Survivable NIC gauntlet: crash recovery, corruption, gray failures", seeded: true, fn: Survival},
 	{id: "collectives", title: "NIC-offloaded collectives vs host algorithms", seeded: true, fn: Collectives},
 	{id: "collflow", title: "Causal flow trace of one offloaded broadcast + barrier", fn: CollFlow},
+	{id: "crashflow", title: "Causal flow trace of one message across a firmware crash + recovery", fn: CrashFlow},
 	{id: "profile", title: "Virtual-time attribution of one eager send", fn: Profile},
 	{id: "logp", title: "LogP/LogGP parameters extracted from profiler spans", fn: LogP},
 	{id: "multitenant", aliases: []string{"mt"}, title: "Multi-tenant cluster: scheduler, endpoint isolation, QoS arbitration", fn: Multitenant},

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	ibcl "bcl/internal/bcl"
+	"bcl/internal/cluster"
 	"bcl/internal/fabric"
 	"bcl/internal/hw"
 	"bcl/internal/obs"
@@ -189,5 +190,120 @@ func FlowTrace() *Report {
 // across the host, NIC and wire rows (cmd/bcltrace -flow -chrome).
 func FlowChromeJSON() ([]byte, error) {
 	tr, _, _ := flowTracedMessage()
+	return tr.ChromeTrace()
+}
+
+// crashFlowTracedMessage runs one traced multi-fragment message whose
+// receiving NIC's firmware crashes mid-transfer: the kernel watchdog
+// trips, reboots the MCP, replays the journal, and the boot-epoch
+// resync rewinds the sender so the message completes exactly once.
+// Returns the tracer, the observability bundle and the one-way
+// completion time (which includes the whole recovery).
+func crashFlowTracedMessage() (*trace.Tracer, *obs.Obs, sim.Time) {
+	const size = 32 * 1024
+	c := newCluster(cluster.Config{
+		Nodes: 2, Profile: survProfile(), NIC: ibcl.DefaultNICConfig(), Watchdog: true,
+	})
+	sys := ibcl.NewSystem(c)
+	var a, b *ibcl.Port
+	c.Env.Go("setup", func(p *sim.Proc) {
+		pa := c.Nodes[0].Kernel.Spawn()
+		pb := c.Nodes[1].Kernel.Spawn()
+		a, _ = sys.Open(p, c.Nodes[0], pa, ibcl.Options{SystemBuffers: 8})
+		b, _ = sys.Open(p, c.Nodes[1], pb, ibcl.Options{SystemBuffers: 8})
+	})
+	c.Env.RunUntil(20 * sim.Millisecond)
+	if a == nil || b == nil {
+		panic("bench: crash-flow rig setup failed")
+	}
+	tr := trace.New()
+	var oneWay, sentAt sim.Time
+	ch := b.CreateChannel()
+	c.Env.Go("send", func(p *sim.Proc) {
+		va := a.Process().Space.Alloc(size)
+		// Warm the path untraced, then attach tracers for the real run.
+		a.Send(p, b.Addr(), ibcl.SystemChannel, va, 0, 0)
+		a.WaitSend(p)
+		p.Sleep(300 * sim.Microsecond)
+		a.SetTracer(tr)
+		b.SetTracer(tr)
+		c.SetTracer(tr)
+		// Kill the receiving firmware 40 us into the transfer: several
+		// fragments are gone with the NIC's SRAM, the rest hit a dead
+		// card. Recovery is the watchdog's job.
+		c.Nodes[1].NIC.CrashAt(p.Now() + 40*sim.Microsecond)
+		sentAt = p.Now()
+		a.Send(p, b.Addr(), ch, va, size, 7)
+		a.WaitSend(p)
+	})
+	c.Env.Go("recv", func(p *sim.Proc) {
+		vb := b.Process().Space.Alloc(size)
+		b.PostRecv(p, ch, vb, size)
+		for b.WaitRecv(p).Tag != 7 { // skip the warm-up message
+		}
+		oneWay = p.Now() - sentAt
+	})
+	c.Env.RunUntil(c.Env.Now() + sim.Second)
+	return tr, c.Obs, oneWay
+}
+
+// CrashFlow reports the causal story of one message interrupted by a
+// firmware crash: the flow timeline of the message itself (fragments,
+// retransmits, rewound replay, completion) plus the recovery spans —
+// crash, watchdog trip, journal replay, reboot, epoch resync — that
+// carry it across the boundary.
+func CrashFlow() *Report {
+	r := newReport("crashflow", "Causal flow trace of one message across a firmware crash + recovery")
+	tr, o, oneWay := crashFlowTracedMessage()
+	flows := tr.Flows()
+	retx, resyncs := 0, 0
+	var crashes, reboots, trips, replays int
+	var recovery []trace.Span
+	for _, s := range tr.Spans {
+		switch s.Stage {
+		case "nic: retransmit":
+			retx++
+		case "nic: epoch resync":
+			resyncs++
+		case "nic: firmware crash":
+			crashes++
+		case "nic: firmware reboot":
+			reboots++
+		case "kernel: watchdog trip":
+			trips++
+		case "kernel: replay NIC state":
+			replays++
+		}
+		if s.Flow == 0 && (strings.HasPrefix(s.Stage, "kernel: ") ||
+			strings.HasPrefix(s.Stage, "nic: firmware") || s.Stage == "nic: epoch resync") {
+			recovery = append(recovery, s)
+		}
+	}
+	var b strings.Builder
+	b.WriteString(tr.FlowTimeline())
+	b.WriteString("\nrecovery spans (interleaved on the same clock):\n")
+	rt := trace.New()
+	rt.Spans = recovery
+	b.WriteString(rt.Timeline())
+	fmt.Fprintf(&b, "\none-way completion (crash, watchdog, reboot, replay, resync): %.2f us\n", us(oneWay))
+	fmt.Fprintf(&b, "crash/trip/replay/reboot spans: %d/%d/%d/%d; resyncs: %d; retransmit spans: %d\n",
+		crashes, trips, replays, reboots, resyncs, retx)
+	fmt.Fprintf(&b, "\nflight recorder:\n%s", o.Rec.Text(12))
+	r.Text = b.String()
+	r.metric("flows", float64(len(flows)))
+	r.metric("oneway_us", us(oneWay))
+	r.metric("crash_spans", float64(crashes))
+	r.metric("watchdog_trip_spans", float64(trips))
+	r.metric("replay_spans", float64(replays))
+	r.metric("reboot_spans", float64(reboots))
+	r.metric("resync_spans", float64(resyncs))
+	r.metric("retransmit_spans", float64(retx))
+	return r
+}
+
+// CrashFlowChromeJSON renders the crash-recovery flow as Chrome
+// trace-event JSON (cmd/bcltrace -crash -chrome).
+func CrashFlowChromeJSON() ([]byte, error) {
+	tr, _, _ := crashFlowTracedMessage()
 	return tr.ChromeTrace()
 }

@@ -39,6 +39,11 @@ type Config struct {
 	Profile *hw.Profile
 	NIC     nic.Config
 	Seed    uint64
+
+	// Watchdog starts the kernel firmware watchdog on every node: the
+	// MCP heartbeats, the kernel polls, and a crashed firmware is
+	// rebooted and reprogrammed from the kernel's journal.
+	Watchdog bool
 }
 
 // Cluster is a running simulated machine.
@@ -91,6 +96,14 @@ func New(cfg Config) *Cluster {
 		n := node.New(env, cfg.Profile, i, fab, cfg.NIC)
 		n.Obs = o
 		n.NIC.Obs = o
+		if hf, ok := fab.(*hetero.Fabric); ok {
+			// Dual-rail machines give the NIC's gray-failure detector a
+			// rail-steering lever.
+			n.NIC.Steer = hf
+		}
+		if cfg.Watchdog {
+			n.Kernel.StartWatchdog(n.NIC)
+		}
 		o.RegisterCollector(n.NIC.Collect)
 		o.RegisterCollector(n.Kernel.Collect)
 		c.Nodes = append(c.Nodes, n)

@@ -34,6 +34,7 @@ const (
 	KindProbeAck                   // probe reply: the peer is reachable again
 	KindCollMcast                  // collective: NIC-forwarded multicast fragment
 	KindCollComb                   // collective: combine contribution toward the root
+	KindResync                     // receiver asks a sender to resynchronize a flow (epoch + expected seq)
 )
 
 func (k PacketKind) String() string {
@@ -56,6 +57,8 @@ func (k PacketKind) String() string {
 		return "COLL-MCAST"
 	case KindCollComb:
 		return "COLL-COMB"
+	case KindResync:
+		return "RESYNC"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -85,6 +88,14 @@ type Packet struct {
 	// Born is the virtual time the message entered the send path, for
 	// end-to-end latency histograms at the receiver.
 	Born sim.Time
+
+	// Epoch is the sending NIC's firmware boot epoch, stamped on every
+	// packet (data and control). A receiver seeing a higher epoch than
+	// it recorded for the source knows the source firmware rebooted and
+	// resets its flow state; a sender seeing a higher epoch on an
+	// ACK/RESYNC knows the receiver rebooted and rewinds + replays its
+	// in-flight messages. Zero means "unreliable mode / epoch-unaware".
+	Epoch uint32
 
 	MsgID   uint64 // sender-assigned message id
 	Seq     uint64 // per-flow wire sequence number
@@ -137,6 +148,26 @@ const (
 
 // Fault is a fault-injection hook. It may mutate the packet (corrupt
 // bytes) and returns a verdict: deliver, drop, or duplicate.
+//
+// The full fault vocabulary of the simulator (also listed by
+// `bclbench -list`) spans three mechanisms:
+//
+//   - Per-packet Fault hooks, installed with Fabric.SetFault: DropEvery,
+//     DuplicateEvery, CorruptEvery (deterministic counters), RandomLoss
+//     and RandomCorrupt (probabilistic, driven by the seeded env RNG so
+//     runs stay reproducible).
+//   - Virtual-time windows on the Network: LinkDown(node, from, to) and
+//     AllDown(from, to) lose every packet touching the downed component
+//     (crash-stop outages); SlowLink(node, from, to, factor) and
+//     AllSlow(from, to, factor) multiply serialization and hop latency
+//     without losing anything (gray failure / degraded rail).
+//   - NIC-level injectors outside the fabric: (*nic.NIC).CrashAt(t) /
+//     CrashFirmware() kill the MCP firmware at a virtual instant, wiping
+//     all NIC SRAM state until the kernel watchdog reboots and replays
+//     it.
+//
+// Every probabilistic injector draws from the simulation's seeded RNG:
+// the same -seed reproduces the same fault schedule bit-for-bit.
 type Fault func(env *sim.Env, pkt *Packet) Verdict
 
 // DropEvery returns a Fault dropping every nth data packet.
@@ -181,6 +212,24 @@ func DuplicateEvery(n int) Fault {
 		count++
 		if count%n == 0 {
 			return Duplicate
+		}
+		return Deliver
+	}
+}
+
+// RandomCorrupt returns a Fault flipping one random payload bit in
+// data packets with probability p, using the environment's
+// deterministic RNG. A single bit flip is always detected by the
+// per-fragment CRC-32, so the receiver drops the fragment (counted as
+// crc_drops) and the go-back-N retransmit path heals it end-to-end.
+func RandomCorrupt(p float64) Fault {
+	return func(env *sim.Env, pkt *Packet) Verdict {
+		if pkt.Kind != KindData || len(pkt.Payload) == 0 {
+			return Deliver
+		}
+		if env.Rand().Bool(p) {
+			bit := env.Rand().Intn(len(pkt.Payload) * 8)
+			pkt.Payload[bit/8] ^= 1 << (bit % 8)
 		}
 		return Deliver
 	}
@@ -271,6 +320,24 @@ func downAt(ws []outage, t sim.Time) bool {
 	return false
 }
 
+// slowdown is one closed-open virtual-time window [from, to) during
+// which a component is degraded: alive, but serialization and hop
+// latency are multiplied by factor (gray failure).
+type slowdown struct {
+	from, to sim.Time
+	factor   int64
+}
+
+func slowAt(ws []slowdown, t sim.Time) int64 {
+	f := int64(1)
+	for _, w := range ws {
+		if t >= w.from && t < w.to && w.factor > f {
+			f = w.factor
+		}
+	}
+	return f
+}
+
 // Network is the generic routed-fabric engine. Concrete topologies add
 // links and routes, then expose it through the Fabric interface.
 type Network struct {
@@ -285,10 +352,14 @@ type Network struct {
 	nodeOut map[int][]outage // per-node link outage windows
 	allOut  []outage         // whole-fabric (switch/rail) outage windows
 
+	nodeSlow map[int][]slowdown // per-node degraded-link windows
+	allSlow  []slowdown         // whole-fabric degraded windows
+
 	delivered   uint64
 	dropped     uint64
 	duplicated  uint64
 	outageDrops uint64
+	slowedPkts  uint64
 }
 
 // NewNetwork returns an empty network for n nodes.
@@ -354,6 +425,7 @@ func (n *Network) Collect(set obs.Set) {
 	set(-1, l, "dropped", n.dropped)
 	set(-1, l, "duplicated", n.duplicated)
 	set(-1, l, "outage_drops", n.outageDrops)
+	set(-1, l, "slow_pkts", n.slowedPkts)
 }
 
 // wireRow labels this fabric's trace row.
@@ -390,6 +462,46 @@ func (n *Network) NodeDown(node int) bool {
 	return downAt(n.allOut, now) || downAt(n.nodeOut[node], now)
 }
 
+// SlowLink schedules a gray failure of node's fabric attachment over
+// [from, to): packets entering or leaving the node in that window pay
+// factor times the normal serialization and hop latency, but nothing
+// is lost. This models a degraded-but-alive rail (flaky transceiver,
+// congested uplink) — the failure mode crash-stop outage windows
+// cannot express.
+func (n *Network) SlowLink(node int, from, to sim.Time, factor int) {
+	if factor < 1 {
+		factor = 1
+	}
+	if n.nodeSlow == nil {
+		n.nodeSlow = make(map[int][]slowdown)
+	}
+	n.nodeSlow[node] = append(n.nodeSlow[node], slowdown{from, to, int64(factor)})
+}
+
+// AllSlow schedules a whole-fabric gray failure over [from, to): every
+// packet pays factor times the normal wire time in that window.
+func (n *Network) AllSlow(from, to sim.Time, factor int) {
+	if factor < 1 {
+		factor = 1
+	}
+	n.allSlow = append(n.allSlow, slowdown{from, to, int64(factor)})
+}
+
+// slowFactor returns the latency multiplier in effect right now for a
+// packet between src and dst (1 when healthy). The largest applicable
+// window wins; the factor is sampled once at injection time.
+func (n *Network) slowFactor(src, dst int) int64 {
+	now := n.env.Now()
+	f := slowAt(n.allSlow, now)
+	if nf := slowAt(n.nodeSlow[src], now); nf > f {
+		f = nf
+	}
+	if nf := slowAt(n.nodeSlow[dst], now); nf > f {
+		f = nf
+	}
+	return f
+}
+
 // Stats returns delivered and dropped packet counts.
 func (n *Network) Stats() (delivered, dropped uint64) { return n.delivered, n.dropped }
 
@@ -399,6 +511,10 @@ func (n *Network) OutageDrops() uint64 { return n.outageDrops }
 
 // Duplicated returns how many packets the fault hook duplicated.
 func (n *Network) Duplicated() uint64 { return n.duplicated }
+
+// SlowedPkts returns how many packets traversed the fabric inside a
+// gray-failure (slow) window.
+func (n *Network) SlowedPkts() uint64 { return n.slowedPkts }
 
 // clonePacket copies a packet (own payload) for duplicate delivery.
 func clonePacket(pkt *Packet) *Packet {
@@ -460,10 +576,17 @@ func (n *Network) inject(p *sim.Proc, src int, pkt *Packet) {
 		return
 	}
 
+	// Gray-failure windows multiply wire time without losing anything;
+	// the factor is sampled once, at injection.
+	slow := n.slowFactor(src, pkt.Dst)
+	if slow > 1 {
+		n.slowedPkts++
+	}
+
 	// Serialize onto the injection link: the sender is occupied for the
 	// full packet time (this is the per-NIC bandwidth limit).
 	first := n.links[route[0]]
-	txTime := hw.TransferTime(pkt.WireSize(), first.bw)
+	txTime := hw.TransferTime(pkt.WireSize(), first.bw) * sim.Time(slow)
 	first.res.Acquire(p, 1)
 	p.Sleep(txTime)
 	first.res.Release(1)
@@ -472,15 +595,15 @@ func (n *Network) inject(p *sim.Proc, src int, pkt *Packet) {
 	// asynchronously (cut-through). Each link is held for the packet's
 	// serialization time on that link.
 	n.env.Go(fmt.Sprintf("%s/pkt", n.name), func(fp *sim.Proc) {
-		fp.Sleep(first.lat)
+		fp.Sleep(first.lat * sim.Time(slow))
 		for _, id := range route[1:] {
 			l := n.links[id]
 			l.res.Acquire(fp, 1)
-			t := hw.TransferTime(pkt.WireSize(), l.bw)
+			t := hw.TransferTime(pkt.WireSize(), l.bw) * sim.Time(slow)
 			// Hold the link for the tail to pass, but let the head
 			// proceed after the hop latency.
 			n.env.After(t, func() { l.res.Release(1) })
-			fp.Sleep(l.lat)
+			fp.Sleep(l.lat * sim.Time(slow))
 		}
 		// Outage: a packet arriving at a downed attachment is lost on
 		// the final hop.

@@ -43,12 +43,14 @@ func SplitAt(split int) Policy {
 }
 
 // Rail is one physical network of the composite: a Fabric whose
-// outages can be scheduled (both myrinet and mesh satisfy it through
-// the embedded *fabric.Network).
+// outages and gray-failure (slow) windows can be scheduled (both
+// myrinet and mesh satisfy it through the embedded *fabric.Network).
 type Rail interface {
 	fabric.Fabric
 	LinkDown(node int, from, to sim.Time)
 	AllDown(from, to sim.Time)
+	SlowLink(node int, from, to sim.Time, factor int)
+	AllSlow(from, to sim.Time, factor int)
 }
 
 // Fabric is the composite network.
@@ -63,9 +65,15 @@ type Fabric struct {
 	// the flight recorder.
 	Obs *obs.Obs
 
+	// prefer marks (src,dst) pairs the NIC has asked to steer onto the
+	// non-policy rail because the policy rail is gray-degraded (alive
+	// but slow). Outage failover still overrides the preference.
+	prefer map[[2]int]bool
+
 	// Stats.
-	perRail   [2]uint64
-	failovers uint64
+	perRail    [2]uint64
+	failovers  uint64
+	graySteers uint64
 }
 
 // New builds the composite for n nodes.
@@ -103,6 +111,12 @@ func (f *Fabric) newEndpoint(node int) *fabric.Endpoint {
 		rail := f.policy(node, pkt.Dst)
 		if rail < 0 || rail > 1 {
 			panic(fmt.Sprintf("hetero: policy returned rail %d", rail))
+		}
+		// Gray-failure steering: the NIC's RTT estimator detected the
+		// policy rail as degraded-but-alive and asked for the alternate.
+		if f.prefer[[2]int{node, pkt.Dst}] && !f.railBlocked(1-rail, node, pkt.Dst) {
+			rail = 1 - rail
+			f.graySteers++
 		}
 		// Failover: if the chosen rail is inside an outage window for
 		// either end of this packet and the other rail is not, reroute
@@ -152,6 +166,7 @@ func (f *Fabric) Collect(set obs.Set) {
 	set(-1, "fabric:hetero", "myrinet_pkts", f.perRail[0])
 	set(-1, "fabric:hetero", "mesh_pkts", f.perRail[1])
 	set(-1, "fabric:hetero", "failovers", f.failovers)
+	set(-1, "fabric:hetero", "gray_steered", f.graySteers)
 	f.rails[0].Collect(set)
 	f.rails[1].Collect(set)
 }
@@ -179,3 +194,31 @@ func (f *Fabric) RailCounts() (myrinetPkts, meshPkts uint64) {
 // Failovers reports how many packets were rerouted off their policy
 // rail because of an outage.
 func (f *Fabric) Failovers() uint64 { return f.failovers }
+
+// RailSlow schedules a whole-rail gray failure (latency multiplier)
+// over [from, to).
+func (f *Fabric) RailSlow(r int, from, to sim.Time, factor int) {
+	f.rails[r].AllSlow(from, to, factor)
+}
+
+// PreferAlternate implements the NIC's gray-failure steering hook
+// (nic.RailSteer): while prefer is set for (src, dst), packets between
+// the pair ride the non-policy rail. The NIC's per-peer RTT estimator
+// flips this when the smoothed RTT blows past the flow's baseline and
+// clears it after a hold period to re-probe the primary.
+func (f *Fabric) PreferAlternate(src, dst int, prefer bool) {
+	if f.prefer == nil {
+		f.prefer = make(map[[2]int]bool)
+	}
+	if prefer {
+		f.prefer[[2]int{src, dst}] = true
+	} else {
+		delete(f.prefer, [2]int{src, dst})
+	}
+	f.Obs.Event(f.env.Now(), src, "fabric", "gray-steer", 0,
+		fmt.Sprintf("dst=%d prefer-alternate=%v", dst, prefer))
+}
+
+// GraySteers reports how many packets were steered off their policy
+// rail by gray-failure detection.
+func (f *Fabric) GraySteers() uint64 { return f.graySteers }

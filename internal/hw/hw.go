@@ -105,6 +105,22 @@ type Profile struct {
 	NICTranslateLook  sim.Time // NIC-resident translation cache lookup (user-level arch)
 	NICTranslateMiss  sim.Time // NIC cache miss: fetch mapping from host
 
+	// Firmware survivability (all 0-means-default; only consulted when
+	// the kernel watchdog / adaptive RTO features are enabled).
+	MCPHeartbeatInterval sim.Time // firmware refreshes its status word (0: 200 us)
+	WatchdogInterval     sim.Time // kernel polls the heartbeat register (0: 500 us)
+	MCPRebootTime        sim.Time // firmware image reload after a crash (0: 2 ms)
+	// RTOMin floors the Jacobson-style adaptive retransmit timeout so a
+	// burst of fast ACKs cannot collapse the timer into spurious
+	// retransmits (0 means RetransmitTimeout/4).
+	RTOMin sim.Time
+	// GrayRTTFactor: a flow whose smoothed RTT exceeds this multiple of
+	// its best observed RTT is declared gray-degraded (0 means 4).
+	GrayRTTFactor int
+	// GraySteerHold is how long a gray-degraded flow is steered onto the
+	// alternate rail before re-probing the primary (0 means 10 ms).
+	GraySteerHold sim.Time
+
 	// Link / switch.
 	LinkBandwidth Bps      // per-channel physical bandwidth
 	SwitchLatency sim.Time // cut-through latency per switch hop

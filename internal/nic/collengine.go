@@ -115,6 +115,11 @@ type CollCtx struct {
 	fseen map[mkey]bool   // multicast forwarded to the children
 	rseen map[uint64]bool // release result delivered
 	rfwd  map[uint64]bool // release result forwarded
+	// ownMsg maps a release-mode combine seq to the journaled MsgID of
+	// the local contribution descriptor. The journal holds it until the
+	// result returns, so a firmware crash between contribution and
+	// release replays the contribution instead of stalling the barrier.
+	ownMsg map[uint64]uint64
 }
 
 func (c *CollCtx) slotFor(origin int, seq uint64) int {
@@ -148,6 +153,7 @@ func (n *NIC) RegisterCollCtx(s *CollSpec) error {
 		fseen:    make(map[mkey]bool),
 		rseen:    make(map[uint64]bool),
 		rfwd:     make(map[uint64]bool),
+		ownMsg:   make(map[uint64]uint64),
 	}
 	return nil
 }
@@ -173,6 +179,9 @@ func (n *NIC) CloseCollCtx(id int) {
 		if oc.sram > 0 {
 			n.sram.Release(oc.sram)
 		}
+	}
+	for _, seq := range sortedKeys(ctx.ownMsg) {
+		n.retireSend(nil, ctx.ownMsg[seq])
 	}
 }
 
@@ -221,21 +230,23 @@ func (n *NIC) collRetryDelay(seq uint64, round int) sim.Time {
 type collJobKind uint8
 
 const (
-	collJobLocal collJobKind = iota // host descriptor with fetched payload
-	collJobPkt                      // collective packet off the wire
-	collJobRetry                    // release-mode retry timer fired
-	collJobFail                     // a forward's flow failed: reparent
+	collJobLocal  collJobKind = iota // host descriptor with fetched payload
+	collJobPkt                       // collective packet off the wire
+	collJobRetry                     // release-mode retry timer fired
+	collJobFail                      // a forward's flow failed: reparent
+	collJobResend                    // peer reboot rewound a flow: re-inject
 )
 
 type collJob struct {
 	kind    collJobKind
-	desc    *SendDesc      // collJobLocal
+	desc    *SendDesc      // collJobLocal / collJobResend
 	payload []byte         // collJobLocal: fetched bytes
-	sram    int            // collJobLocal: SRAM held for payload
-	pkt     *fabric.Packet // collJobPkt / collJobFail (pristine copy)
+	sram    int            // collJobLocal / collJobResend: SRAM held
+	pkt     *fabric.Packet // collJobPkt / collJobFail / collJobResend (pristine copy)
 	ctxID   int            // collJobRetry / collJobFail
 	seq     uint64         // collJobRetry
 	member  int            // collJobFail: member whose flow failed
+	epoch   uint32         // boot epoch the job was created under
 }
 
 // collEngine drains the collective work queue. It is its own firmware
@@ -244,6 +255,14 @@ type collJob struct {
 func (n *NIC) collEngine(p *sim.Proc) {
 	for {
 		j := n.collQ.Recv(p)
+		if n.fwDead || j.epoch != n.bootEpoch {
+			// Queued under a boot epoch that has since crashed: the
+			// context state it references was wiped with the SRAM.
+			if j.sram > 0 {
+				n.sram.Release(j.sram)
+			}
+			continue
+		}
 		switch j.kind {
 		case collJobLocal:
 			n.collLocal(p, j)
@@ -253,6 +272,11 @@ func (n *NIC) collEngine(p *sim.Proc) {
 			n.collRetry(p, j)
 		case collJobFail:
 			n.collFail(p, j)
+		case collJobResend:
+			// Single-packet by contract; re-enters the rewound window
+			// from collective-engine context so the receive engine never
+			// blocks on window space.
+			n.transmit(p, n.flowTo(j.desc.DstNode), j.pkt, j.desc, true, j.sram)
 		}
 	}
 }
@@ -271,6 +295,9 @@ func (n *NIC) handleCollPkt(p *sim.Proc, pkt *fabric.Packet) {
 	}
 	f := n.flowFrom(pkt.Src)
 	if n.cfg.Reliable {
+		if !n.rxEpochAdmit(pkt, f) {
+			return
+		}
 		if pkt.Seq < f.expect {
 			n.stats.SeqDrops++
 			n.sendAck(p, pkt.Src, f.expect-1)
@@ -278,12 +305,13 @@ func (n *NIC) handleCollPkt(p *sim.Proc, pkt *fabric.Packet) {
 		}
 		if pkt.Seq > f.expect {
 			n.stats.SeqDrops++
+			n.maybeResync(p, f)
 			return
 		}
 		f.expect++
 		n.sendAck(p, pkt.Src, pkt.Seq)
 	}
-	n.collQ.Post(collJob{kind: collJobPkt, pkt: pkt})
+	n.collQ.Post(collJob{kind: collJobPkt, pkt: pkt, epoch: n.bootEpoch})
 }
 
 // ----------------------------------------------------------- local ops
@@ -330,6 +358,11 @@ func (n *NIC) collLocal(p *sim.Proc, j collJob) {
 		hdr.Origin = ctx.Me
 		hdr.Mask = coll.Bit(ctx.Me)
 		hdr.Dead = 0
+		if hdr.Release && ctx.ownMsg[hdr.Seq] == 0 && ctx.done[hdr.Seq] == nil {
+			// Hold the journal record until the result returns: a
+			// firmware crash in between replays the contribution.
+			ctx.ownMsg[hdr.Seq] = d.MsgID
+		}
 		n.collContribute(p, ctx, ctx.Me, hdr, j.payload, d.Tag, d.Trace, d.Born)
 		if hdr.Release && ctx.Me != ctx.Plan.Root {
 			// Retain the pristine contribution for the healing path; the
@@ -355,6 +388,20 @@ func (n *NIC) collLocal(p *sim.Proc, j collJob) {
 	}
 	if !d.NoEvent {
 		n.postEvent(p, d.SrcPort, EvSendDone, d, 0)
+	}
+	// Everything except a held release contribution is complete for the
+	// journal once folded/fanned out (collRetireOwn releases the rest).
+	if ctx.ownMsg[d.Coll.Seq] != d.MsgID {
+		n.retireSend(nil, d.MsgID)
+	}
+}
+
+// collRetireOwn releases the journal hold on a release-mode combine's
+// local contribution once its result has arrived (or the context dies).
+func (n *NIC) collRetireOwn(ctx *CollCtx, seq uint64) {
+	if mid, ok := ctx.ownMsg[seq]; ok {
+		delete(ctx.ownMsg, seq)
+		n.retireSend(nil, mid)
 	}
 }
 
@@ -413,6 +460,7 @@ func (n *NIC) collRelease(p *sim.Proc, ctx *CollCtx, pkt *fabric.Packet) {
 	if ctx.done[seq] == nil {
 		ctx.done[seq] = &combDone{hdr: pkt.Coll, tag: pkt.Tag, trace: pkt.Trace, born: pkt.Born, dead: pkt.Coll.Dead}
 	}
+	n.collRetireOwn(ctx, seq)
 	if !ctx.rseen[seq] {
 		ctx.rseen[seq] = true
 		n.collDeliver(p, ctx, CollEvResult, pkt.Coll.Origin, seq,
@@ -492,6 +540,7 @@ func (n *NIC) collAdvance(p *sim.Proc, ctx *CollCtx, seq uint64, st *combState) 
 			dn.payload = append([]byte(nil), st.payload...)
 		}
 		ctx.done[seq] = dn
+		n.collRetireOwn(ctx, seq)
 		n.collDeliver(p, ctx, CollEvResult, ctx.Me, seq, st.payload, st.tag, st.dead, st.trace, st.born)
 		if st.hdr.Release {
 			ctx.rseen[seq] = true
@@ -579,7 +628,7 @@ func (n *NIC) armCollRetry(ctx *CollCtx, seq uint64) {
 	id := ctx.ID
 	oc.timer = n.env.After(n.collRetryDelay(seq, oc.round), func() {
 		oc.timer = nil
-		n.collQ.Post(collJob{kind: collJobRetry, ctxID: id, seq: seq})
+		n.collQ.Post(collJob{kind: collJobRetry, ctxID: id, seq: seq, epoch: n.bootEpoch})
 	})
 }
 
@@ -735,7 +784,7 @@ func (n *NIC) collSend(p *sim.Proc, ctx *CollCtx, m int, proto *fabric.Packet) {
 		Len: len(pkt.Payload), Tag: pkt.Tag, Coll: pkt.Coll,
 		NoEvent: true, Trace: pkt.Trace, Born: pkt.Born,
 		OnFail: func() {
-			n.collQ.Post(collJob{kind: collJobFail, ctxID: ctxID, member: member, pkt: failPkt})
+			n.collQ.Post(collJob{kind: collJobFail, ctxID: ctxID, member: member, pkt: failPkt, epoch: n.bootEpoch})
 		},
 	}
 	n.stats.CollForwards++

@@ -35,6 +35,8 @@ type pending struct {
 	desc     *SendDesc
 	lastFrag bool
 	sram     int
+	sentAt   sim.Time // first transmission instant (RTT sampling)
+	retx     bool     // retransmitted at least once (Karn: never sample)
 }
 
 // txFlow is the sender-side reliability state toward one remote node.
@@ -56,6 +58,23 @@ type txFlow struct {
 	// fail-fast path does not post a second EvSendFailed for trailing
 	// fragments of the same message.
 	failed map[uint64]bool
+
+	// peerEpoch is the peer firmware's boot epoch as last seen on its
+	// control packets; a jump means the peer rebooted and wiped its
+	// receive state, so this flow rewinds and replays (resyncFlow).
+	peerEpoch uint32
+	// inflight tracks data/RMA-write messages transmitted toward the
+	// peer but not yet acknowledged/failed, in first-transmit order,
+	// so a rewind can replay them from fragment zero.
+	inflight map[uint64]*SendDesc
+	order    []uint64
+
+	// Adaptive-RTO estimator state (Config.AdaptiveRTO).
+	srtt    sim.Time // smoothed RTT
+	rttvar  sim.Time // mean deviation
+	baseRTT sim.Time // best RTT observed (gray-failure baseline)
+	grayOn  bool     // currently steered onto the alternate rail
+	grayTimer *sim.Timer
 }
 
 // rxFlow is the receiver-side sequencing state from one remote node.
@@ -63,13 +82,31 @@ type rxFlow struct {
 	src    int
 	expect uint64
 	asm    map[uint64]*rxAssembly
+
+	// srcEpoch is the sender firmware's boot epoch as stamped on its
+	// packets; a jump means the sender rebooted and restarted its
+	// sequence numbering from zero.
+	srcEpoch uint32
+	// done remembers the last rxDoneRing completed message ids so a
+	// journal-replayed message a rebooted sender re-sends is swallowed
+	// (ACKed but not re-delivered) — the exactly-once guarantee.
+	done       map[uint64]bool
+	doneOrder  []uint64
+	lastResync sim.Time // RESYNC send throttle
 }
+
+// rxDoneRing bounds the per-flow completed-message ring. It only needs
+// to cover messages that can be simultaneously unretired in the
+// sender's journal, which the send window bounds far below this.
+const rxDoneRing = 128
 
 // rxAssembly tracks one in-progress incoming message.
 type rxAssembly struct {
 	desc       *RecvDesc
 	port       *Port
+	channel    int
 	got        int
+	gotSet     []bool // per-fragment receipt bitmap (dedups replay overlap)
 	frags      int
 	baseOffset int  // extra offset into desc (RMA writes)
 	recvEvent  bool // post EvRecvDone on completion
@@ -112,6 +149,7 @@ type fetchJob struct {
 	sram     int
 	lastFrag bool
 	err      error
+	epoch    uint32 // boot epoch the fragment was staged under
 }
 
 func (n *NIC) sendEngine(p *sim.Proc) {
@@ -123,6 +161,7 @@ func (n *NIC) sendEngine(p *sim.Proc) {
 	// round-robin so endpoints share the DMA engine proportionally.
 	for {
 		r, d, idx := n.nextFrag(p)
+		epoch := n.bootEpoch // staging epoch: a crash mid-fetch voids the job
 		if idx == 0 {
 			n.stats.MsgsSent++
 			if d.Born == 0 {
@@ -135,7 +174,7 @@ func (n *NIC) sendEngine(p *sim.Proc) {
 		}
 		if d.Kind == DescRMARead {
 			// A read request is a single control packet: no payload.
-			n.fetchQ.Send(p, fetchJob{desc: d, frags: 1, lastFrag: true})
+			n.fetchQ.Send(p, fetchJob{desc: d, frags: 1, lastFrag: true, epoch: epoch})
 			n.finishMsg(r)
 			continue
 		}
@@ -155,7 +194,7 @@ func (n *NIC) sendEngine(p *sim.Proc) {
 		last := idx == r.frags-1
 		n.fetchQ.Send(p, fetchJob{
 			desc: d, fragIdx: idx, frags: r.frags, payload: buf,
-			sram: sram, lastFrag: last, err: err,
+			sram: sram, lastFrag: last, err: err, epoch: epoch,
 		})
 		if err != nil || last {
 			// A fetch error abandons the rest of the message (the
@@ -172,6 +211,11 @@ func (n *NIC) sendEngine(p *sim.Proc) {
 // has been handed to the injector.
 func (n *NIC) nextFrag(p *sim.Proc) (*sendRing, *SendDesc, int) {
 	for {
+		if n.fwDead {
+			// Crashed firmware fetches nothing; FinishReboot broadcasts.
+			n.sendWork.Wait(p)
+			continue
+		}
 		var r *sendRing
 		if n.cfg.QoS {
 			r = n.pickWRR()
@@ -259,6 +303,15 @@ func (n *NIC) injectEngine(p *sim.Proc) {
 	for {
 		j := n.fetchQ.Recv(p)
 		d := j.desc
+		if n.fwDead || j.epoch != n.bootEpoch {
+			// Staged under a boot epoch that has since crashed: the
+			// fragment's SRAM was already wiped conceptually; the kernel
+			// journal replay re-issues the message if it still matters.
+			if j.sram > 0 {
+				n.sram.Release(j.sram)
+			}
+			continue
+		}
 		if j.err != nil {
 			// Bad host descriptor (fault/unpinned). Surface a send
 			// failure; the kernel path validates before posting, so
@@ -288,7 +341,7 @@ func (n *NIC) injectEngine(p *sim.Proc) {
 			// Hand the staged payload (and its SRAM accounting) to the
 			// collective engine: from here on the message fans out over
 			// the tree without re-touching host memory.
-			n.collQ.Post(collJob{kind: collJobLocal, desc: d, payload: j.payload, sram: j.sram})
+			n.collQ.Post(collJob{kind: collJobLocal, desc: d, payload: j.payload, sram: j.sram, epoch: n.bootEpoch})
 			continue
 		}
 		flow := n.flowTo(d.DstNode)
@@ -425,19 +478,32 @@ func sliceSegs(segs []mem.Segment, lo, ln int) []mem.Segment {
 
 // transmit runs the reliability window and injects the packet.
 func (n *NIC) transmit(p *sim.Proc, flow *txFlow, pkt *fabric.Packet, d *SendDesc, lastFrag bool, sram int) {
+	pkt.Epoch = n.bootEpoch
 	if !n.cfg.Reliable {
 		n.inject(p, pkt)
 		if sram > 0 {
 			n.sram.Release(sram)
 		}
-		if lastFrag && !d.NoEvent {
-			// Fire-and-forget: declare success at injection.
-			n.postEvent(p, d.SrcPort, EvSendDone, d, 0)
+		if lastFrag {
+			n.retireSend(nil, d.MsgID)
+			if !d.NoEvent {
+				// Fire-and-forget: declare success at injection.
+				n.postEvent(p, d.SrcPort, EvSendDone, d, 0)
+			}
 		}
 		return
 	}
 	for len(flow.unacked) >= n.cfg.Window {
 		flow.window.Wait(p)
+		if n.tx[d.DstNode] != flow {
+			// The firmware rebooted while we waited for window space:
+			// this fragment belongs to the dead boot epoch; the kernel
+			// journal replay re-issues the message.
+			if sram > 0 {
+				n.sram.Release(sram)
+			}
+			return
+		}
 	}
 	if reported, tracked := flow.failed[pkt.MsgID]; tracked {
 		// Trailing fragment of a message already being failed:
@@ -474,9 +540,24 @@ func (n *NIC) transmit(p *sim.Proc, flow *txFlow, pkt *fabric.Packet, d *SendDes
 		}
 		return
 	}
+	// Track the message for rewind replay, on fragment zero only: a
+	// trailing fragment still in the pipeline after the message was
+	// acked (and retired) must not resurrect it, or its completion
+	// event would fire twice.
+	if (d.Kind == DescData || d.Kind == DescRMAWrite) && pkt.FragIdx == 0 {
+		if _, live := flow.inflight[pkt.MsgID]; !live {
+			if flow.inflight == nil {
+				flow.inflight = make(map[uint64]*SendDesc)
+			}
+			flow.inflight[pkt.MsgID] = d
+			flow.order = append(flow.order, pkt.MsgID)
+		}
+	}
 	pkt.Seq = flow.nextSeq
 	flow.nextSeq++
-	flow.unacked = append(flow.unacked, &pending{pkt: pkt, desc: d, lastFrag: lastFrag, sram: sram})
+	flow.unacked = append(flow.unacked, &pending{
+		pkt: pkt, desc: d, lastFrag: lastFrag, sram: sram, sentAt: p.Now(),
+	})
 	if flow.timer == nil {
 		n.armTimer(flow)
 	}
@@ -521,6 +602,25 @@ func (n *NIC) retxDelay(f *txFlow) sim.Time {
 	if ceil <= 0 {
 		ceil = 16 * base
 	}
+	if n.cfg.AdaptiveRTO && f.srtt > 0 {
+		// Jacobson-style RTO replaces the fixed base: srtt + 4*rttvar,
+		// floored so a burst of fast ACKs cannot collapse the timer
+		// into spurious retransmits. The exponential backoff below
+		// still multiplies it per retry round.
+		rto := f.srtt + 4*f.rttvar
+		floor := n.prof.RTOMin
+		if floor <= 0 {
+			floor = base / 4
+		}
+		if rto < floor {
+			rto = floor
+		}
+		if rto > ceil {
+			rto = ceil
+		}
+		base = rto
+		n.stats.RTOAdapted++
+	}
 	d := base
 	for i := 0; i < f.retries && d < ceil; i++ {
 		d *= 2
@@ -564,6 +664,11 @@ func (n *NIC) wakeWindow(f *txFlow) { f.window.Broadcast() }
 func (n *NIC) retxEngine(p *sim.Proc) {
 	for {
 		f := n.retxQ.Recv(p)
+		if n.fwDead || n.tx[f.dst] != f {
+			// Crashed firmware retransmits nothing; a flow replaced by a
+			// reboot is stale and its timer event is void.
+			continue
+		}
 		if f.health == PeerDead || f.health == PeerProbing {
 			// The probe timer routes through this queue so probes are
 			// injected from process context.
@@ -581,10 +686,21 @@ func (n *NIC) retxEngine(p *sim.Proc) {
 		if f.health == PeerUp {
 			f.health = PeerSuspect
 		}
+		if n.cfg.AdaptiveRTO {
+			// A timeout is itself RTT evidence: the oldest unacked
+			// packet has waited this long without an ACK, so the true
+			// RTT is at least that (when the peer is alive). Without
+			// this, Karn's rule starves the estimator on a gray rail —
+			// every packet gets retransmitted before its ACK lands, no
+			// sample is ever clean, and the RTO can never learn an RTT
+			// above its current value.
+			n.rttSample(f, n.env.Now()-f.unacked[0].sentAt)
+		}
 		n.Obs.Event(n.env.Now(), n.node, "nic", "retx-round",
 			f.unacked[0].pkt.Trace,
 			fmt.Sprintf("dst=%d round=%d pkts=%d", f.dst, f.retries, len(f.unacked)))
 		for _, pd := range f.unacked {
+			pd.retx = true // Karn's rule: an ambiguous ACK never samples
 			n.Tracer.DoFlow(p, "nic: retransmit", n.where(), pd.pkt.Trace, func() {
 				n.cpu.Use(p, 1, n.prof.MCPPacketProc)
 				n.stats.Retransmits++
@@ -613,6 +729,7 @@ func (n *NIC) failFlow(p *sim.Proc, f *txFlow) {
 		if pd.sram > 0 {
 			n.sram.Release(pd.sram)
 		}
+		n.retireSend(f, pd.pkt.MsgID) // abandoned: the journal forgets it
 		if pd.desc.OnFail != nil {
 			// Collective forwards: the engine reparents the branch
 			// instead of surfacing a host event.
@@ -698,6 +815,9 @@ func (n *NIC) failMessage(p *sim.Proc, d *SendDesc) {
 		d.OnFail()
 		return
 	}
+	// The failure is surfaced to the host, so the journal must not
+	// resurrect the message after a firmware reboot.
+	n.retireSend(n.tx[d.DstNode], d.MsgID)
 	if !d.NoEvent {
 		n.stats.SendFailures++
 		n.postEvent(p, d.SrcPort, EvSendFailed, d, 0)
@@ -709,6 +829,12 @@ func (n *NIC) failMessage(p *sim.Proc, d *SendDesc) {
 func (n *NIC) recvEngine(p *sim.Proc) {
 	for {
 		pkt := n.ep.RX.Recv(p)
+		if n.fwDead {
+			// Crashed firmware receives nothing; the wire drains into
+			// the void and senders' timers recover after the reboot.
+			n.stats.DeadDrops++
+			continue
+		}
 		n.stats.PacketsRecv++
 		switch pkt.Kind {
 		case fabric.KindAck:
@@ -718,15 +844,9 @@ func (n *NIC) recvEngine(p *sim.Proc) {
 		case fabric.KindProbe:
 			n.handleProbe(p, pkt)
 		case fabric.KindProbeAck:
-			n.cpu.Use(p, 1, n.prof.MCPAckProc)
-			f := n.flowTo(pkt.Src)
-			if len(f.unacked) == 0 {
-				// Resync the go-back-N epoch: abandoned packets consumed
-				// sequence numbers the receiver never saw; the probe ACK
-				// carries the receiver's next expected sequence.
-				f.nextSeq = pkt.AckSeq
-			}
-			n.markPeerUp(f)
+			n.handleProbeAck(p, pkt)
+		case fabric.KindResync:
+			n.handleResync(p, pkt)
 		case fabric.KindData, fabric.KindRMAWrite, fabric.KindRMARead:
 			n.handleData(p, pkt)
 		case fabric.KindCollMcast, fabric.KindCollComb:
@@ -737,9 +857,29 @@ func (n *NIC) recvEngine(p *sim.Proc) {
 	}
 }
 
+// handleProbeAck re-admits a dead peer and resyncs the go-back-N
+// numbering: abandoned packets consumed sequence numbers the receiver
+// never saw; the probe ACK carries the receiver's next expected
+// sequence (and its boot epoch — a rebooted peer triggers a rewind
+// instead).
+func (n *NIC) handleProbeAck(p *sim.Proc, pkt *fabric.Packet) {
+	n.cpu.Use(p, 1, n.prof.MCPAckProc)
+	f := n.flowTo(pkt.Src)
+	if n.noteEpoch(p, f, pkt.Epoch) {
+		return
+	}
+	if len(f.unacked) == 0 {
+		f.nextSeq = pkt.AckSeq
+	}
+	n.markPeerUp(f)
+}
+
 func (n *NIC) handleAck(p *sim.Proc, pkt *fabric.Packet) {
 	n.cpu.Use(p, 1, n.prof.MCPAckProc)
 	f := n.flowTo(pkt.Src)
+	if n.noteEpoch(p, f, pkt.Epoch) {
+		return
+	}
 	progress := false
 	for len(f.unacked) > 0 && f.unacked[0].pkt.Seq <= pkt.AckSeq {
 		pd := f.unacked[0]
@@ -748,8 +888,20 @@ func (n *NIC) handleAck(p *sim.Proc, pkt *fabric.Packet) {
 		if pd.sram > 0 {
 			n.sram.Release(pd.sram)
 		}
-		if pd.lastFrag && !pd.desc.NoEvent {
-			n.postEvent(p, pd.desc.SrcPort, EvSendDone, pd.desc, 0)
+		if n.cfg.AdaptiveRTO && !pd.retx {
+			n.rttSample(f, p.Now()-pd.sentAt)
+		}
+		if pd.lastFrag {
+			// A rewind-replay can put two lastFrag pendings of the same
+			// tracked message in flight; completion is first-wins via
+			// inflight. Untracked kinds (RMA reads, collective forwards)
+			// are never replayed, so they complete unconditionally.
+			tracked := pd.desc.Kind == DescData || pd.desc.Kind == DescRMAWrite
+			_, live := f.inflight[pd.pkt.MsgID]
+			n.retireSend(f, pd.pkt.MsgID)
+			if (!tracked || live) && !pd.desc.NoEvent {
+				n.postEvent(p, pd.desc.SrcPort, EvSendDone, pd.desc, 0)
+			}
 		}
 	}
 	if progress {
@@ -768,6 +920,9 @@ func (n *NIC) handleNack(p *sim.Proc, pkt *fabric.Packet) {
 	n.cpu.Use(p, 1, n.prof.MCPAckProc)
 	n.stats.NACKs++
 	f := n.flowTo(pkt.Src)
+	if n.noteEpoch(p, f, pkt.Epoch) {
+		return
+	}
 	if len(f.unacked) == 0 {
 		return
 	}
@@ -794,6 +949,9 @@ func (n *NIC) handleData(p *sim.Proc, pkt *fabric.Packet) {
 	}
 	f := n.flowFrom(pkt.Src)
 	if n.cfg.Reliable {
+		if !n.rxEpochAdmit(pkt, f) {
+			return
+		}
 		if pkt.Seq < f.expect {
 			// Duplicate of something already delivered: re-ACK.
 			n.stats.SeqDrops++
@@ -801,8 +959,20 @@ func (n *NIC) handleData(p *sim.Proc, pkt *fabric.Packet) {
 			return
 		}
 		if pkt.Seq > f.expect {
-			// Gap: go-back-N discards until the sender rewinds.
+			// Gap: go-back-N discards until the sender rewinds. After
+			// OUR reboot the gap is permanent (the sender's window ran
+			// past our restarted numbering), so ask for a rewind.
 			n.stats.SeqDrops++
+			n.maybeResync(p, f)
+			return
+		}
+		if f.done[pkt.MsgID] {
+			// A journal replay (sender reboot) or rewind overlap is
+			// re-sending a message we already delivered: swallow it in
+			// sequence — ACK, but never re-deliver. Exactly-once.
+			n.stats.DupMsgDrops++
+			f.expect++
+			n.sendAck(p, pkt.Src, pkt.Seq)
 			return
 		}
 	}
@@ -863,10 +1033,30 @@ func (n *NIC) handleData(p *sim.Proc, pkt *fabric.Packet) {
 		n.sendAck(p, pkt.Src, pkt.Seq)
 	}
 
-	asm.got++
+	// Count first receipts only: a rewind-replay from a peer-reboot
+	// resync can overlap fragments the original pipeline already
+	// delivered (same message id, fresh sequence numbers).
+	if pkt.FragIdx >= 0 && pkt.FragIdx < len(asm.gotSet) && !asm.gotSet[pkt.FragIdx] {
+		asm.gotSet[pkt.FragIdx] = true
+		asm.got++
+	}
 	if asm.got == asm.frags {
 		delete(f.asm, pkt.MsgID)
 		n.stats.MsgsReceived++
+		if n.cfg.Reliable {
+			n.markDone(f, pkt.MsgID)
+		}
+		if n.Journal != nil {
+			// The posting is consumed only now that the message is
+			// whole: a crash mid-assembly replays the posting and the
+			// sender's rewind re-delivers into it from fragment zero.
+			switch {
+			case asm.sysBuf:
+				n.Journal.SysConsumed(asm.port.ID, asm.desc.VA)
+			case asm.recvEvent:
+				n.Journal.RecvConsumed(asm.port.ID, asm.channel)
+			}
+		}
 		if pkt.Born > 0 {
 			n.Obs.Observe(n.node, "nic", "msg_latency_ns", int64(n.env.Now()-pkt.Born))
 		}
@@ -895,7 +1085,10 @@ func (n *NIC) assemblyFor(p *sim.Proc, f *rxFlow, pkt *fabric.Packet) (*rxAssemb
 	if !ok {
 		return nil, fmt.Errorf("nic%d: port %d not registered", n.node, pkt.DstPort)
 	}
-	asm := &rxAssembly{port: port, frags: pkt.Frags, recvEvent: true}
+	asm := &rxAssembly{
+		port: port, channel: pkt.Channel, frags: pkt.Frags,
+		gotSet: make([]bool, pkt.Frags), recvEvent: true,
+	}
 
 	switch {
 	case pkt.Kind == fabric.KindRMAWrite:
@@ -979,20 +1172,20 @@ func (n *NIC) handleProbe(p *sim.Proc, pkt *fabric.Packet) {
 	n.cpu.Use(p, 1, n.prof.MCPAckProc)
 	ack := &fabric.Packet{
 		Kind: fabric.KindProbeAck, Src: n.node, Dst: pkt.Src,
-		AckSeq: n.flowFrom(pkt.Src).expect,
+		AckSeq: n.flowFrom(pkt.Src).expect, Epoch: n.bootEpoch,
 	}
 	ack.Seal()
 	n.ep.Inject(p, ack)
 }
 
 func (n *NIC) sendAck(p *sim.Proc, dst int, seq uint64) {
-	ack := &fabric.Packet{Kind: fabric.KindAck, Src: n.node, Dst: dst, AckSeq: seq}
+	ack := &fabric.Packet{Kind: fabric.KindAck, Src: n.node, Dst: dst, AckSeq: seq, Epoch: n.bootEpoch}
 	ack.Seal()
 	n.ep.Inject(p, ack)
 }
 
 func (n *NIC) sendNack(p *sim.Proc, cause *fabric.Packet) {
-	nack := &fabric.Packet{Kind: fabric.KindNack, Src: n.node, Dst: cause.Src, AckSeq: cause.Seq}
+	nack := &fabric.Packet{Kind: fabric.KindNack, Src: n.node, Dst: cause.Src, AckSeq: cause.Seq, Epoch: n.bootEpoch}
 	nack.Seal()
 	n.ep.Inject(p, nack)
 }

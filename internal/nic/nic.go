@@ -67,6 +67,14 @@ type Config struct {
 	// card drains descriptors in strict cross-ring arrival order, one
 	// whole message at a time — the single-tenant behaviour.
 	QoS bool
+
+	// AdaptiveRTO replaces the fixed retransmit-timeout base with a
+	// Jacobson-style estimate (srtt + 4*rttvar) fed by per-peer RTT
+	// samples (Karn's rule: retransmitted packets never contribute).
+	// The estimator also detects gray failures — a flow whose smoothed
+	// RTT blows past its baseline by GrayRTTFactor is steered onto the
+	// alternate rail via the Steer hook when one is wired.
+	AdaptiveRTO bool
 }
 
 // DescKind discriminates send descriptors.
@@ -278,6 +286,18 @@ type Stats struct {
 	PeerDeaths     uint64 // Up/Suspect -> Dead transitions
 	PeerRecoveries uint64 // Dead/Probing -> Up transitions
 
+	// Firmware survivability.
+	FwCrashes     uint64 // firmware crashes injected
+	NICReboots    uint64 // watchdog-driven reboots completed
+	DeadDrops     uint64 // RX packets discarded while the firmware was dead
+	EpochResets   uint64 // receiver flow resets after a sender reboot
+	ResyncsSent   uint64 // RESYNC packets sent from a rebooted receiver
+	ResyncRewinds uint64 // sender flows rewound+replayed after a peer reboot
+	DupMsgDrops   uint64 // replayed messages swallowed by the done-ring
+	RTTSamples    uint64 // Karn-clean RTT samples folded into the estimator
+	RTOAdapted    uint64 // retransmit timers armed from the adaptive base
+	GrayFailovers uint64 // flows steered onto the alternate rail (gray RTT)
+
 	// Collective offload engine.
 	CollMcasts       uint64 // multicast descriptors injected by hosts
 	CollCombines     uint64 // combine contributions (host + network)
@@ -339,6 +359,25 @@ type NIC struct {
 	// latency histogram. A nil Obs records nothing.
 	Obs *obs.Obs
 
+	// Journal, when set (the kernel wires it via AttachNIC), mirrors
+	// the NIC's control-plane state into host memory so a firmware
+	// reboot can be replayed — the "NIC as part of the OS" discipline.
+	// Every record originates from a kernel trap or a firmware
+	// completion, so journaling costs no extra virtual time. A nil
+	// Journal records nothing (the NIC is then immortal-or-lossy).
+	Journal Journal
+
+	// Steer, when set, receives gray-failure rail-steering requests
+	// from the adaptive-RTO estimator (the hetero dual-rail fabric
+	// implements it). A nil Steer disables failover steering.
+	Steer RailSteer
+
+	// Firmware survivability state (see survive.go).
+	fwDead    bool     // firmware crashed and not yet rebooted
+	bootEpoch uint32   // increments on every reboot; stamped on all TX packets
+	crashedAt sim.Time // virtual instant of the last crash
+	lastBeat  sim.Time // last heartbeat the firmware wrote to its status word
+
 	tlb *nicTLB
 
 	stats Stats
@@ -374,6 +413,8 @@ func New(env *sim.Env, prof *hw.Profile, cfg Config, node int, ep *fabric.Endpoi
 		rx:     make(map[int]*rxFlow),
 		colls:  make(map[int]*CollCtx),
 		tlb:    newNICTLB(cfg.TLBEntries),
+
+		bootEpoch: 1,
 	}
 	n.sendWork = sim.NewCond(env)
 	env.Go(fmt.Sprintf("nic%d/send-engine", node), n.sendEngine)
@@ -389,6 +430,11 @@ func (n *NIC) Node() int { return n.node }
 
 // Stats returns a snapshot of the NIC counters.
 func (n *NIC) Stats() Stats { return n.stats }
+
+// SRAMInUse reports the bytes of NIC SRAM currently held (staging
+// buffers of in-flight fragments and collective slots) — zero when the
+// card is quiescent, which leak tests assert.
+func (n *NIC) SRAMInUse() int { return n.sram.InUse() }
 
 // Collect publishes every NIC counter into a metrics snapshot under
 // layer "nic". Pull-model: the registry calls this at snapshot time,
@@ -421,6 +467,16 @@ func (n *NIC) Collect(set obs.Set) {
 		{"probes", s.Probes},
 		{"peer_deaths", s.PeerDeaths},
 		{"peer_recoveries", s.PeerRecoveries},
+		{"fw_crashes", s.FwCrashes},
+		{"nic_reboots", s.NICReboots},
+		{"dead_drops", s.DeadDrops},
+		{"epoch_resets", s.EpochResets},
+		{"resyncs_sent", s.ResyncsSent},
+		{"resync_rewinds", s.ResyncRewinds},
+		{"dup_msg_drops", s.DupMsgDrops},
+		{"rtt_samples", s.RTTSamples},
+		{"rto_adapted", s.RTOAdapted},
+		{"gray_failovers", s.GrayFailovers},
 		{"coll_mcasts", s.CollMcasts},
 		{"coll_combines", s.CollCombines},
 		{"coll_forwards", s.CollForwards},
@@ -588,6 +644,15 @@ func (n *NIC) postDesc(d *SendDesc) {
 	n.arriveSeq++
 	d.arrival = n.arriveSeq
 	r.q = append(r.q, d)
+	// Journal the posting so a firmware reboot can replay it. RMA read
+	// requests are excluded: replaying one would fabricate a second
+	// reply at the target, and the initiator's reply channel is only
+	// armed once (documented limitation — an RMA read in flight across
+	// a firmware crash surfaces as a library-level timeout, not silent
+	// loss).
+	if n.Journal != nil && d.Kind != DescRMARead {
+		n.Journal.SendPosted(d)
+	}
 	n.sendWork.Broadcast()
 }
 

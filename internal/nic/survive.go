@@ -1,0 +1,523 @@
+package nic
+
+import (
+	"fmt"
+	"sort"
+
+	"bcl/internal/fabric"
+	"bcl/internal/mem"
+	"bcl/internal/sim"
+)
+
+// This file is the firmware survivability layer: the MCP crash/reboot
+// lifecycle, the boot-epoch resync protocol that preserves exactly-once
+// delivery across a reboot, and the Jacobson-style adaptive-RTO / gray
+// failure estimator.
+//
+// The design follows the "NIC as part of the OS" discipline: every
+// piece of control-plane state the firmware holds in SRAM (port tables,
+// receive postings, collective contexts, unacknowledged sends) entered
+// it through a kernel trap, so the kernel can journal it in host memory
+// as it flows past — at zero extra virtual time — and replay it into a
+// freshly rebooted firmware. What cannot be replayed from the host
+// (go-back-N window positions, partially assembled messages) is instead
+// re-derived by the epoch protocol: the rebooted NIC stamps a bumped
+// boot epoch on every packet, peers detect the jump, rewind their flows
+// to sequence zero and replay their own in-flight messages, and the
+// receiver's done-ring swallows anything that was already delivered.
+
+// Journal mirrors NIC control-plane state into host memory. The kernel
+// implements it (oskernel.NICShadow); all methods are bookkeeping only
+// and must not block or consume virtual time.
+type Journal interface {
+	// SendPosted records a send descriptor entering the card; it may be
+	// called again for the same MsgID on a rewind replay (idempotent).
+	SendPosted(d *SendDesc)
+	// SendRetired marks a send complete (acked, failed, or abandoned):
+	// the journal must not replay it after a reboot.
+	SendRetired(msgID uint64)
+	// RecvConsumed marks a normal-channel posting consumed by a fully
+	// assembled message (partial assemblies keep the posting journaled
+	// so a reboot re-arms it and the sender's rewind refills it).
+	RecvConsumed(port, channel int)
+	// SysConsumed marks the system-pool buffer at va consumed.
+	SysConsumed(port int, va mem.VAddr)
+	// MsgDone mirrors the receiver's done-ring: msgID from src has been
+	// delivered to the host exactly once.
+	MsgDone(src int, msgID uint64)
+}
+
+// RailSteer is the gray-failure steering hook: while prefer is set,
+// packets src->dst should ride the alternate rail. The hetero dual-rail
+// fabric implements it.
+type RailSteer interface {
+	PreferAlternate(src, dst int, prefer bool)
+}
+
+// sortedInts returns the keys of an int-keyed map in ascending order,
+// so teardown and replay walks stay deterministic.
+func sortedInts[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ------------------------------------------------------ crash lifecycle
+
+// CrashFirmware kills the MCP at the current instant: engines stop
+// consuming work, incoming packets fall on the floor, and every SRAM
+// timer dies with the firmware. Host-visible structures (the Port
+// identities and their event queues, which library pumps block on)
+// survive — they live in pinned host memory. Idempotent while dead.
+func (n *NIC) CrashFirmware() {
+	if n.fwDead {
+		return
+	}
+	n.fwDead = true
+	n.crashedAt = n.env.Now()
+	n.stats.FwCrashes++
+	now := n.crashedAt
+	n.Tracer.Add("nic: firmware crash", n.where(), now, now)
+	n.Obs.Event(now, n.node, "nic", "nic-crash", 0, fmt.Sprintf("epoch=%d", n.bootEpoch))
+	for _, dst := range sortedInts(n.tx) {
+		f := n.tx[dst]
+		if f.timer != nil {
+			f.timer.Cancel()
+			f.timer = nil
+		}
+		if f.probeTimer != nil {
+			f.probeTimer.Cancel()
+			f.probeTimer = nil
+		}
+		if f.grayTimer != nil {
+			f.grayTimer.Cancel()
+			f.grayTimer = nil
+		}
+		if f.grayOn {
+			// The steering preference is firmware state; the fabric-side
+			// entry would otherwise outlive the estimator that set it.
+			f.grayOn = false
+			if n.Steer != nil {
+				n.Steer.PreferAlternate(n.node, f.dst, false)
+			}
+		}
+	}
+	for _, id := range sortedInts(n.colls) {
+		ctx := n.colls[id]
+		for _, seq := range sortedKeys(ctx.own) {
+			if oc := ctx.own[seq]; oc.timer != nil {
+				oc.timer.Cancel()
+				oc.timer = nil
+			}
+		}
+	}
+}
+
+// CrashAt schedules a firmware crash at virtual time t (the fault
+// injector the chaos harness drives).
+func (n *NIC) CrashAt(t sim.Time) {
+	n.env.At(t, func() { n.CrashFirmware() })
+}
+
+// FirmwareDead reports whether the MCP is currently crashed.
+func (n *NIC) FirmwareDead() bool { return n.fwDead }
+
+// BootEpoch returns the current firmware boot epoch (1 = never
+// rebooted).
+func (n *NIC) BootEpoch() uint32 { return n.bootEpoch }
+
+// LastHeartbeat returns the last instant the firmware refreshed its
+// status word; the kernel watchdog reads it over PIO.
+func (n *NIC) LastHeartbeat() sim.Time { return n.lastBeat }
+
+// StartHeartbeat spawns the firmware heartbeat process: while alive the
+// MCP refreshes its status word every MCPHeartbeatInterval; a crashed
+// firmware stops, which is what the kernel watchdog detects.
+func (n *NIC) StartHeartbeat() {
+	interval := n.prof.MCPHeartbeatInterval
+	if interval <= 0 {
+		interval = 200 * sim.Microsecond
+	}
+	n.lastBeat = n.env.Now()
+	n.env.Go(fmt.Sprintf("nic%d/heartbeat", n.node), func(p *sim.Proc) {
+		for {
+			p.Sleep(interval)
+			if !n.fwDead {
+				n.lastBeat = p.Now()
+			}
+		}
+	})
+}
+
+// BeginReboot wipes every SRAM-resident structure, as the hardware
+// reset does: flows, windows, assemblies, collective contexts, send
+// rings, channel tables and the translation cache. The kernel calls it
+// after the firmware image reload, then replays its journal, then
+// FinishReboot.
+func (n *NIC) BeginReboot() {
+	for _, dst := range sortedInts(n.tx) {
+		f := n.tx[dst]
+		if f.timer != nil {
+			f.timer.Cancel()
+		}
+		if f.probeTimer != nil {
+			f.probeTimer.Cancel()
+		}
+		if f.grayTimer != nil {
+			f.grayTimer.Cancel()
+		}
+		for _, pd := range f.unacked {
+			if pd.sram > 0 {
+				n.sram.Release(pd.sram)
+			}
+		}
+		f.unacked = nil
+		// Window waiters blocked on the dead flow re-check flow identity
+		// after waking and bail out (their epoch died with the SRAM).
+		n.wakeWindow(f)
+	}
+	n.tx = make(map[int]*txFlow)
+	n.rx = make(map[int]*rxFlow)
+	for _, id := range sortedInts(n.colls) {
+		ctx := n.colls[id]
+		for _, seq := range sortedKeys(ctx.combs) {
+			if st := ctx.combs[seq]; st.sram > 0 {
+				n.sram.Release(st.sram)
+			}
+		}
+		for _, seq := range sortedKeys(ctx.own) {
+			oc := ctx.own[seq]
+			if oc.timer != nil {
+				oc.timer.Cancel()
+			}
+			if oc.sram > 0 {
+				n.sram.Release(oc.sram)
+			}
+		}
+	}
+	n.colls = make(map[int]*CollCtx)
+	n.rings = make(map[int]*sendRing)
+	n.ringOrder = nil
+	n.rrPos = 0
+	for _, id := range sortedInts(n.ports) {
+		pt := n.ports[id]
+		pt.normal = make(map[int]*RecvDesc)
+		pt.open = make(map[int]*RecvDesc)
+		for {
+			if _, ok := pt.system.TryRecv(); !ok {
+				break
+			}
+		}
+	}
+	n.tlb = newNICTLB(n.cfg.TLBEntries)
+	// nextID survives: message ids are allocated by the host library
+	// (NextMsgID from trap context), so a reboot must not reuse ids the
+	// receivers' done-rings still remember.
+}
+
+// FinishReboot brings the replayed firmware back online under a bumped
+// boot epoch. Peers discover the new epoch from our packets (or our
+// RESYNC requests) and rewind their flows.
+func (n *NIC) FinishReboot() {
+	n.bootEpoch++
+	n.fwDead = false
+	n.stats.NICReboots++
+	now := n.env.Now()
+	n.lastBeat = now
+	if n.crashedAt > 0 {
+		n.Obs.Observe(n.node, "nic", "recovery_latency_ns", int64(now-n.crashedAt))
+	}
+	n.Tracer.Add("nic: firmware reboot", n.where(), n.crashedAt, now)
+	n.Obs.Event(now, n.node, "nic", "nic-reboot", 0,
+		fmt.Sprintf("epoch=%d recovery=%dus", n.bootEpoch, (now-n.crashedAt)/sim.Microsecond))
+	n.sendWork.Broadcast()
+}
+
+// ------------------------------------------------------- kernel replay
+
+// ReprogramPort restores a port's send ring and WRR weight during the
+// kernel's recovery replay (RegisterPort would reject the live Port).
+func (n *NIC) ReprogramPort(id, weight int) {
+	if _, ok := n.ports[id]; !ok {
+		return
+	}
+	if _, ok := n.rings[id]; !ok {
+		n.addRing(id, 1)
+	}
+	n.SetPortWeight(id, weight)
+}
+
+// RestoreRxDone reloads the done-ring for one source flow from the
+// kernel journal, so replayed sends from a peer are still swallowed
+// after our own reboot wiped the in-SRAM ring.
+func (n *NIC) RestoreRxDone(src int, ids []uint64) {
+	f := n.flowFrom(src)
+	for _, id := range ids {
+		if f.done == nil {
+			f.done = make(map[uint64]bool)
+		}
+		if !f.done[id] {
+			f.done[id] = true
+			f.doneOrder = append(f.doneOrder, id)
+		}
+	}
+}
+
+// RepostSend re-enters a journaled, unretired send descriptor into the
+// send path during recovery replay. The descriptor is cloned so a
+// stale pre-crash pipeline reference can never race the replay.
+func (n *NIC) RepostSend(d *SendDesc) {
+	n.postDesc(cloneDesc(d))
+}
+
+// cloneDesc shallow-copies a send descriptor for replay; postDesc
+// restamps the arrival order.
+func cloneDesc(d *SendDesc) *SendDesc {
+	c := *d
+	return &c
+}
+
+// retireSend marks a message complete for both the flow's rewind set
+// and the kernel journal. f may be nil (or the message untracked);
+// every completion path funnels through here so completion is
+// first-wins.
+func (n *NIC) retireSend(f *txFlow, msgID uint64) {
+	if f != nil && f.inflight != nil {
+		delete(f.inflight, msgID)
+	}
+	if n.Journal != nil {
+		n.Journal.SendRetired(msgID)
+	}
+}
+
+// markDone records a completed message in the receiver's done-ring and
+// mirrors it into the kernel journal.
+func (n *NIC) markDone(f *rxFlow, msgID uint64) {
+	if f.done == nil {
+		f.done = make(map[uint64]bool)
+	}
+	f.done[msgID] = true
+	f.doneOrder = append(f.doneOrder, msgID)
+	if len(f.doneOrder) > rxDoneRing {
+		old := f.doneOrder[0]
+		f.doneOrder = f.doneOrder[1:]
+		delete(f.done, old)
+	}
+	if n.Journal != nil {
+		n.Journal.MsgDone(f.src, msgID)
+	}
+}
+
+// ------------------------------------------------------ epoch protocol
+
+// noteEpoch processes the peer boot epoch stamped on a control packet
+// (ACK/NACK/probe-ACK) at the sender. Returns true when the packet must
+// be discarded: either it is stale (pre-reboot), or it just triggered a
+// rewind and its sequence numbers belong to the dead epoch.
+func (n *NIC) noteEpoch(p *sim.Proc, f *txFlow, epoch uint32) bool {
+	if epoch == 0 || epoch == f.peerEpoch {
+		return false
+	}
+	if f.peerEpoch == 0 {
+		f.peerEpoch = epoch
+		return false
+	}
+	if epoch < f.peerEpoch {
+		return true // stale control packet from before the peer's reboot
+	}
+	f.peerEpoch = epoch
+	n.resyncFlow(p, f)
+	return true
+}
+
+// rxEpochAdmit processes the sender boot epoch stamped on an in-order
+// delivery packet at the receiver. Returns false when the packet is
+// stale and must be dropped; a newer epoch resets the flow's numbering
+// (the sender rebooted and restarted from sequence zero).
+func (n *NIC) rxEpochAdmit(pkt *fabric.Packet, f *rxFlow) bool {
+	if pkt.Epoch == 0 || pkt.Epoch == f.srcEpoch {
+		return true
+	}
+	if pkt.Epoch < f.srcEpoch {
+		n.stats.SeqDrops++
+		return false
+	}
+	if f.srcEpoch != 0 {
+		// In-progress assemblies and the done-ring survive the reset:
+		// the rebooted sender's journal replay re-delivers partially
+		// assembled messages from fragment zero (the bitmap dedups) and
+		// the done-ring swallows completed ones.
+		f.expect = 0
+		n.stats.EpochResets++
+		n.Obs.Event(n.env.Now(), n.node, "nic", "epoch-reset", pkt.Trace,
+			fmt.Sprintf("src=%d epoch %d -> %d", f.src, f.srcEpoch, pkt.Epoch))
+	}
+	f.srcEpoch = pkt.Epoch
+	return true
+}
+
+// maybeResync asks a sender to rewind. After OUR reboot the expected
+// sequence restarted at zero, but a sender that never crashed keeps
+// (re)transmitting from its old window, which now looks like a
+// permanent gap. Only a rebooted receiver ever sends RESYNC
+// (bootEpoch > 1), so runs without firmware faults stay packet-for-
+// packet identical to before this protocol existed.
+func (n *NIC) maybeResync(p *sim.Proc, f *rxFlow) {
+	if n.bootEpoch <= 1 || f.srcEpoch == 0 {
+		return
+	}
+	now := n.env.Now()
+	if f.lastResync != 0 && now-f.lastResync < n.prof.RetransmitTimeout/2 {
+		return
+	}
+	f.lastResync = now
+	n.stats.ResyncsSent++
+	n.Obs.Event(now, n.node, "nic", "resync", 0,
+		fmt.Sprintf("src=%d expect=%d epoch=%d", f.src, f.expect, n.bootEpoch))
+	rs := &fabric.Packet{
+		Kind: fabric.KindResync, Src: n.node, Dst: f.src,
+		AckSeq: f.expect, Epoch: n.bootEpoch,
+	}
+	rs.Seal()
+	n.ep.Inject(p, rs)
+}
+
+// handleResync services a peer's rewind request at the sender.
+func (n *NIC) handleResync(p *sim.Proc, pkt *fabric.Packet) {
+	n.cpu.Use(p, 1, n.prof.MCPAckProc)
+	f := n.flowTo(pkt.Src)
+	if pkt.Epoch != 0 && pkt.Epoch < f.peerEpoch {
+		return // stale: the peer rebooted again since sending this
+	}
+	if pkt.Epoch != 0 && pkt.Epoch > f.peerEpoch {
+		f.peerEpoch = pkt.Epoch
+		n.resyncFlow(p, f)
+		return
+	}
+	// Same epoch: only rewind when our window has genuinely run past
+	// the receiver (a duplicate RESYNC after a completed rewind, or a
+	// lost-RESYNC retry, lands here harmlessly).
+	if len(f.unacked) > 0 && f.unacked[0].pkt.Seq > pkt.AckSeq {
+		n.resyncFlow(p, f)
+	}
+}
+
+// resyncFlow rewinds a sender flow after its peer's firmware rebooted:
+// the peer's receive window restarted at sequence zero, so every
+// unacknowledged packet is void. In-flight data/RMA-write messages are
+// replayed from fragment zero through the normal send pipeline (the
+// receiver's done-ring and fragment bitmap keep delivery exactly-once);
+// retained collective forwards re-inject their pristine packets via the
+// collective engine.
+func (n *NIC) resyncFlow(p *sim.Proc, f *txFlow) {
+	n.stats.ResyncRewinds++
+	now := n.env.Now()
+	n.Tracer.Add("nic: epoch resync", n.where(), now, now)
+	n.Obs.Event(now, n.node, "nic", "resync-rewind", 0,
+		fmt.Sprintf("dst=%d epoch=%d msgs=%d", f.dst, f.peerEpoch, len(f.inflight)))
+	if f.timer != nil {
+		f.timer.Cancel()
+		f.timer = nil
+	}
+	f.retries = 0
+	var resend []*pending
+	for _, pd := range f.unacked {
+		if pd.desc.Kind == DescCollMcast || pd.desc.Kind == DescCollComb {
+			resend = append(resend, pd) // SRAM rides along to the coll engine
+			continue
+		}
+		if pd.sram > 0 {
+			n.sram.Release(pd.sram)
+		}
+	}
+	f.unacked = nil
+	f.nextSeq = 0
+	// Re-admit the peer before reposting, or the replay would fail fast
+	// against the Dead belief its own crash produced.
+	n.markPeerUp(f)
+	live := f.order[:0]
+	for _, id := range f.order {
+		d, ok := f.inflight[id]
+		if !ok {
+			continue
+		}
+		live = append(live, id)
+		n.postDesc(cloneDesc(d))
+	}
+	f.order = live
+	for _, pd := range resend {
+		n.collQ.Post(collJob{
+			kind: collJobResend, desc: pd.desc, pkt: pd.pkt,
+			sram: pd.sram, epoch: n.bootEpoch,
+		})
+	}
+}
+
+// --------------------------------------------- adaptive RTO / gray RTT
+
+// rttSample folds one Karn-clean RTT sample into the flow's Jacobson
+// estimator and checks the gray-failure trip wire.
+func (n *NIC) rttSample(f *txFlow, s sim.Time) {
+	if s <= 0 {
+		return
+	}
+	n.stats.RTTSamples++
+	if f.baseRTT == 0 || (s < f.baseRTT && !f.grayOn) {
+		// Best observed RTT is the gray baseline; frozen while steered
+		// so the (possibly faster) alternate rail cannot redefine the
+		// primary's baseline.
+		f.baseRTT = s
+	}
+	if f.srtt == 0 {
+		f.srtt = s
+		f.rttvar = s / 2
+	} else {
+		diff := s - f.srtt
+		if diff < 0 {
+			diff = -diff
+		}
+		f.rttvar += (diff - f.rttvar) / 4
+		f.srtt += (s - f.srtt) / 8
+	}
+	n.grayCheck(f)
+}
+
+// grayCheck trips gray-failure steering: a flow whose smoothed RTT
+// blows past its baseline by GrayRTTFactor is degraded-but-alive (no
+// retry exhaustion, just a collapsing tail), so prefer the alternate
+// rail for a hold period, then restore and re-learn.
+func (n *NIC) grayCheck(f *txFlow) {
+	if n.Steer == nil || f.grayOn || f.baseRTT == 0 {
+		return
+	}
+	factor := n.prof.GrayRTTFactor
+	if factor <= 0 {
+		factor = 4
+	}
+	if f.srtt <= f.baseRTT*sim.Time(factor) {
+		return
+	}
+	f.grayOn = true
+	n.stats.GrayFailovers++
+	now := n.env.Now()
+	n.Tracer.Add("nic: gray failover", n.where(), now, now)
+	n.Obs.Event(now, n.node, "nic", "gray-failover", 0,
+		fmt.Sprintf("dst=%d srtt=%dus base=%dus", f.dst,
+			f.srtt/sim.Microsecond, f.baseRTT/sim.Microsecond))
+	n.Steer.PreferAlternate(n.node, f.dst, true)
+	hold := n.prof.GraySteerHold
+	if hold <= 0 {
+		hold = 10 * sim.Millisecond
+	}
+	f.grayTimer = n.env.After(hold, func() {
+		f.grayTimer = nil
+		f.grayOn = false
+		f.srtt, f.rttvar = 0, 0 // re-learn on the restored primary
+		n.Steer.PreferAlternate(n.node, f.dst, false)
+		n.Obs.Event(n.env.Now(), n.node, "nic", "gray-restore", 0,
+			fmt.Sprintf("dst=%d", f.dst))
+	})
+}

@@ -1,0 +1,494 @@
+package nic
+
+import (
+	"bytes"
+	"testing"
+
+	"bcl/internal/fabric"
+	"bcl/internal/mem"
+	"bcl/internal/sim"
+)
+
+// testJournal is a rig-level stand-in for the kernel's NIC shadow: it
+// records just enough to drive a manual recovery replay in tests.
+type testJournal struct {
+	sends   []*SendDesc
+	sendIdx map[uint64]int
+	retired map[uint64]bool
+	rxDone  map[int][]uint64
+}
+
+func newTestJournal() *testJournal {
+	return &testJournal{
+		sendIdx: make(map[uint64]int),
+		retired: make(map[uint64]bool),
+		rxDone:  make(map[int][]uint64),
+	}
+}
+
+func (j *testJournal) SendPosted(d *SendDesc) {
+	if _, ok := j.sendIdx[d.MsgID]; ok {
+		return
+	}
+	j.sendIdx[d.MsgID] = len(j.sends)
+	j.sends = append(j.sends, d)
+}
+func (j *testJournal) SendRetired(msgID uint64)      { j.retired[msgID] = true }
+func (j *testJournal) RecvConsumed(port, ch int)     {}
+func (j *testJournal) SysConsumed(p int, v mem.VAddr) {}
+func (j *testJournal) MsgDone(src int, msgID uint64) {
+	j.rxDone[src] = append(j.rxDone[src], msgID)
+}
+
+// TestReceiverCrashRecoveryLargeMessage crashes the receiver's firmware
+// in the middle of a fragmented transfer. After a manual kernel-style
+// recovery (reboot, replay the port and the receive posting) the epoch
+// protocol must rewind the sender and redeliver the message exactly
+// once, byte-identical.
+func TestReceiverCrashRecoveryLargeMessage(t *testing.T) {
+	r := newRig(t, bclConfig())
+	payload := make([]byte, 128*1024)
+	r.env.Rand().Fill(payload)
+	_, sseg := r.pinnedSegs(t, 0, payload)
+	rva, rseg := r.recvBuf(t, 1, len(payload))
+	sp := r.nics[0].RegisterPort(1)
+	rp := r.nics[1].RegisterPort(2)
+	if err := r.nics[1].PostRecv(2, 1, &RecvDesc{Len: len(payload), Segs: rseg, VA: rva}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash mid-transfer (a 128 KiB message needs ~800 µs of wire time),
+	// then recover as the kernel watchdog would: reboot, reprogram the
+	// port, re-arm the unconsumed posting, come back under a new epoch.
+	r.nics[1].CrashAt(300 * sim.Microsecond)
+	r.env.At(800*sim.Microsecond, func() {
+		r.nics[1].BeginReboot()
+		r.nics[1].ReprogramPort(2, 1)
+		if err := r.nics[1].PostRecv(2, 1, &RecvDesc{Len: len(payload), Segs: rseg, VA: rva}); err != nil {
+			t.Errorf("replay PostRecv: %v", err)
+		}
+		r.nics[1].FinishReboot()
+	})
+
+	sendEvents, recvEvents := 0, 0
+	r.env.Go("sender", func(p *sim.Proc) {
+		r.nics[0].PostSend(p, &SendDesc{
+			Kind: DescData, MsgID: r.nics[0].NextMsgID(), SrcPort: 1,
+			DstNode: 1, DstPort: 2, Channel: 1, Len: len(payload), Segs: sseg,
+		})
+		for {
+			ev := sp.SendEvQ.Recv(p)
+			if ev.Type == EvSendFailed {
+				t.Errorf("send failed: %+v", ev)
+			}
+			sendEvents++
+		}
+	})
+	r.env.Go("receiver", func(p *sim.Proc) {
+		for {
+			rp.RecvEvQ.Recv(p)
+			recvEvents++
+		}
+	})
+	r.env.RunUntil(100 * sim.Millisecond)
+
+	if recvEvents != 1 {
+		t.Fatalf("receive completions = %d, want exactly 1", recvEvents)
+	}
+	if sendEvents != 1 {
+		t.Fatalf("send completions = %d, want exactly 1", sendEvents)
+	}
+	got, _ := r.space[1].Read(rva, len(payload))
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload not byte-identical after crash recovery")
+	}
+	rst := r.nics[1].Stats()
+	if rst.FwCrashes != 1 || rst.NICReboots != 1 {
+		t.Fatalf("crash/reboot counts = %d/%d, want 1/1", rst.FwCrashes, rst.NICReboots)
+	}
+	if rst.ResyncsSent == 0 {
+		t.Fatal("rebooted receiver never requested a resync")
+	}
+	if sst := r.nics[0].Stats(); sst.ResyncRewinds == 0 {
+		t.Fatal("sender never rewound its flow")
+	}
+	for i, n := range r.nics {
+		if got := n.sram.InUse(); got != 0 {
+			t.Fatalf("nic%d SRAM leak: %d bytes in use", i, got)
+		}
+	}
+}
+
+// TestDoneRingSwallowsReplayAfterCrash covers the nastiest exactly-once
+// corner: the receiver delivers a message to the host, crashes before
+// the sender sees the ACK, and the sender's post-recovery rewind
+// replays the message. The journal-restored done-ring must swallow the
+// duplicate while still acknowledging it.
+func TestDoneRingSwallowsReplayAfterCrash(t *testing.T) {
+	r := newRig(t, bclConfig())
+	j := newTestJournal()
+	r.nics[1].Journal = j
+
+	// Lose every ACK from the receiver until recovery time, so the
+	// delivery completes at the host but the sender keeps retransmitting.
+	dropAcks := true
+	r.fab.SetFault(func(env *sim.Env, pkt *fabric.Packet) fabric.Verdict {
+		if dropAcks && pkt.Kind == fabric.KindAck && pkt.Src == 1 {
+			return fabric.Drop
+		}
+		return fabric.Deliver
+	})
+
+	payload := []byte("delivered exactly once, even across a reboot")
+	_, sseg := r.pinnedSegs(t, 0, payload)
+	rva, rseg := r.recvBuf(t, 1, 4096)
+	sp := r.nics[0].RegisterPort(1)
+	rp := r.nics[1].RegisterPort(2)
+	r.nics[1].PostRecv(2, 1, &RecvDesc{Len: 4096, Segs: rseg, VA: rva})
+
+	r.nics[1].CrashAt(2 * sim.Millisecond)
+	r.env.At(4*sim.Millisecond, func() {
+		dropAcks = false
+		r.nics[1].BeginReboot()
+		r.nics[1].ReprogramPort(2, 1)
+		// The posting was consumed pre-crash; only the done-ring is
+		// replayed. No receive buffer must be needed to swallow a dup.
+		r.nics[1].RestoreRxDone(0, j.rxDone[0])
+		r.nics[1].FinishReboot()
+	})
+
+	sendEvents, recvEvents := 0, 0
+	r.env.Go("sender", func(p *sim.Proc) {
+		r.nics[0].PostSend(p, &SendDesc{
+			Kind: DescData, MsgID: r.nics[0].NextMsgID(), SrcPort: 1,
+			DstNode: 1, DstPort: 2, Channel: 1, Len: len(payload), Segs: sseg,
+		})
+		for {
+			ev := sp.SendEvQ.Recv(p)
+			if ev.Type == EvSendFailed {
+				t.Errorf("send failed: %+v", ev)
+			}
+			sendEvents++
+		}
+	})
+	r.env.Go("receiver", func(p *sim.Proc) {
+		for {
+			rp.RecvEvQ.Recv(p)
+			recvEvents++
+		}
+	})
+	r.env.RunUntil(100 * sim.Millisecond)
+
+	if recvEvents != 1 {
+		t.Fatalf("receive completions = %d, want exactly 1 (duplicate leaked?)", recvEvents)
+	}
+	if sendEvents != 1 {
+		t.Fatalf("send completions = %d, want exactly 1", sendEvents)
+	}
+	if st := r.nics[1].Stats(); st.DupMsgDrops == 0 {
+		t.Fatal("done-ring never swallowed the replayed message")
+	}
+	got, _ := r.space[1].Read(rva, len(payload))
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted")
+	}
+}
+
+// TestSenderCrashJournalReplay crashes the SENDER mid-transfer and
+// replays its journaled, unretired sends — the kernel-journal half of
+// recovery. The receiver sees a fresh epoch, resets its flow, and the
+// message completes exactly once.
+func TestSenderCrashJournalReplay(t *testing.T) {
+	r := newRig(t, bclConfig())
+	j := newTestJournal()
+	r.nics[0].Journal = j
+
+	payload := make([]byte, 64*1024)
+	r.env.Rand().Fill(payload)
+	_, sseg := r.pinnedSegs(t, 0, payload)
+	rva, rseg := r.recvBuf(t, 1, len(payload))
+	sp := r.nics[0].RegisterPort(1)
+	rp := r.nics[1].RegisterPort(2)
+	r.nics[1].PostRecv(2, 1, &RecvDesc{Len: len(payload), Segs: rseg, VA: rva})
+
+	r.nics[0].CrashAt(200 * sim.Microsecond)
+	r.env.At(700*sim.Microsecond, func() {
+		r.nics[0].BeginReboot()
+		r.nics[0].ReprogramPort(1, 1)
+		for _, d := range j.sends {
+			if !j.retired[d.MsgID] {
+				r.nics[0].RepostSend(d)
+			}
+		}
+		r.nics[0].FinishReboot()
+	})
+
+	sendEvents, recvEvents := 0, 0
+	r.env.Go("sender", func(p *sim.Proc) {
+		r.nics[0].PostSend(p, &SendDesc{
+			Kind: DescData, MsgID: r.nics[0].NextMsgID(), SrcPort: 1,
+			DstNode: 1, DstPort: 2, Channel: 1, Len: len(payload), Segs: sseg,
+		})
+		for {
+			ev := sp.SendEvQ.Recv(p)
+			if ev.Type == EvSendFailed {
+				t.Errorf("send failed: %+v", ev)
+			}
+			sendEvents++
+		}
+	})
+	r.env.Go("receiver", func(p *sim.Proc) {
+		for {
+			rp.RecvEvQ.Recv(p)
+			recvEvents++
+		}
+	})
+	r.env.RunUntil(100 * sim.Millisecond)
+
+	if recvEvents != 1 {
+		t.Fatalf("receive completions = %d, want exactly 1", recvEvents)
+	}
+	if sendEvents != 1 {
+		t.Fatalf("send completions = %d, want exactly 1", sendEvents)
+	}
+	got, _ := r.space[1].Read(rva, len(payload))
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload not byte-identical after sender crash replay")
+	}
+	if st := r.nics[1].Stats(); st.EpochResets == 0 {
+		t.Fatal("receiver never reset the flow for the sender's new epoch")
+	}
+	for i, n := range r.nics {
+		if got := n.sram.InUse(); got != 0 {
+			t.Fatalf("nic%d SRAM leak: %d bytes in use", i, got)
+		}
+	}
+}
+
+// TestAdaptiveRTOSamplesAndAdapts checks the opt-in Jacobson estimator:
+// clean transfers produce RTT samples and adapted timer arms, while the
+// default configuration takes none (fixed ladder preserved).
+func TestAdaptiveRTOSamplesAndAdapts(t *testing.T) {
+	cfg := bclConfig()
+	cfg.AdaptiveRTO = true
+	r := newRig(t, cfg)
+	payload := make([]byte, 16*1024)
+	r.env.Rand().Fill(payload)
+	_, sseg := r.pinnedSegs(t, 0, payload)
+	rva, rseg := r.recvBuf(t, 1, len(payload))
+	r.nics[0].RegisterPort(1)
+	rp := r.nics[1].RegisterPort(2)
+
+	got := 0
+	r.env.Go("driver", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			r.nics[1].PostRecv(2, 1, &RecvDesc{Len: len(payload), Segs: rseg, VA: rva})
+			r.nics[0].PostSend(p, &SendDesc{
+				Kind: DescData, MsgID: r.nics[0].NextMsgID(), SrcPort: 1,
+				DstNode: 1, DstPort: 2, Channel: 1, Len: len(payload), Segs: sseg,
+			})
+			rp.RecvEvQ.Recv(p)
+			got++
+		}
+	})
+	r.env.RunUntil(50 * sim.Millisecond)
+	if got != 5 {
+		t.Fatalf("delivered %d of 5", got)
+	}
+	st := r.nics[0].Stats()
+	if st.RTTSamples == 0 {
+		t.Fatal("adaptive RTO took no RTT samples")
+	}
+	if st.RTOAdapted == 0 {
+		t.Fatal("no retransmit timer was armed from the estimator")
+	}
+
+	// Default config: estimator off, no samples.
+	r2 := newRig(t, bclConfig())
+	_, sseg2 := r2.pinnedSegs(t, 0, payload)
+	rva2, rseg2 := r2.recvBuf(t, 1, len(payload))
+	r2.nics[0].RegisterPort(1)
+	rp2 := r2.nics[1].RegisterPort(2)
+	r2.nics[1].PostRecv(2, 1, &RecvDesc{Len: len(payload), Segs: rseg2, VA: rva2})
+	r2.env.Go("driver", func(p *sim.Proc) {
+		r2.nics[0].PostSend(p, &SendDesc{
+			Kind: DescData, MsgID: 1, SrcPort: 1, DstNode: 1, DstPort: 2,
+			Channel: 1, Len: len(payload), Segs: sseg2,
+		})
+		rp2.RecvEvQ.Recv(p)
+	})
+	r2.env.RunUntil(50 * sim.Millisecond)
+	if st := r2.nics[0].Stats(); st.RTTSamples != 0 || st.RTOAdapted != 0 {
+		t.Fatalf("fixed-backoff config sampled RTTs: samples=%d adapted=%d", st.RTTSamples, st.RTOAdapted)
+	}
+}
+
+// TestClosePortMidRetransmitDrains closes an endpoint while its flow is
+// deep in a go-back-N retry ladder (peer under an outage). The ring
+// must drain and be removed, every pending fragment's SRAM must come
+// back, and the journal must forget the port's messages.
+func TestClosePortMidRetransmitDrains(t *testing.T) {
+	cfg := bclConfig()
+	cfg.MaxRetries = 3
+	r := newRig(t, cfg)
+	j := newTestJournal()
+	r.nics[0].Journal = j
+	r.fab.LinkDown(1, 0, 40*sim.Millisecond)
+
+	payload := make([]byte, 8*1024)
+	_, sseg := r.pinnedSegs(t, 0, payload)
+	r.nics[0].RegisterPort(1)
+	r.nics[1].RegisterPort(2)
+
+	r.env.Go("sender", func(p *sim.Proc) {
+		for m := 0; m < 3; m++ {
+			r.nics[0].PostSend(p, &SendDesc{
+				Kind: DescData, MsgID: r.nics[0].NextMsgID(), SrcPort: 1,
+				DstNode: 1, DstPort: 2, Channel: 1, Len: len(payload), Segs: sseg,
+			})
+		}
+	})
+	// Close mid-ladder: first retransmit fires at ~400 µs.
+	r.env.At(1*sim.Millisecond, func() { r.nics[0].ClosePort(1) })
+	r.env.RunUntil(60 * sim.Millisecond)
+
+	if got := r.nics[0].sram.InUse(); got != 0 {
+		t.Fatalf("SRAM leak after close mid-retransmit: %d bytes", got)
+	}
+	if _, ok := r.nics[0].rings[1]; ok {
+		t.Fatal("closed port's send ring never drained and removed")
+	}
+	if f, ok := r.nics[0].tx[1]; ok && len(f.unacked) != 0 {
+		t.Fatalf("orphaned window entries after close: %d", len(f.unacked))
+	}
+	for id := range j.sendIdx {
+		if !j.retired[id] {
+			t.Fatalf("journal still holds msg %d after its port closed and retries exhausted", id)
+		}
+	}
+}
+
+// TestPeerHealthTransitionTable walks every edge of the Up / Suspect /
+// Dead / Probing machine, including probing during an outage window
+// (probes lost, state holds) and the double-transition races: failing
+// an already-dead flow and re-upping an already-up one.
+func TestPeerHealthTransitionTable(t *testing.T) {
+	cfg := bclConfig()
+	cfg.MaxRetries = 2
+	r := newRig(t, cfg)
+
+	payload := []byte("state machine probe")
+	_, sseg := r.pinnedSegs(t, 0, payload)
+	rva, rseg := r.recvBuf(t, 1, 4096)
+	sp := r.nics[0].RegisterPort(1)
+	rp := r.nics[1].RegisterPort(2)
+
+	send := func(p *sim.Proc, msgID uint64) {
+		r.nics[0].PostSend(p, &SendDesc{
+			Kind: DescData, MsgID: msgID, SrcPort: 1, DstNode: 1, DstPort: 2,
+			Channel: 1, Len: len(payload), Segs: sseg,
+		})
+	}
+
+	// Fault control: drop data+ack packets while blocked, deliver
+	// otherwise. (A Fault hook, not LinkDown, so probes are also lost —
+	// exercising Probing->Probing self-loops during the outage.)
+	blocked := false
+	r.fab.SetFault(func(env *sim.Env, pkt *fabric.Packet) fabric.Verdict {
+		if blocked {
+			return fabric.Drop
+		}
+		return fabric.Deliver
+	})
+
+	type step struct {
+		name string
+		want PeerHealth
+	}
+	var trail []step
+	note := func(name string) {
+		trail = append(trail, step{name, r.nics[0].PeerHealth(1)})
+	}
+
+	r.env.Go("driver", func(p *sim.Proc) {
+		// Fresh flow: Up.
+		note("initial")
+
+		// Clean delivery holds Up (Up -> Up on ack progress).
+		r.nics[1].PostRecv(2, 1, &RecvDesc{Len: 4096, Segs: rseg, VA: rva})
+		send(p, 1)
+		sp.SendEvQ.Recv(p)
+		rp.RecvEvQ.Recv(p)
+		note("after clean send")
+
+		// Outage: first retry round marks Suspect.
+		blocked = true
+		send(p, 2)
+		p.Sleep(600 * sim.Microsecond) // past the 400 µs first timeout
+		note("after first retx round")
+
+		// Retry exhaustion: Suspect -> Dead, message failed.
+		ev := sp.SendEvQ.Recv(p)
+		if ev.Type != EvSendFailed {
+			t.Errorf("expected SEND-FAILED, got %v", ev.Type)
+		}
+		note("after retry exhaustion")
+
+		// Dead peer: the next send fails fast (Dead -> Dead).
+		send(p, 3)
+		ev = sp.SendEvQ.Recv(p)
+		if ev.Type != EvSendFailed {
+			t.Errorf("expected fail-fast SEND-FAILED, got %v", ev.Type)
+		}
+		note("after fail-fast")
+
+		// Probes fire into the outage and are lost: Probing holds.
+		p.Sleep(4 * sim.Millisecond)
+		note("probing during outage")
+
+		// Heal the fabric: the next probe's ACK re-admits the peer.
+		blocked = false
+		for !r.nics[0].PeerHealthy(1) {
+			p.Sleep(100 * sim.Microsecond)
+		}
+		note("after probe ack")
+
+		// Up -> Up self-loop: another clean transfer while already Up.
+		r.nics[1].PostRecv(2, 1, &RecvDesc{Len: 4096, Segs: rseg, VA: rva})
+		send(p, 4)
+		sp.SendEvQ.Recv(p)
+		rp.RecvEvQ.Recv(p)
+		note("after post-recovery send")
+	})
+	r.env.RunUntil(200 * sim.Millisecond)
+
+	want := []step{
+		{"initial", PeerUp},
+		{"after clean send", PeerUp},
+		{"after first retx round", PeerSuspect},
+		{"after retry exhaustion", PeerDead},
+		{"after fail-fast", PeerDead},
+		{"probing during outage", PeerProbing},
+		{"after probe ack", PeerUp},
+		{"after post-recovery send", PeerUp},
+	}
+	if len(trail) != len(want) {
+		t.Fatalf("walked %d steps, want %d: %+v", len(trail), len(want), trail)
+	}
+	for i, w := range want {
+		if trail[i].name != w.name || trail[i].want != w.want {
+			t.Fatalf("step %d: got %q=%v, want %q=%v",
+				i, trail[i].name, trail[i].want, w.name, w.want)
+		}
+	}
+	st := r.nics[0].Stats()
+	if st.Probes < 2 {
+		t.Fatalf("probes = %d, want >= 2 (probe loop during outage)", st.Probes)
+	}
+	if st.PeerDeaths != 1 || st.PeerRecoveries != 1 {
+		t.Fatalf("deaths/recoveries = %d/%d, want 1/1", st.PeerDeaths, st.PeerRecoveries)
+	}
+	if st.FastFails == 0 {
+		t.Fatal("fail-fast path never taken while peer was dead")
+	}
+}

@@ -45,6 +45,9 @@ func New(env *sim.Env, prof *hw.Profile, id int, fab fabric.Fabric, nicCfg nic.C
 		Kernel: oskernel.New(env, prof, id, m),
 	}
 	n.NIC = nic.New(env, prof, nicCfg, id, fab.Attach(id), m)
+	// The kernel journals NIC control-plane state as traps program the
+	// card, so a firmware crash can be recovered by replay.
+	n.Kernel.AttachNIC(n.NIC)
 	return n
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"bcl/internal/hw"
 	"bcl/internal/mem"
+	"bcl/internal/nic"
 	"bcl/internal/obs"
 	"bcl/internal/sim"
 )
@@ -39,6 +40,9 @@ type Stats struct {
 	PagesUnpinned   uint64
 	PinEvictions    uint64
 	ContextSwitches uint64
+	WatchdogTrips   uint64
+	NICRecoveries   uint64
+	ReplayedRecords uint64
 }
 
 // Process is a kernel-visible process: an id bound to an address
@@ -59,6 +63,11 @@ type Kernel struct {
 	eps   map[int]int // NIC endpoint (port id) -> owning PID
 	next  int
 	stats Stats
+
+	// NIC survivability (recovery.go): the journal shadow of firmware
+	// control-plane state and the card it reprograms after a crash.
+	shadow *NICShadow
+	snic   *nic.NIC
 }
 
 // New boots a kernel over the node's physical memory.
@@ -102,6 +111,9 @@ func (k *Kernel) Collect(set obs.Set) {
 	set(k.node, "kernel", "pages_unpinned", k.stats.PagesUnpinned)
 	set(k.node, "kernel", "pin_evictions", k.stats.PinEvictions)
 	set(k.node, "kernel", "context_switches", k.stats.ContextSwitches)
+	set(k.node, "kernel", "watchdog_trips", k.stats.WatchdogTrips)
+	set(k.node, "kernel", "nic_recoveries", k.stats.NICRecoveries)
+	set(k.node, "kernel", "replayed_records", k.stats.ReplayedRecords)
 }
 
 // PinTable exposes the pin-down page table (for stats in reports).
@@ -122,6 +134,9 @@ func (k *Kernel) Exit(p *Process) {
 	for port, pid := range k.eps {
 		if pid == p.PID {
 			delete(k.eps, port)
+			// Drop the port's journal records too: a recovery replay
+			// after the process is gone must not rebuild its endpoint.
+			k.ShadowClosePort(port)
 		}
 	}
 	delete(k.procs, p.PID)
