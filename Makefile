@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test race short bench experiments chaos survival collectives metrics profile multitenant baseline check examples tools clean
+.PHONY: all test race short bench experiments chaos survival collectives metrics profile multitenant healthwatch baseline check examples tools clean
 
 all: test
 
@@ -70,6 +70,18 @@ profile:
 # round-robin send arbitration bounds the pingpong tail.
 multitenant:
 	$(GO) run ./cmd/bclbench multitenant
+
+# Cluster health engine: the healthwatch gauntlet (clean phase must
+# fire zero alerts; the fault phase must fire crc-spike, watchdog-trip
+# and rail-divergence at byte-identical virtual times across a double
+# run), the bcltop replay of the fault phase, and the pretty-printed
+# postmortem bundle of its first alert. Override the fault schedule
+# with HEALTH_SEED=<n>.
+HEALTH_SEED ?= 1
+healthwatch:
+	$(GO) run ./cmd/bclbench -seed $(HEALTH_SEED) healthwatch
+	$(GO) run ./cmd/bclbench -seed $(HEALTH_SEED) -watch
+	$(GO) run ./cmd/bcltrace -health
 
 # Continuous benchmark gate. `make baseline` (re)writes
 # baselines/BENCH_*.json from a fresh run of the gated experiments;

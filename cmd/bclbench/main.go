@@ -13,6 +13,11 @@
 //	bclbench -check            # rerun the gated experiments, compare
 //	                           # against baselines/, exit 1 on regression
 //	bclbench -check -out dir   # also write the fresh artifacts to dir
+//	bclbench -check -postmortem dir
+//	                           # additionally write a bcl-postmortem/v1
+//	                           # bundle per failing gate to dir
+//	bclbench -watch            # replay the healthwatch fault phase as
+//	                           # live bcltop frames (terminal "top" view)
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"strings"
 
 	"bcl/internal/bench"
+	"bcl/internal/obs/health"
 )
 
 func main() {
@@ -33,6 +39,8 @@ func main() {
 	baseline := flag.Bool("baseline", false, "run the gated experiments and (re)write the baselines")
 	dir := flag.String("dir", "baselines", "baseline directory for -check / -baseline")
 	out := flag.String("out", "", "also write fresh BENCH_<name>.json artifacts to this directory")
+	watch := flag.Bool("watch", false, "replay the healthwatch fault phase as bcltop frames")
+	post := flag.String("postmortem", "", "with -check: write POSTMORTEM_<name>.json bundles for failing gates to this directory")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bclbench [-list] [-seed N] [-metrics] [-out dir] all | <experiment> ...\n")
 		fmt.Fprintf(os.Stderr, "       bclbench [-check | -baseline] [-dir baselines] [-out dir]\n")
@@ -60,12 +68,21 @@ func main() {
 		fmt.Print(faultVocabulary)
 		return
 	}
+	if *watch {
+		for i, f := range bench.HealthWatchFrames(*seed) {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(f)
+		}
+		return
+	}
 	if *check || *baseline {
 		if flag.NArg() != 0 {
 			flag.Usage()
 			os.Exit(2)
 		}
-		os.Exit(runGate(*check, *dir, *out, *seed))
+		os.Exit(runGate(*check, *dir, *out, *post, *seed))
 	}
 	args := flag.Args()
 	if len(args) == 0 {
@@ -136,7 +153,7 @@ func writeArtifact(dir, name string, r *bench.Report) error {
 // runGate runs every gated experiment once and either rewrites the
 // baselines (check=false) or compares against them (check=true).
 // Returns the process exit code.
-func runGate(check bool, dir, out string, seed uint64) int {
+func runGate(check bool, dir, out, post string, seed uint64) int {
 	failed := false
 	for _, g := range bench.GatedExperiments {
 		r := bench.ByIDSeeded(g.ID, seed)
@@ -164,12 +181,14 @@ func runGate(check bool, dir, out string, seed uint64) int {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bclbench: %s: %v (run `bclbench -baseline` to create it)\n", g.Name, err)
 			failed = true
+			writePostmortem(post, g.Name, r, []string{err.Error()})
 			continue
 		}
 		base, err := bench.DecodeArtifact(raw)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bclbench: %s: bad baseline: %v\n", g.Name, err)
 			failed = true
+			writePostmortem(post, g.Name, r, []string{err.Error()})
 			continue
 		}
 		bad := bench.Check(fresh, base)
@@ -182,11 +201,39 @@ func runGate(check bool, dir, out string, seed uint64) int {
 		for _, m := range bad {
 			fmt.Printf("  regression: %s\n", m)
 		}
+		writePostmortem(post, g.Name, r, bad)
 	}
 	if failed {
 		return 1
 	}
 	return 0
+}
+
+// writePostmortem dumps a gate-failure evidence bundle (the failure
+// reasons, the experiment's final registry snapshot, and its flight
+// recorder) as POSTMORTEM_<name>.json, so CI can attach it to the
+// failing run. A no-op when -postmortem was not given.
+func writePostmortem(dir, name string, r *bench.Report, reasons []string) {
+	if dir == "" {
+		return
+	}
+	atNs := int64(0)
+	if r.Snap != nil {
+		atNs = int64(r.Snap.At)
+	}
+	b := health.GateBundle(name, atNs, reasons, r.Snap, r.Flight)
+	data, err := b.Encode()
+	if err == nil {
+		err = os.MkdirAll(dir, 0o755)
+	}
+	if err == nil {
+		err = os.WriteFile(filepath.Join(dir, "POSTMORTEM_"+name+".json"), data, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bclbench: postmortem %s: %v\n", name, err)
+		return
+	}
+	fmt.Printf("  postmortem -> %s\n", filepath.Join(dir, "POSTMORTEM_"+name+".json"))
 }
 
 // faultVocabulary documents every fault injector the seeded

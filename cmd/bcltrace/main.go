@@ -28,6 +28,11 @@
 //	                            # traced 8-byte eager send: exclusive
 //	                            # (node, layer, phase) times, per-CPU
 //	                            # busy/idle, host-CPU overlap
+//	bcltrace -health            # pretty-print the first postmortem
+//	                            # bundle of the healthwatch fault phase
+//	bcltrace -health bundle.json
+//	                            # pretty-print a saved bcl-postmortem/v1
+//	                            # bundle (e.g. a CI gate-failure artifact)
 package main
 
 import (
@@ -36,6 +41,7 @@ import (
 	"os"
 
 	"bcl/internal/bench"
+	"bcl/internal/obs/health"
 )
 
 func main() {
@@ -45,7 +51,29 @@ func main() {
 	coll := flag.Bool("coll", false, "trace the causal flow of one NIC-offloaded broadcast + barrier")
 	crash := flag.Bool("crash", false, "trace the causal flow of one message across a firmware crash + watchdog recovery")
 	profFlag := flag.Bool("prof", false, "print the virtual-time attribution table for one traced message")
+	healthFlag := flag.Bool("health", false, "pretty-print a bcl-postmortem/v1 bundle (a file argument, or the healthwatch fault phase's first bundle)")
 	flag.Parse()
+	if *healthFlag {
+		var data []byte
+		var err error
+		if flag.NArg() > 0 {
+			data, err = os.ReadFile(flag.Arg(0))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bcltrace: %v\n", err)
+				os.Exit(1)
+			}
+		} else if data = bench.HealthWatchBundle(1); data == nil {
+			fmt.Fprintf(os.Stderr, "bcltrace: healthwatch fault phase emitted no bundle\n")
+			os.Exit(1)
+		}
+		b, err := health.DecodeBundle(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bcltrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(b.Text())
+		return
+	}
 	if *profFlag {
 		fmt.Print(bench.ByID("profile").String())
 		return

@@ -28,7 +28,10 @@ type LatencyDigest struct {
 	P50Us float64 `json:"p50_us"`
 	P90Us float64 `json:"p90_us"`
 	P99Us float64 `json:"p99_us"`
-	MaxUs float64 `json:"max_us"`
+	// P999Us is the P99.9 tail — zero in baselines written before the
+	// field existed, which Check treats as "don't compare".
+	P999Us float64 `json:"p999_us,omitempty"`
+	MaxUs  float64 `json:"max_us"`
 }
 
 // AttributionRow is one (node, layer, phase) row of the virtual-time
@@ -79,6 +82,7 @@ var GatedExperiments = []struct{ Name, ID string }{
 	{"profile", "profile"},
 	{"logp", "logp"},
 	{"multitenant", "multitenant"},
+	{"healthwatch", "healthwatch"},
 }
 
 // ArtifactFile returns the artifact filename for a gate entry name.
@@ -114,11 +118,12 @@ func FromReport(r *Report) *Artifact {
 		}
 		if h := r.Snap.MergedHist("nic", "msg_latency_ns"); h.Count > 0 {
 			a.Latency = &LatencyDigest{
-				Count: h.Count,
-				P50Us: round6(float64(h.P50()) / 1000),
-				P90Us: round6(float64(h.P90()) / 1000),
-				P99Us: round6(float64(h.P99()) / 1000),
-				MaxUs: round6(float64(h.Max) / 1000),
+				Count:  h.Count,
+				P50Us:  round6(float64(h.P50()) / 1000),
+				P90Us:  round6(float64(h.P90()) / 1000),
+				P99Us:  round6(float64(h.P99()) / 1000),
+				P999Us: round6(float64(h.P999()) / 1000),
+				MaxUs:  round6(float64(h.Max) / 1000),
 			}
 		}
 	}
@@ -192,6 +197,15 @@ var exactMetrics = map[string]bool{
 	"nic_reboots_nonzero":   true,
 	"adaptive_beats_fixed":  true,
 	"gray_failover_nonzero": true,
+	// Health-engine correctness: the clean phase must stay silent, the
+	// fault phase must fire the expected rules, and the alert timeline
+	// and bundle bytes must be identical across the double run.
+	"clean_alerts":           true,
+	"fired_crc_spike":        true,
+	"fired_watchdog_trip":    true,
+	"fired_rail_divergence":  true,
+	"bundle_deterministic":   true,
+	"timeline_deterministic": true,
 }
 
 // tolFor picks the acceptance band for one metric.
@@ -293,6 +307,13 @@ func Check(fresh, base *Artifact) []string {
 					bad = append(bad, msg)
 				}
 			}
+			// Baselines written before the P99.9 field have it at zero;
+			// only compare once the baseline carries a real value.
+			if base.Latency.P999Us != 0 {
+				if msg := checkOne("latency p999_us", fresh.Latency.P999Us, base.Latency.P999Us, lt); msg != "" {
+					bad = append(bad, msg)
+				}
+			}
 		}
 	}
 	if base.LogP != nil {
@@ -330,6 +351,8 @@ func ByIDSeeded(id string, seed uint64) *Report {
 		return runExperiment(func() *Report { return CollectivesSeeded(seed) })
 	case "survival":
 		return runExperiment(func() *Report { return SurvivalSeeded(seed) })
+	case "healthwatch":
+		return runExperiment(func() *Report { return HealthWatchSeeded(seed) })
 	}
 	return ByID(id)
 }

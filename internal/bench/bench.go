@@ -39,6 +39,11 @@ type Report struct {
 	Snap    *obs.Snapshot
 	Summary string
 
+	// Flight is the concatenated flight-recorder contents of every
+	// cluster the experiment built — the evidence a gate-failure
+	// postmortem bundle dumps.
+	Flight []obs.Event
+
 	// Attribution and LogP carry the structured profiler outputs of the
 	// profile/logp experiments (nil elsewhere); the benchmark artifact
 	// embeds them.
@@ -95,6 +100,7 @@ var experiments = []struct {
 	{id: "profile", title: "Virtual-time attribution of one eager send", fn: Profile},
 	{id: "logp", title: "LogP/LogGP parameters extracted from profiler spans", fn: LogP},
 	{id: "multitenant", aliases: []string{"mt"}, title: "Multi-tenant cluster: scheduler, endpoint isolation, QoS arbitration", fn: Multitenant},
+	{id: "healthwatch", aliases: []string{"health"}, title: "Cluster health engine: clean silence, fault alerts, postmortem bundles", seeded: true, fn: HealthWatch},
 }
 
 // Info describes one registered experiment for listings.
@@ -197,6 +203,11 @@ func capture(r *Report) {
 		}
 		r.Snap = obs.Merge(snaps...)
 	}
+	if r.Flight == nil {
+		for _, c := range built {
+			r.Flight = append(r.Flight, c.Obs.Rec.Events()...)
+		}
+	}
 	if r.Summary == "" {
 		r.Summary = summaryLine(r.Snap)
 	}
@@ -213,8 +224,8 @@ func summaryLine(s *obs.Snapshot) string {
 	line := fmt.Sprintf("metrics: msgs=%d retransmits=%d",
 		s.SumCounter("nic", "msgs_sent"), s.SumCounter("nic", "retransmits"))
 	if h.Count > 0 {
-		line += fmt.Sprintf(" p50=%.1fus p99=%.1fus",
-			float64(h.P50())/1000, float64(h.P99())/1000)
+		line += fmt.Sprintf(" p50=%.1fus p99=%.1fus p999=%.1fus",
+			float64(h.P50())/1000, float64(h.P99())/1000, float64(h.P999())/1000)
 	}
 	return line
 }

@@ -14,6 +14,7 @@ import (
 	"bcl/internal/nic"
 	"bcl/internal/node"
 	"bcl/internal/obs"
+	"bcl/internal/obs/health"
 	"bcl/internal/sim"
 	"bcl/internal/trace"
 )
@@ -44,6 +45,16 @@ type Config struct {
 	// MCP heartbeats, the kernel polls, and a crashed firmware is
 	// rebooted and reprogrammed from the kernel's journal.
 	Watchdog bool
+
+	// RecorderCap sizes the flight recorder (events retained); <= 0
+	// keeps the 256 default so committed baselines survive. Evictions
+	// are visible as the obs/rec_dropped counter either way.
+	RecorderCap int
+
+	// Health attaches the cluster health engine (health.DefaultRules)
+	// to the sampler: start one with Obs.StartSampler and alerts,
+	// timelines and postmortem bundles appear on Cluster.Health.
+	Health bool
 }
 
 // Cluster is a running simulated machine.
@@ -57,6 +68,11 @@ type Cluster struct {
 	// (with pull collectors registered for the fabric, every NIC and
 	// every kernel) plus the shared flight recorder.
 	Obs *obs.Obs
+
+	// Health is the cluster health engine, non-nil when Config.Health
+	// was set. It rides the sampler: derived series, alert timeline and
+	// postmortem bundles all come from here.
+	Health *health.Engine
 }
 
 // New builds a cluster. Zero-value config fields get DAWNING-3000
@@ -86,11 +102,17 @@ func New(cfg Config) *Cluster {
 	default:
 		panic(fmt.Sprintf("cluster: unknown fabric %q", cfg.Fabric))
 	}
-	o := obs.New()
+	o := obs.NewSized(cfg.RecorderCap)
 	c := &Cluster{Env: env, Prof: cfg.Profile, Fabric: fab, Obs: o}
 	o.RegisterCollector(fab.Collect)
-	if hf, ok := fab.(*hetero.Fabric); ok {
-		hf.Obs = o
+	if so, ok := fab.(interface{ SetObs(*obs.Obs) }); ok {
+		// Single-rail networks feed their wire_ns histogram; hetero
+		// additionally records failovers/gray steers in the flight
+		// recorder and forwards to both rails.
+		so.SetObs(o)
+	}
+	if gc, ok := fab.(interface{ CollectGauges(obs.GaugeSet) }); ok {
+		o.RegisterGaugeCollector(gc.CollectGauges)
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		n := node.New(env, cfg.Profile, i, fab, cfg.NIC)
@@ -106,17 +128,27 @@ func New(cfg Config) *Cluster {
 		}
 		o.RegisterCollector(n.NIC.Collect)
 		o.RegisterCollector(n.Kernel.Collect)
+		o.RegisterGaugeCollector(n.NIC.CollectGauges)
+		o.RegisterGaugeCollector(n.Kernel.CollectGauges)
 		c.Nodes = append(c.Nodes, n)
+	}
+	if cfg.Health {
+		c.Health = health.NewEngine(health.DefaultRules())
+		c.Health.Attach(o)
 	}
 	return c
 }
 
 // SetTracer attaches one tracer to the fabric and every NIC, so host,
-// NIC and wire spans land in a single timeline.
+// NIC and wire spans land in a single timeline (and, when the health
+// engine is on, postmortem bundles can dump the worst flows).
 func (c *Cluster) SetTracer(tr *trace.Tracer) {
 	c.Fabric.SetTracer(tr)
 	for _, n := range c.Nodes {
 		n.NIC.Tracer = tr
+	}
+	if c.Health != nil {
+		c.Health.Tracer = tr
 	}
 }
 

@@ -360,6 +360,11 @@ type Network struct {
 	duplicated  uint64
 	outageDrops uint64
 	slowedPkts  uint64
+
+	// obs, when set, receives a per-rail wire_ns transit-time histogram
+	// (injection to final-hop delivery) — the raw series behind the
+	// health engine's rail-divergence rule.
+	obs *obs.Obs
 }
 
 // NewNetwork returns an empty network for n nodes.
@@ -427,6 +432,19 @@ func (n *Network) Collect(set obs.Set) {
 	set(-1, l, "outage_drops", n.outageDrops)
 	set(-1, l, "slow_pkts", n.slowedPkts)
 }
+
+// CollectGauges publishes per-node RX queue depths (packets delivered
+// by the fabric but not yet consumed by the NIC's receive engine).
+func (n *Network) CollectGauges(set obs.GaugeSet) {
+	l := "fabric:" + n.name
+	for _, ep := range n.endpoints {
+		set(ep.Node, l, "rx_queued", int64(ep.RX.Len()))
+	}
+}
+
+// SetObs attaches an observability bundle; routed deliveries then feed
+// the cluster-wide "fabric:<name>"/wire_ns transit histogram.
+func (n *Network) SetObs(o *obs.Obs) { n.obs = o }
 
 // wireRow labels this fabric's trace row.
 func (n *Network) wireRow() string { return "wire:" + n.name }
@@ -618,6 +636,7 @@ func (n *Network) inject(p *sim.Proc, src int, pkt *Packet) {
 		// has arrived (its serialization was paid once, at injection).
 		n.delivered++
 		n.traceWire(pkt, "", t0, fp.Now())
+		n.obs.Observe(-1, "fabric:"+n.name, "wire_ns", int64(fp.Now()-t0))
 		n.endpoints[pkt.Dst].RX.Post(pkt)
 		if dup {
 			n.delivered++

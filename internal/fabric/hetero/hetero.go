@@ -171,6 +171,33 @@ func (f *Fabric) Collect(set obs.Set) {
 	f.rails[1].Collect(set)
 }
 
+// CollectGauges publishes the composite's instantaneous state: the
+// gray-steer preference count, per-node merged-queue depth, and both
+// rails' RX queues.
+func (f *Fabric) CollectGauges(set obs.GaugeSet) {
+	set(-1, "fabric:hetero", "gray_preferred", int64(len(f.prefer)))
+	for node, q := range f.merged {
+		set(node, "fabric:hetero", "rx_queued", int64(q.Len()))
+	}
+	for r := 0; r < 2; r++ {
+		if gc, ok := f.rails[r].(interface{ CollectGauges(obs.GaugeSet) }); ok {
+			gc.CollectGauges(set)
+		}
+	}
+}
+
+// SetObs attaches the observability bundle: failovers and gray steers
+// land in the flight recorder, and each rail feeds its own wire_ns
+// transit histogram (the health engine's rail-divergence inputs).
+func (f *Fabric) SetObs(o *obs.Obs) {
+	f.Obs = o
+	for r := 0; r < 2; r++ {
+		if so, ok := f.rails[r].(interface{ SetObs(*obs.Obs) }); ok {
+			so.SetObs(o)
+		}
+	}
+}
+
 // NodeDown implements fabric.Fabric: a node is down for the composite
 // only when BOTH rails have lost it (otherwise failover still routes).
 func (f *Fabric) NodeDown(node int) bool {

@@ -491,6 +491,34 @@ func (n *NIC) Collect(set obs.Set) {
 	}
 }
 
+// CollectGauges publishes the NIC's instantaneous state — queue depths
+// and in-flight work — under layer "nic". Pull-model like Collect; the
+// health engine derives backlog rules from these.
+func (n *NIC) CollectGauges(set obs.GaugeSet) {
+	depth := 0
+	for _, id := range n.ringOrder {
+		r := n.rings[id]
+		depth += len(r.q)
+		if r.cur != nil {
+			depth++
+		}
+	}
+	set(n.node, "nic", "send_ring_depth", int64(depth))
+	inflight, unacked := 0, 0
+	for _, f := range n.tx {
+		inflight += len(f.inflight)
+		unacked += len(f.unacked)
+	}
+	set(n.node, "nic", "tx_inflight", int64(inflight))
+	set(n.node, "nic", "tx_unacked", int64(unacked))
+	asm := 0
+	for _, f := range n.rx {
+		asm += len(f.asm)
+	}
+	set(n.node, "nic", "rx_assemblies", int64(asm))
+	set(n.node, "nic", "sram_in_use", int64(n.sram.InUse()))
+}
+
 // PeerHealth returns the firmware's liveness belief about a remote
 // node (PeerUp if no flow exists yet).
 func (n *NIC) PeerHealth(dst int) PeerHealth {

@@ -60,6 +60,15 @@ func (r *Recorder) Total() uint64 {
 	return r.total
 }
 
+// Dropped returns how many events were evicted to make room — the gap
+// between everything ever recorded and what the ring still retains.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total - uint64(len(r.buf))
+}
+
 // Events returns the retained events, oldest first.
 func (r *Recorder) Events() []Event {
 	if r == nil || len(r.buf) == 0 {

@@ -1,0 +1,294 @@
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"bcl/internal/obs"
+	"bcl/internal/sim"
+	"bcl/internal/trace"
+)
+
+// BundleSchema identifies the postmortem bundle format.
+const BundleSchema = "bcl-postmortem/v1"
+
+// FlightEvent is one flight-recorder entry serialized into a bundle.
+type FlightEvent struct {
+	TNs    int64  `json:"t_ns"`
+	Node   int    `json:"node"`
+	Layer  string `json:"layer"`
+	What   string `json:"what"`
+	Trace  uint64 `json:"trace,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// FlowSpan is one trace span of an offending flow.
+type FlowSpan struct {
+	Stage   string `json:"stage"`
+	Where   string `json:"where"`
+	StartNs int64  `json:"start_ns"`
+	EndNs   int64  `json:"end_ns"`
+}
+
+// Flow is the full causal story of one worst-offending message: its
+// spans, how often it was retransmitted, and how long it took
+// first-span-to-last-end.
+type Flow struct {
+	ID    string     `json:"id"` // hex trace id
+	Node  int        `json:"node"`
+	Msg   uint64     `json:"msg"`
+	Retx  int        `json:"retransmits"`
+	DurNs int64      `json:"dur_ns"`
+	Spans []FlowSpan `json:"spans"`
+}
+
+// Trigger names the rule trip that caused an alert bundle.
+type Trigger struct {
+	Rule     string  `json:"rule"`
+	Severity string  `json:"severity"`
+	Desc     string  `json:"desc,omitempty"`
+	V        float64 `json:"v"`
+	Bound    float64 `json:"bound"`
+}
+
+// Bundle is a bcl-postmortem/v1 evidence bundle: emitted on every
+// alert firing (Kind "alert") and on benchmark-gate failures (Kind
+// "gate"). Encoding is canonical — struct field order plus sorted map
+// keys — so two runs of the same seeded experiment produce
+// byte-identical bundles.
+type Bundle struct {
+	Schema  string             `json:"schema"`
+	Kind    string             `json:"kind"`
+	ID      string             `json:"id,omitempty"` // experiment id for gate bundles
+	AtNs    int64              `json:"at_ns"`
+	Trigger *Trigger           `json:"trigger,omitempty"`
+	Reasons []string           `json:"reasons,omitempty"` // gate-failure reasons
+	Alerts  []Transition       `json:"alerts,omitempty"`
+	Series  map[string][]Point `json:"series,omitempty"`
+	Diff    *obs.Snapshot      `json:"window_diff,omitempty"`
+	Flight  []FlightEvent      `json:"flight,omitempty"`
+	Flows   []Flow             `json:"flows,omitempty"`
+}
+
+// alertBundle captures the engine's evidence at a firing transition:
+// the alert timeline so far, every rule's windowed series around the
+// trip, the registry diff across the retained window, the flight
+// recorder, and the worst-offending flows.
+func (e *Engine) alertBundle(r *Rule, tr Transition) *Bundle {
+	b := &Bundle{
+		Schema:  BundleSchema,
+		Kind:    "alert",
+		AtNs:    tr.AtNs,
+		Trigger: &Trigger{Rule: r.Name, Severity: r.Severity, Desc: r.Desc, V: tr.V, Bound: tr.Bound},
+		Alerts:  append([]Transition(nil), e.transitions...),
+		Series:  make(map[string][]Point, len(e.series)),
+	}
+	for name, pts := range e.series {
+		b.Series[name] = append([]Point(nil), pts...)
+	}
+	if len(e.window) > 0 {
+		oldest, cur := e.window[0], e.window[len(e.window)-1]
+		b.Diff = cur.Snap.Diff(oldest.Snap)
+	}
+	if e.o != nil {
+		b.Flight = flightEvents(e.o.Rec.Events())
+	}
+	b.Flows = WorstFlows(e.Tracer, 3)
+	return b
+}
+
+// GateBundle builds a postmortem for a benchmark-gate failure: no
+// triggering rule, but the failure reasons, the final registry
+// snapshot, and the flight recorder.
+func GateBundle(id string, atNs int64, reasons []string, snap *obs.Snapshot, flight []obs.Event) *Bundle {
+	return &Bundle{
+		Schema:  BundleSchema,
+		Kind:    "gate",
+		ID:      id,
+		AtNs:    atNs,
+		Reasons: append([]string(nil), reasons...),
+		Diff:    snap,
+		Flight:  flightEvents(flight),
+	}
+}
+
+func flightEvents(evs []obs.Event) []FlightEvent {
+	out := make([]FlightEvent, 0, len(evs))
+	for _, e := range evs {
+		out = append(out, FlightEvent{TNs: int64(e.T), Node: e.Node, Layer: e.Layer,
+			What: e.What, Trace: e.Trace, Detail: e.Detail})
+	}
+	return out
+}
+
+// WorstFlows ranks the tracer's flows by retransmit count, then
+// duration, then id, and dumps the top n with their spans — "which
+// messages suffered most" in one glance.
+func WorstFlows(t *trace.Tracer, n int) []Flow {
+	ids := t.Flows()
+	if len(ids) == 0 || n <= 0 {
+		return nil
+	}
+	flows := make([]Flow, 0, len(ids))
+	for _, id := range ids {
+		spans := t.FlowSpans(id)
+		node, msg := trace.IDParts(id)
+		f := Flow{ID: fmt.Sprintf("%x", id), Node: node, Msg: msg}
+		var lo, hi sim.Time
+		for i, s := range spans {
+			if strings.Contains(s.Stage, "retransmit") {
+				f.Retx++
+			}
+			if i == 0 || s.Start < lo {
+				lo = s.Start
+			}
+			if s.End > hi {
+				hi = s.End
+			}
+			f.Spans = append(f.Spans, FlowSpan{Stage: s.Stage, Where: s.Where,
+				StartNs: int64(s.Start), EndNs: int64(s.End)})
+		}
+		f.DurNs = int64(hi - lo)
+		flows = append(flows, f)
+	}
+	sort.SliceStable(flows, func(i, j int) bool {
+		if flows[i].Retx != flows[j].Retx {
+			return flows[i].Retx > flows[j].Retx
+		}
+		if flows[i].DurNs != flows[j].DurNs {
+			return flows[i].DurNs > flows[j].DurNs
+		}
+		return flows[i].ID < flows[j].ID
+	})
+	if len(flows) > n {
+		flows = flows[:n]
+	}
+	return flows
+}
+
+// Encode renders the bundle as canonical indented JSON (trailing
+// newline included). Byte-identical across runs for identical state.
+func (b *Bundle) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeBundle parses and validates a bundle.
+func DecodeBundle(data []byte) (*Bundle, error) {
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("postmortem: %w", err)
+	}
+	if b.Schema != BundleSchema {
+		return nil, fmt.Errorf("postmortem: schema %q, want %q", b.Schema, BundleSchema)
+	}
+	return &b, nil
+}
+
+// Text renders the bundle as a human-readable postmortem report.
+func (b *Bundle) Text() string {
+	var w strings.Builder
+	fmt.Fprintf(&w, "postmortem bundle (%s, kind=%s)\n", b.Schema, b.Kind)
+	if b.ID != "" {
+		fmt.Fprintf(&w, "experiment: %s\n", b.ID)
+	}
+	fmt.Fprintf(&w, "emitted at: %.3fms virtual\n", float64(b.AtNs)/float64(sim.Millisecond))
+	if b.Trigger != nil {
+		fmt.Fprintf(&w, "trigger: %s [%s] v=%.3f bound=%.3f\n", b.Trigger.Rule, b.Trigger.Severity, b.Trigger.V, b.Trigger.Bound)
+		if b.Trigger.Desc != "" {
+			fmt.Fprintf(&w, "  rule: %s\n", b.Trigger.Desc)
+		}
+	}
+	for _, r := range b.Reasons {
+		fmt.Fprintf(&w, "reason: %s\n", r)
+	}
+	if len(b.Alerts) > 0 {
+		fmt.Fprintf(&w, "\nalert timeline (%d transitions):\n", len(b.Alerts))
+		for _, t := range b.Alerts {
+			edge := "resolved"
+			if t.Firing {
+				edge = "FIRING"
+			}
+			fmt.Fprintf(&w, "%10.3fms  %-8s %-4s %-20s v=%.3f bound=%.3f\n",
+				float64(t.AtNs)/float64(sim.Millisecond), edge, t.Severity, t.Rule, t.V, t.Bound)
+		}
+	}
+	if len(b.Series) > 0 {
+		var names []string
+		for name := range b.Series {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&w, "\nderived series around the trip (last %d points each):\n", seriesTail)
+		for _, name := range names {
+			pts := b.Series[name]
+			if len(pts) > seriesTail {
+				pts = pts[len(pts)-seriesTail:]
+			}
+			fmt.Fprintf(&w, "  %s:", name)
+			for _, p := range pts {
+				fmt.Fprintf(&w, " %.1fms=%.2f/%.2f", float64(p.AtNs)/float64(sim.Millisecond), p.V, p.Bound)
+			}
+			w.WriteByte('\n')
+		}
+	}
+	if b.Diff != nil {
+		fmt.Fprintf(&w, "\nwindow snapshot diff (non-zero counters):\n")
+		n := 0
+		for _, c := range b.Diff.Counters {
+			if c.Value == 0 {
+				continue
+			}
+			fmt.Fprintf(&w, "  %-40s %d\n", c.Key.String(), c.Value)
+			if n++; n >= diffTail {
+				fmt.Fprintf(&w, "  ... (%d more)\n", nonZero(b.Diff)-n)
+				break
+			}
+		}
+	}
+	if len(b.Flight) > 0 {
+		fmt.Fprintf(&w, "\nflight recorder (%d events, last %d):\n", len(b.Flight), flightTail)
+		evs := b.Flight
+		if len(evs) > flightTail {
+			evs = evs[len(evs)-flightTail:]
+		}
+		for _, e := range evs {
+			where := "-"
+			if e.Node >= 0 {
+				where = fmt.Sprintf("n%d", e.Node)
+			}
+			fmt.Fprintf(&w, "%10.3fms %-4s %-16s %-16s %s\n",
+				float64(e.TNs)/float64(sim.Millisecond), where, e.Layer, e.What, e.Detail)
+		}
+	}
+	for _, f := range b.Flows {
+		fmt.Fprintf(&w, "\nworst flow %s (node %d, msg %d): %d retransmits, %.2fus\n",
+			f.ID, f.Node, f.Msg, f.Retx, float64(f.DurNs)/1000)
+		for _, s := range f.Spans {
+			fmt.Fprintf(&w, "%9.2fus  %-32s %-14s %8.2fus\n",
+				float64(s.StartNs)/1000, s.Stage, s.Where, float64(s.EndNs-s.StartNs)/1000)
+		}
+	}
+	return w.String()
+}
+
+const (
+	seriesTail = 6
+	diffTail   = 24
+	flightTail = 16
+)
+
+func nonZero(s *obs.Snapshot) int {
+	n := 0
+	for _, c := range s.Counters {
+		if c.Value != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,183 @@
+// Package health is the deterministic cluster health engine: it rides
+// the obs sampler, derives time series from registry samples (windowed
+// rates, deltas, gauges, quantiles, SLO bad-fractions), evaluates a
+// declarative rule set (thresholds, error-budget burn rates, rail
+// divergence — the generalized form of PR 6's gray-failure detector),
+// and turns rule trips into an alert timeline with firing/resolved
+// transitions at exact virtual timestamps plus schema'd postmortem
+// bundles carrying the evidence.
+//
+// Everything runs on the virtual clock off sampler ticks, so two runs
+// of the same seeded experiment produce byte-identical alert
+// timelines and bundles — which is exactly what the healthwatch
+// benchmark gate asserts.
+//
+// The package sits beside obs: it imports only obs, trace and sim.
+package health
+
+import (
+	"fmt"
+	"strings"
+
+	"bcl/internal/obs"
+)
+
+// SourceKind selects how a Source turns two consecutive samples into
+// one scalar.
+type SourceKind int
+
+const (
+	// SrcRate is a windowed per-second rate of a counter sum.
+	SrcRate SourceKind = iota
+	// SrcDelta is the raw counter-sum increase across the window.
+	SrcDelta
+	// SrcTotal is the cumulative counter sum at the current sample.
+	SrcTotal
+	// SrcGauge is the instantaneous gauge sum at the current sample.
+	SrcGauge
+	// SrcQuantile is a quantile (in nanoseconds) of the histogram
+	// observations recorded inside the window, merged across nodes.
+	SrcQuantile
+	// SrcBadFrac is the fraction of windowed histogram observations
+	// above BoundNs — the raw material of an SLO burn rate.
+	SrcBadFrac
+)
+
+// Source names one derived series: a (layer, name) metric plus the
+// derivation to apply. Layer is matched exactly, or as a prefix when
+// Prefix is set (so "fabric:" aggregates all rails of a composite).
+type Source struct {
+	Kind    SourceKind
+	Layer   string
+	Prefix  bool
+	Name    string
+	Q       float64 // quantile for SrcQuantile
+	BoundNs int64   // SLO bound for SrcBadFrac
+}
+
+// Rate derives the per-second rate of a counter summed across nodes.
+func Rate(layer, name string) Source { return Source{Kind: SrcRate, Layer: layer, Name: name} }
+
+// Delta derives the windowed increase of a counter summed across nodes.
+func Delta(layer, name string) Source { return Source{Kind: SrcDelta, Layer: layer, Name: name} }
+
+// Total derives the cumulative counter sum.
+func Total(layer, name string) Source { return Source{Kind: SrcTotal, Layer: layer, Name: name} }
+
+// GaugeOf derives the instantaneous gauge sum across nodes.
+func GaugeOf(layer, name string) Source { return Source{Kind: SrcGauge, Layer: layer, Name: name} }
+
+// QuantileOf derives a windowed histogram quantile in nanoseconds.
+func QuantileOf(layer, name string, q float64) Source {
+	return Source{Kind: SrcQuantile, Layer: layer, Name: name, Q: q}
+}
+
+// BadFrac derives the fraction of windowed observations above boundNs.
+func BadFrac(layer, name string, boundNs int64) Source {
+	return Source{Kind: SrcBadFrac, Layer: layer, Name: name, BoundNs: boundNs}
+}
+
+// String renders the derivation for rule descriptions and timelines.
+func (s Source) String() string {
+	m := s.Layer + "/" + s.Name
+	switch s.Kind {
+	case SrcRate:
+		return "rate(" + m + ")/s"
+	case SrcDelta:
+		return "delta(" + m + ")"
+	case SrcTotal:
+		return "total(" + m + ")"
+	case SrcGauge:
+		return "gauge(" + m + ")"
+	case SrcQuantile:
+		return fmt.Sprintf("p%g(%s)ns", s.Q*100, m)
+	case SrcBadFrac:
+		return fmt.Sprintf("frac(%s > %dns)", m, s.BoundNs)
+	}
+	return m
+}
+
+// Eval computes the derived value for the window (prev, cur]. Rates
+// and deltas need a real window; with dt <= 0 they evaluate to zero.
+func (s Source) Eval(prev, cur obs.Sample) float64 {
+	switch s.Kind {
+	case SrcRate:
+		dt := float64(cur.At-prev.At) / 1e9
+		if dt <= 0 {
+			return 0
+		}
+		return float64(s.counterSum(cur.Snap)-s.counterSum(prev.Snap)) / dt
+	case SrcDelta:
+		return float64(s.counterSum(cur.Snap) - s.counterSum(prev.Snap))
+	case SrcTotal:
+		return float64(s.counterSum(cur.Snap))
+	case SrcGauge:
+		return float64(s.gaugeSum(cur.Snap))
+	case SrcQuantile:
+		return float64(s.window(prev.Snap, cur.Snap).Quantile(s.Q))
+	case SrcBadFrac:
+		return fracAbove(s.window(prev.Snap, cur.Snap), s.BoundNs)
+	}
+	return 0
+}
+
+func (s Source) counterSum(sn *obs.Snapshot) uint64 {
+	if s.Prefix {
+		return sn.SumCounterPrefix(s.Layer, s.Name)
+	}
+	return sn.SumCounter(s.Layer, s.Name)
+}
+
+func (s Source) gaugeSum(sn *obs.Snapshot) int64 {
+	if !s.Prefix {
+		return sn.SumGauge(s.Layer, s.Name)
+	}
+	var t int64
+	for _, g := range sn.Gauges {
+		if strings.HasPrefix(g.Layer, s.Layer) && g.Name == s.Name {
+			t += g.Value
+		}
+	}
+	return t
+}
+
+// window returns the histogram observations recorded in (prev, cur],
+// merged across all nodes of the layer.
+func (s Source) window(prev, cur *obs.Snapshot) obs.HistPoint {
+	return cur.MergedHist(s.Layer, s.Name).Sub(prev.MergedHist(s.Layer, s.Name))
+}
+
+// fracAbove estimates the fraction of observations above bound from
+// the log2 buckets: a bucket (lo, le] straddling the bound contributes
+// the linear share of its width above it, matching the interpolation
+// Quantile uses.
+func fracAbove(h obs.HistPoint, bound int64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	var bad float64
+	for _, b := range h.Buckets {
+		lo := int64(0)
+		if b.Le > 1 {
+			lo = b.Le / 2
+		}
+		switch {
+		case bound >= b.Le:
+			// whole bucket within the objective
+		case bound <= lo:
+			bad += float64(b.Count)
+		default:
+			bad += float64(b.Count) * float64(b.Le-bound) / float64(b.Le-lo)
+		}
+	}
+	return bad / float64(h.Count)
+}
+
+// round6 rounds to 6 decimal places so derived values survive a JSON
+// round trip byte-identically (same convention as bench artifacts).
+func round6(v float64) float64 {
+	if v < 0 {
+		return -round6(-v)
+	}
+	return float64(int64(v*1e6+0.5)) / 1e6
+}

@@ -1,0 +1,233 @@
+package health
+
+import (
+	"strings"
+	"testing"
+
+	"bcl/internal/obs"
+	"bcl/internal/sim"
+)
+
+// stepper feeds an engine synthetic sampler ticks from one registry,
+// the way the cluster sampler would.
+type stepper struct {
+	r   *obs.Registry
+	e   *Engine
+	o   *obs.Obs
+	now sim.Time
+}
+
+func newStepper(rules []*Rule) *stepper {
+	s := &stepper{r: obs.NewRegistry(), e: NewEngine(rules), o: obs.New()}
+	s.e.Attach(s.o)
+	return s
+}
+
+func (s *stepper) tick(dt sim.Time) {
+	s.now += dt
+	s.e.Step(obs.Sample{At: s.now, Snap: s.r.Snapshot(s.now)})
+}
+
+func TestThresholdForSamplesAndResolve(t *testing.T) {
+	s := newStepper([]*Rule{Threshold("drop-rate", Rate("nic", "drops"), 5).ForSamples(2)})
+	c := s.r.Counter(0, "nic", "drops")
+	s.tick(sim.Second) // seeds the window, no evaluation
+	c.Add(10)
+	s.tick(sim.Second) // rate 10/s > 5: consec 1, must NOT fire yet
+	if got := len(s.e.Transitions()); got != 0 {
+		t.Fatalf("fired after one sample with For=2: %d transitions", got)
+	}
+	c.Add(10)
+	s.tick(sim.Second) // consec 2: fires at exactly t=3s
+	c.Add(0)
+	s.tick(sim.Second) // healthy window: resolves at t=4s
+	trs := s.e.Transitions()
+	if len(trs) != 2 {
+		t.Fatalf("transitions = %+v", trs)
+	}
+	if !trs[0].Firing || trs[0].AtNs != int64(3*sim.Second) || trs[0].Rule != "drop-rate" {
+		t.Fatalf("firing edge = %+v", trs[0])
+	}
+	if trs[1].Firing || trs[1].AtNs != int64(4*sim.Second) {
+		t.Fatalf("resolve edge = %+v", trs[1])
+	}
+	if trs[0].V != 10 || trs[0].Bound != 5 {
+		t.Fatalf("firing v/bound = %v/%v", trs[0].V, trs[0].Bound)
+	}
+	// Exactly one bundle: firing edges emit, resolve edges do not.
+	if len(s.e.Bundles()) != 1 {
+		t.Fatalf("bundles = %d", len(s.e.Bundles()))
+	}
+	if s.e.FiredCount("drop-rate") != 1 || s.e.FiredCount("") != 1 {
+		t.Fatalf("fired counts = %d/%d", s.e.FiredCount("drop-rate"), s.e.FiredCount(""))
+	}
+}
+
+func TestDivergenceBoundTracksReference(t *testing.T) {
+	s := newStepper([]*Rule{Divergence("rail-div",
+		QuantileOf("fabric:a", "wire_ns", 0.99),
+		QuantileOf("fabric:b", "wire_ns", 0.99),
+		2, 10000)})
+	ha := s.r.Histogram(-1, "fabric:a", "wire_ns")
+	hb := s.r.Histogram(-1, "fabric:b", "wire_ns")
+	s.tick(sim.Second)
+	for i := 0; i < 8; i++ { // both rails healthy and similar
+		ha.Observe(1000)
+		hb.Observe(1000)
+	}
+	s.tick(sim.Second)
+	if len(s.e.Transitions()) != 0 {
+		t.Fatalf("diverged while similar: %+v", s.e.Transitions())
+	}
+	for i := 0; i < 8; i++ { // rail a degrades 100x, rail b unchanged
+		ha.Observe(100000)
+		hb.Observe(1000)
+	}
+	s.tick(sim.Second)
+	trs := s.e.Transitions()
+	if len(trs) != 1 || !trs[0].Firing {
+		t.Fatalf("transitions = %+v", trs)
+	}
+	if trs[0].V <= trs[0].Bound || trs[0].Bound < 10000 {
+		t.Fatalf("v=%v bound=%v", trs[0].V, trs[0].Bound)
+	}
+}
+
+func TestBurnRateScalesByBudget(t *testing.T) {
+	// SLO: 90% of observations under 10us. Budget is 10%; half the
+	// window blowing the bound is a 5x burn.
+	s := newStepper([]*Rule{BurnRate("slo", "nic", "lat_ns", 10000, 0.9, 2)})
+	h := s.r.Histogram(0, "nic", "lat_ns")
+	s.tick(sim.Second)
+	for i := 0; i < 4; i++ {
+		h.Observe(1000)
+		h.Observe(1000000)
+	}
+	s.tick(sim.Second)
+	trs := s.e.Transitions()
+	if len(trs) != 1 || !trs[0].Firing {
+		t.Fatalf("transitions = %+v", trs)
+	}
+	if trs[0].V < 4 || trs[0].V > 6 {
+		t.Fatalf("burn = %v, want ~5", trs[0].V)
+	}
+}
+
+func TestGaugeAndDeltaSources(t *testing.T) {
+	s := newStepper([]*Rule{
+		Threshold("backlog", GaugeOf("nic", "ring_depth"), 8),
+		Threshold("trips", Delta("kernel", "watchdog_trips"), 0).Crit(),
+	})
+	g := s.r.Gauge(0, "nic", "ring_depth")
+	c := s.r.Counter(1, "kernel", "watchdog_trips")
+	s.tick(sim.Second)
+	g.Set(20)
+	c.Add(1)
+	s.tick(sim.Second)
+	trs := s.e.Transitions()
+	if len(trs) != 2 {
+		t.Fatalf("transitions = %+v", trs)
+	}
+	if trs[0].Rule != "backlog" || trs[0].V != 20 {
+		t.Fatalf("gauge edge = %+v", trs[0])
+	}
+	if trs[1].Rule != "trips" || trs[1].Severity != "crit" || trs[1].V != 1 {
+		t.Fatalf("delta edge = %+v", trs[1])
+	}
+}
+
+func TestBundleDeterministicEncodeAndDecode(t *testing.T) {
+	run := func() []byte {
+		s := newStepper([]*Rule{Threshold("x", Rate("nic", "drops"), 1)})
+		s.o.Event(1, 0, "nic", "crash", 7, "detail")
+		c := s.r.Counter(0, "nic", "drops")
+		s.tick(sim.Second)
+		c.Add(100)
+		s.tick(sim.Second)
+		bs := s.e.Bundles()
+		if len(bs) != 1 {
+			t.Fatalf("bundles = %d", len(bs))
+		}
+		data, err := bs[0].Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatal("bundle encoding not byte-deterministic")
+	}
+	dec, err := DecodeBundle(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Schema != BundleSchema || dec.Kind != "alert" || dec.Trigger.Rule != "x" {
+		t.Fatalf("decoded = %+v", dec)
+	}
+	if len(dec.Flight) != 1 || dec.Flight[0].What != "crash" {
+		t.Fatalf("flight = %+v", dec.Flight)
+	}
+	if dec.Diff == nil {
+		t.Fatal("bundle missing window diff")
+	}
+	if !strings.Contains(dec.Text(), "trigger: x") {
+		t.Fatalf("text missing trigger:\n%s", dec.Text())
+	}
+	if _, err := DecodeBundle([]byte(`{"schema":"nope/v9"}`)); err == nil {
+		t.Fatal("bad schema accepted")
+	}
+}
+
+func TestGateBundle(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter(0, "nic", "drops").Add(3)
+	snap := r.Snapshot(55)
+	b := GateBundle("pingpong", int64(snap.At), []string{"latency p50_us 9 outside [1 2]"}, snap, nil)
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Kind != "gate" || dec.ID != "pingpong" || len(dec.Reasons) != 1 {
+		t.Fatalf("decoded = %+v", dec)
+	}
+	if !strings.Contains(dec.Text(), "reason: latency p50_us") {
+		t.Fatalf("text missing reason:\n%s", dec.Text())
+	}
+}
+
+func TestFramesReplayHistoricalFiringState(t *testing.T) {
+	s := newStepper([]*Rule{Threshold("spike", Rate("nic", "msgs_sent"), 5)})
+	c := s.r.Counter(0, "nic", "msgs_sent")
+	s.tick(sim.Second)
+	c.Add(100)
+	s.tick(sim.Second) // fires here
+	s.tick(sim.Second) // resolves here
+	frames := s.e.Frames()
+	if len(frames) != 2 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	if !strings.Contains(frames[0], "firing: spike") {
+		t.Fatalf("frame 0 lost its historical firing state:\n%s", frames[0])
+	}
+	if !strings.Contains(frames[1], "firing: none") {
+		t.Fatalf("frame 1 should be healthy:\n%s", frames[1])
+	}
+	if !strings.Contains(s.e.TopText(), "alerts (2)") {
+		t.Fatalf("top text:\n%s", s.e.TopText())
+	}
+}
+
+func TestTimelineTextEmpty(t *testing.T) {
+	e := NewEngine(DefaultRules())
+	if e.TimelineText() != "(no alerts)\n" {
+		t.Fatalf("timeline = %q", e.TimelineText())
+	}
+	if e.FiredCount("") != 0 || len(e.Firing()) != 0 {
+		t.Fatal("fresh engine not silent")
+	}
+}

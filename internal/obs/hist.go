@@ -205,3 +205,12 @@ func (p HistPoint) P90() int64 { return p.Quantile(0.9) }
 
 // P99 is the interpolated 99th percentile.
 func (p HistPoint) P99() int64 { return p.Quantile(0.99) }
+
+// P999 is the interpolated 99.9th percentile — the headline tail metric
+// of the multitenant and survival experiments.
+func (p HistPoint) P999() int64 { return p.Quantile(0.999) }
+
+// Sub returns p minus prev (the observations recorded between two
+// snapshots of the same histogram), for windowed quantiles. Min/Max
+// keep the current values: extremes have no meaningful delta.
+func (p HistPoint) Sub(prev HistPoint) HistPoint { return p.sub(prev) }

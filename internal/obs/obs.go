@@ -29,6 +29,12 @@ type Obs struct {
 	Reg *Registry
 	Rec *Recorder
 
+	// OnSample, when set, is called with each sampler tick right after
+	// it is stored — the hook the health engine hangs off. It runs at
+	// sampler cadence on the virtual clock, so anything it does stays
+	// deterministic.
+	OnSample func(Sample)
+
 	samples    []Sample
 	keep       int
 	sampler    *sim.Timer
@@ -43,8 +49,19 @@ type Sample struct {
 
 // New returns an empty observability bundle with a 256-event flight
 // recorder.
-func New() *Obs {
-	return &Obs{Reg: NewRegistry(), Rec: NewRecorder(256)}
+func New() *Obs { return NewSized(0) }
+
+// NewSized returns an observability bundle whose flight recorder keeps
+// recCap events (<= 0 keeps the 256 default). The recorder's eviction
+// count is published as the cluster-wide obs/rec_dropped counter so a
+// truncated post-mortem dump is visible as such.
+func NewSized(recCap int) *Obs {
+	o := &Obs{Reg: NewRegistry(), Rec: NewRecorder(recCap)}
+	o.Reg.RegisterCollector(func(set Set) {
+		set(-1, "obs", "rec_events", o.Rec.Total())
+		set(-1, "obs", "rec_dropped", o.Rec.Dropped())
+	})
+	return o
 }
 
 // RegisterCollector adds a pull-model counter source to the registry.
@@ -53,6 +70,15 @@ func (o *Obs) RegisterCollector(c Collector) {
 		return
 	}
 	o.Reg.RegisterCollector(c)
+}
+
+// RegisterGaugeCollector adds a pull-model gauge source to the
+// registry.
+func (o *Obs) RegisterGaugeCollector(c GaugeCollector) {
+	if o == nil {
+		return
+	}
+	o.Reg.RegisterGaugeCollector(c)
 }
 
 // Event appends a protocol event to the flight recorder.
@@ -123,6 +149,9 @@ func (o *Obs) addSample(s Sample) {
 		o.samples = append(o.samples[:0], o.samples[1:]...)
 	}
 	o.samples = append(o.samples, s)
+	if o.OnSample != nil {
+		o.OnSample(s)
+	}
 }
 
 // Samples returns the sampler's time series, oldest first.

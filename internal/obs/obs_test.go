@@ -268,3 +268,143 @@ func TestSamplerTerminatesAndBounds(t *testing.T) {
 		t.Fatalf("timeline:\n%s", out)
 	}
 }
+
+func TestTimelineTextMultiColumn(t *testing.T) {
+	o := New()
+	env := sim.NewEnv(1)
+	a := o.Reg.Counter(0, "nic", "sent")
+	b := o.Reg.Counter(1, "nic", "drops")
+	env.Go("work", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(sim.Millisecond)
+			a.Add(10)
+			b.Add(1)
+		}
+	})
+	o.StartSampler(env, sim.Millisecond, 8)
+	env.Run()
+	out := o.TimelineText([]TimelineCol{
+		{Label: "sent", Layer: "nic", Name: "sent"},
+		{Label: "drops", Layer: "nic", Name: "drops"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("timeline too short:\n%s", out)
+	}
+	// Header names both columns in order; every row has t + 2 cells.
+	if !strings.Contains(lines[0], "sent") || !strings.Contains(lines[0], "drops") ||
+		strings.Index(lines[0], "sent") > strings.Index(lines[0], "drops") {
+		t.Fatalf("header:\n%s", lines[0])
+	}
+	for _, ln := range lines[1:] {
+		if got := len(strings.Fields(ln)); got != 3 {
+			t.Fatalf("row %q has %d fields, want 3", ln, got)
+		}
+	}
+	// Cumulative counters: the last row holds the final totals.
+	last := strings.Fields(lines[len(lines)-1])
+	if last[1] != "30" || last[2] != "3" {
+		t.Fatalf("final row = %v, want totals 30 and 3", last)
+	}
+}
+
+func TestSamplerKeepEvictsOldestFirst(t *testing.T) {
+	o := New()
+	env := sim.NewEnv(1)
+	env.Go("work", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(sim.Millisecond)
+		}
+	})
+	o.StartSampler(env, sim.Millisecond, 3)
+	env.Run()
+	samples := o.Samples()
+	if len(samples) != 3 {
+		t.Fatalf("kept %d samples, want 3", len(samples))
+	}
+	// Ticks land at 1..11ms (one final tick after the work drains); the
+	// retained window must be the NEWEST three, in order — eviction
+	// drops the oldest sample.
+	for i, s := range samples {
+		want := sim.Time(9+i) * sim.Millisecond
+		if s.At != want {
+			t.Fatalf("sample %d at %v, want %v (oldest-first eviction)", i, s.At, want)
+		}
+	}
+}
+
+func TestOnSampleHookSeesEveryTick(t *testing.T) {
+	o := New()
+	env := sim.NewEnv(1)
+	env.Go("work", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(sim.Millisecond)
+		}
+	})
+	var ats []sim.Time
+	o.OnSample = func(s Sample) { ats = append(ats, s.At) }
+	o.StartSampler(env, sim.Millisecond, 2) // keep < ticks: hook still sees all
+	env.Run()
+	// Ticks at 1..6ms (one final tick after the work drains): the hook
+	// must see every one, even though only 2 samples are retained.
+	if len(ats) != 6 {
+		t.Fatalf("hook saw %d ticks, want 6", len(ats))
+	}
+	for i := 1; i < len(ats); i++ {
+		if ats[i] <= ats[i-1] {
+			t.Fatal("hook ticks not strictly increasing")
+		}
+	}
+}
+
+func TestRecorderDroppedCounter(t *testing.T) {
+	o := NewSized(4)
+	for i := 0; i < 10; i++ {
+		o.Event(sim.Time(i), i, "nic", "ev", 0, "")
+	}
+	if d := o.Rec.Dropped(); d != 6 {
+		t.Fatalf("dropped = %d, want 6", d)
+	}
+	s := o.Snapshot(1)
+	if v, ok := s.Counter(-1, "obs", "rec_events"); !ok || v != 10 {
+		t.Fatalf("rec_events = %d, %v", v, ok)
+	}
+	if v, ok := s.Counter(-1, "obs", "rec_dropped"); !ok || v != 6 {
+		t.Fatalf("rec_dropped = %d, %v", v, ok)
+	}
+	var nilR *Recorder
+	if nilR.Dropped() != 0 {
+		t.Fatal("nil recorder dropped")
+	}
+}
+
+func TestPrometheusTextEscapingAndHeaders(t *testing.T) {
+	r := NewRegistry()
+	// A layer value with every character the exposition format must
+	// escape: backslash, double quote, newline.
+	r.Counter(0, `we"ird\layer`+"\n", "drops").Add(1)
+	// A metric name with characters outside [a-zA-Z0-9_:] must be
+	// sanitized in the family name but NOT in the label value.
+	r.Gauge(1, "nic", "queue-depth.max").Set(7)
+	r.Histogram(0, "nic", "lat").Observe(100)
+	out := r.Snapshot(1).Text()
+	if !strings.Contains(out, `layer="we\"ird\\layer\n"`) {
+		t.Fatalf("label value not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "bcl_queue_depth_max") {
+		t.Fatalf("metric name not sanitized:\n%s", out)
+	}
+	for _, want := range []string{
+		"# HELP bcl_drops_total", "# TYPE bcl_drops_total counter",
+		"# TYPE bcl_queue_depth_max gauge",
+		"# TYPE bcl_lat histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// Headers come once per family, immediately before its first sample.
+	if strings.Count(out, "# TYPE bcl_drops_total counter") != 1 {
+		t.Fatalf("duplicate family header:\n%s", out)
+	}
+}

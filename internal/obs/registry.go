@@ -47,6 +47,17 @@ type Set func(node int, layer, name string, v uint64)
 // own Stats struct by construction.
 type Collector func(set Set)
 
+// GaugeSet is the sink a GaugeCollector publishes instantaneous values
+// into. Repeated calls with the same key accumulate (several rings on
+// one NIC sum into one depth gauge).
+type GaugeSet func(node int, layer, name string, v int64)
+
+// GaugeCollector publishes a component's instantaneous state (queue
+// depths, in-flight message counts, pinned pages) into a snapshot.
+// Like Collector it is pull-model: the value is read at snapshot time,
+// so the instrumented structures pay nothing between samples.
+type GaugeCollector func(set GaugeSet)
+
 // Counter is a push-model monotonic counter.
 type Counter struct{ v uint64 }
 
@@ -97,10 +108,11 @@ func (g *Gauge) Value() int64 {
 // simulator itself; snapshots are deterministic (sorted keys, no map
 // iteration reaches the output).
 type Registry struct {
-	counters   map[Key]*Counter
-	gauges     map[Key]*Gauge
-	hists      map[Key]*Histogram
-	collectors []Collector
+	counters        map[Key]*Counter
+	gauges          map[Key]*Gauge
+	hists           map[Key]*Histogram
+	collectors      []Collector
+	gaugeCollectors []GaugeCollector
 }
 
 // NewRegistry returns an empty registry.
@@ -118,6 +130,15 @@ func (r *Registry) RegisterCollector(c Collector) {
 		return
 	}
 	r.collectors = append(r.collectors, c)
+}
+
+// RegisterGaugeCollector adds a pull-model gauge source (queue depths,
+// in-flight counts).
+func (r *Registry) RegisterGaugeCollector(c GaugeCollector) {
+	if r == nil || c == nil {
+		return
+	}
+	r.gaugeCollectors = append(r.gaugeCollectors, c)
 }
 
 // Counter returns the named push counter, creating it on first use.
@@ -206,8 +227,18 @@ func (r *Registry) Snapshot(at sim.Time) *Snapshot {
 		s.Counters = append(s.Counters, CounterPoint{Key: k, Value: v})
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return keyLess(s.Counters[i].Key, s.Counters[j].Key) })
+	gacc := make(map[Key]int64, len(r.gauges))
 	for k, g := range r.gauges {
-		s.Gauges = append(s.Gauges, GaugePoint{Key: k, Value: g.Value()})
+		gacc[k] += g.Value()
+	}
+	gset := func(node int, layer, name string, v int64) {
+		gacc[Key{node, layer, name}] += v
+	}
+	for _, c := range r.gaugeCollectors {
+		c(gset)
+	}
+	for k, v := range gacc {
+		s.Gauges = append(s.Gauges, GaugePoint{Key: k, Value: v})
 	}
 	sort.Slice(s.Gauges, func(i, j int) bool { return keyLess(s.Gauges[i].Key, s.Gauges[j].Key) })
 	for k, h := range r.hists {
@@ -225,6 +256,27 @@ func (s *Snapshot) Counter(node int, layer, name string) (uint64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// Gauge looks up one gauge value.
+func (s *Snapshot) Gauge(node int, layer, name string) (int64, bool) {
+	for _, g := range s.Gauges {
+		if g.Node == node && g.Layer == layer && g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// SumGauge totals a gauge across all nodes of a layer.
+func (s *Snapshot) SumGauge(layer, name string) int64 {
+	var t int64
+	for _, g := range s.Gauges {
+		if g.Layer == layer && g.Name == name {
+			t += g.Value
+		}
+	}
+	return t
 }
 
 // SumCounter totals a counter across all nodes of a layer.
@@ -286,6 +338,11 @@ func (s *Snapshot) hist(k Key) HistPoint {
 	return HistPoint{Key: k}
 }
 
+// Hist looks up one histogram point (zero-valued if absent).
+func (s *Snapshot) Hist(node int, layer, name string) HistPoint {
+	return s.hist(Key{Node: node, Layer: layer, Name: name})
+}
+
 // Merge folds several snapshots (e.g. one per cluster in a multi-rig
 // benchmark) into one: counters accumulate, gauges accumulate,
 // histograms merge, At takes the latest.
@@ -333,12 +390,45 @@ func Merge(snaps ...*Snapshot) *Snapshot {
 	return out
 }
 
+// promEscaper escapes a label value per the Prometheus exposition
+// format: backslash, double quote and newline must be backslash-escaped
+// inside the quotes.
+var promEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// promName sanitizes a metric-name fragment to the Prometheus charset
+// [a-zA-Z0-9_:] (anything else becomes '_'). Our internal names are
+// already clean; this guards externally supplied job labels and the
+// like from producing an unparsable exposition.
+func promName(s string) string {
+	clean := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+			continue
+		}
+		clean = false
+		break
+	}
+	if clean {
+		return s
+	}
+	b := []byte(s)
+	for i, c := range b {
+		if c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+			continue
+		}
+		b[i] = '_'
+	}
+	return string(b)
+}
+
 // labels renders the shared {layer=...,node=...} label set (node
-// omitted for cluster-wide metrics).
+// omitted for cluster-wide metrics). Label values are escaped per the
+// exposition format.
 func (k Key) labels(extra string) string {
 	var b strings.Builder
 	b.WriteByte('{')
-	fmt.Fprintf(&b, "layer=%q", k.Layer)
+	fmt.Fprintf(&b, `layer="%s"`, promEscaper.Replace(k.Layer))
 	if k.Node >= 0 {
 		fmt.Fprintf(&b, ",node=\"%d\"", k.Node)
 	}
@@ -350,28 +440,64 @@ func (k Key) labels(extra string) string {
 	return b.String()
 }
 
-// Text renders the snapshot in Prometheus-style exposition format.
+// famLess orders points for exposition output: metric families group
+// together (by name), series inside a family sort by layer then node.
+func famLess(a, b Key) bool {
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	if a.Layer != b.Layer {
+		return a.Layer < b.Layer
+	}
+	return a.Node < b.Node
+}
+
+// header emits the # HELP / # TYPE preamble the first time a family
+// appears, tracking the previously emitted family in *last.
+func header(b *strings.Builder, last *string, fam, typ, help string) {
+	if fam == *last {
+		return
+	}
+	*last = fam
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", fam, promEscaper.Replace(help), fam, typ)
+}
+
+// Text renders the snapshot in Prometheus exposition format: families
+// grouped with # HELP / # TYPE preambles, label values escaped.
 // Counters get a _total suffix; histograms the usual _bucket (with
 // cumulative counts and a +Inf bucket), _sum and _count series.
 func (s *Snapshot) Text() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# bcl metrics snapshot at %dns (virtual)\n", s.At)
-	for _, c := range s.Counters {
-		fmt.Fprintf(&b, "bcl_%s_total%s %d\n", c.Name, c.Key.labels(""), c.Value)
+	last := ""
+	cs := append([]CounterPoint(nil), s.Counters...)
+	sort.Slice(cs, func(i, j int) bool { return famLess(cs[i].Key, cs[j].Key) })
+	for _, c := range cs {
+		fam := "bcl_" + promName(c.Name) + "_total"
+		header(&b, &last, fam, "counter", "cumulative "+c.Name+" events (virtual time)")
+		fmt.Fprintf(&b, "%s%s %d\n", fam, c.Key.labels(""), c.Value)
 	}
-	for _, g := range s.Gauges {
-		fmt.Fprintf(&b, "bcl_%s%s %d\n", g.Name, g.Key.labels(""), g.Value)
+	gs := append([]GaugePoint(nil), s.Gauges...)
+	sort.Slice(gs, func(i, j int) bool { return famLess(gs[i].Key, gs[j].Key) })
+	for _, g := range gs {
+		fam := "bcl_" + promName(g.Name)
+		header(&b, &last, fam, "gauge", "instantaneous "+g.Name+" at snapshot time")
+		fmt.Fprintf(&b, "%s%s %d\n", fam, g.Key.labels(""), g.Value)
 	}
-	for _, h := range s.Hists {
+	hs := append([]HistPoint(nil), s.Hists...)
+	sort.Slice(hs, func(i, j int) bool { return famLess(hs[i].Key, hs[j].Key) })
+	for _, h := range hs {
+		fam := "bcl_" + promName(h.Name)
+		header(&b, &last, fam, "histogram", "log2-bucketed "+h.Name+" distribution")
 		cum := uint64(0)
 		for _, bk := range h.Buckets {
 			cum += bk.Count
-			fmt.Fprintf(&b, "bcl_%s_bucket%s %d\n", h.Name,
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", fam,
 				h.Key.labels(fmt.Sprintf("le=\"%d\"", bk.Le)), cum)
 		}
-		fmt.Fprintf(&b, "bcl_%s_bucket%s %d\n", h.Name, h.Key.labels(`le="+Inf"`), h.Count)
-		fmt.Fprintf(&b, "bcl_%s_sum%s %d\n", h.Name, h.Key.labels(""), h.Sum)
-		fmt.Fprintf(&b, "bcl_%s_count%s %d\n", h.Name, h.Key.labels(""), h.Count)
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", fam, h.Key.labels(`le="+Inf"`), h.Count)
+		fmt.Fprintf(&b, "%s_sum%s %d\n", fam, h.Key.labels(""), h.Sum)
+		fmt.Fprintf(&b, "%s_count%s %d\n", fam, h.Key.labels(""), h.Count)
 	}
 	return b.String()
 }

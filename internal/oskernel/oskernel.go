@@ -116,6 +116,19 @@ func (k *Kernel) Collect(set obs.Set) {
 	set(k.node, "kernel", "replayed_records", k.stats.ReplayedRecords)
 }
 
+// CollectGauges publishes the kernel's instantaneous state under layer
+// "kernel": live processes, bound endpoints, pinned pages, and the
+// recovery journal's outstanding records.
+func (k *Kernel) CollectGauges(set obs.GaugeSet) {
+	set(k.node, "kernel", "procs", int64(len(k.procs)))
+	set(k.node, "kernel", "endpoints_bound", int64(len(k.eps)))
+	set(k.node, "kernel", "pinned_pages", int64(k.pins.Len()))
+	if k.shadow != nil {
+		ports, recvs, colls, sends := k.shadow.Pending()
+		set(k.node, "kernel", "journal_records", int64(ports+recvs+colls+sends))
+	}
+}
+
 // PinTable exposes the pin-down page table (for stats in reports).
 func (k *Kernel) PinTable() *mem.PinTable { return k.pins }
 
