@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test race short bench experiments chaos survival collectives metrics profile multitenant healthwatch baseline check examples tools clean
+.PHONY: all test race short bench experiments chaos survival collectives metrics profile multitenant healthwatch serve baseline check examples tools clean
 
 all: test
 
@@ -82,6 +82,18 @@ healthwatch:
 	$(GO) run ./cmd/bclbench -seed $(HEALTH_SEED) healthwatch
 	$(GO) run ./cmd/bclbench -seed $(HEALTH_SEED) -watch
 	$(GO) run ./cmd/bcltrace -health
+
+# Service tier: the sharded RPC/KV store with sessions, client caches
+# and presumed-abort 2PC under an open-loop swarm of simulated users —
+# baseline throughput/tail, QoS-vs-FIFO under a stream hog, and the
+# seeded chaos phase (duplicates + link outage + firmware crash, run
+# twice, digests must match), plus the causal flow trace of one
+# cross-shard transaction. Override the fault schedule with
+# SERVE_SEED=<n>.
+SERVE_SEED ?= 1
+serve:
+	$(GO) run ./cmd/bclbench -seed $(SERVE_SEED) serve
+	$(GO) run ./cmd/bcltrace -rpc
 
 # Continuous benchmark gate. `make baseline` (re)writes
 # baselines/BENCH_*.json from a fresh run of the gated experiments;

@@ -24,6 +24,12 @@
 //	                            # replay, reboot, epoch resync, rewound
 //	                            # retransmission, exactly-once delivery
 //	bcltrace -crash -chrome     # the same crash flow as Chrome JSON
+//	bcltrace -rpc               # causal flow of cross-shard transactions
+//	                            # through the service tier: client issue,
+//	                            # coordinator begin, participant prepares,
+//	                            # commit applies, acks and the reply —
+//	                            # one flow id across three hosts
+//	bcltrace -rpc -chrome       # the same 2PC flows as Chrome JSON
 //	bcltrace -prof              # virtual-time attribution table for one
 //	                            # traced 8-byte eager send: exclusive
 //	                            # (node, layer, phase) times, per-CPU
@@ -50,6 +56,7 @@ func main() {
 	flow := flag.Bool("flow", false, "trace the causal flow of one message under a forced packet drop")
 	coll := flag.Bool("coll", false, "trace the causal flow of one NIC-offloaded broadcast + barrier")
 	crash := flag.Bool("crash", false, "trace the causal flow of one message across a firmware crash + watchdog recovery")
+	rpc := flag.Bool("rpc", false, "trace the causal flow of cross-shard transactions through the service tier")
 	profFlag := flag.Bool("prof", false, "print the virtual-time attribution table for one traced message")
 	healthFlag := flag.Bool("health", false, "pretty-print a bcl-postmortem/v1 bundle (a file argument, or the healthwatch fault phase's first bundle)")
 	flag.Parse()
@@ -89,6 +96,9 @@ func main() {
 		if *crash {
 			gen = bench.CrashFlowChromeJSON
 		}
+		if *rpc {
+			gen = bench.RPCFlowChromeJSON
+		}
 		out, err := gen()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bcltrace: %v\n", err)
@@ -104,6 +114,10 @@ func main() {
 	}
 	if *crash {
 		fmt.Print(bench.ByID("crashflow").String())
+		return
+	}
+	if *rpc {
+		fmt.Print(bench.ByID("rpcflow").String())
 		return
 	}
 	if *flow {

@@ -119,6 +119,7 @@ type Port struct {
 	events  *sim.Queue[*nic.Event] // merged receive events (NIC + intra)
 	sendEvs *sim.Queue[*nic.Event] // merged send events
 	pending []*nic.Event           // receive events set aside by selective waits
+	routes  map[int]*sim.Queue[*nic.Event] // per-channel demux diversions (see route.go)
 
 	intraQ   *sim.Queue[*intraFrag]
 	nextChan int
@@ -204,10 +205,11 @@ func (s *System) Open(p *sim.Proc, n *node.Node, proc *oskernel.Process, opts Op
 	}
 
 	// Event pumps: merge NIC event queues into the library queues so
-	// intra-node and inter-node events share one wait point.
+	// intra-node and inter-node events share one wait point. Routed
+	// channels (route.go) divert to their own queues at this point.
 	n.Env.Go(fmt.Sprintf("bcl/%v/recv-pump", pt.addr), func(pp *sim.Proc) {
 		for {
-			pt.events.Send(pp, pt.nicPort.RecvEvQ.Recv(pp))
+			pt.deliver(pt.nicPort.RecvEvQ.Recv(pp))
 		}
 	})
 	n.Env.Go(fmt.Sprintf("bcl/%v/send-pump", pt.addr), func(pp *sim.Proc) {

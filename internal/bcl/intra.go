@@ -155,7 +155,7 @@ func (pt *Port) intraEngine(p *sim.Proc) {
 		st.got++
 		if st.got == f.frags {
 			delete(open, f.msgID)
-			pt.events.Post(&nic.Event{
+			pt.deliver(&nic.Event{
 				Type: nic.EvRecvDone, Port: pt.addr.Port, Channel: f.channel,
 				MsgID: f.msgID, Len: f.msgLen, Tag: f.tag,
 				SrcNode: f.src.Node, SrcPort: f.src.Port,

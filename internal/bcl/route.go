@@ -1,0 +1,129 @@
+package bcl
+
+import (
+	"fmt"
+
+	"bcl/internal/nic"
+	"bcl/internal/sim"
+)
+
+// Channel demultiplexing: a port's receive completions normally merge
+// onto one event queue that WaitRecv/WaitRecvChannel drain. A layer
+// that runs its own event loop on a shared port (the service tier's
+// RPC engine, say) can instead *route* a channel: completions for that
+// channel are diverted onto a dedicated queue at pump time, bypassing
+// both the merged queue and the selective-wait set-aside list, so two
+// independent consumers never steal each other's wake-ups. With no
+// routes installed the pump path is unchanged.
+
+// RouteChannel diverts receive completions for one channel onto a
+// dedicated event queue and returns it. Routing the same channel twice
+// returns the same queue. Events are delivered by the NIC and
+// intra-node pumps; consume them with RecvRouted/RecvRoutedTimeout so
+// the user-space poll cost and port stats stay honest.
+func (pt *Port) RouteChannel(channel int) *sim.Queue[*nic.Event] {
+	if q, ok := pt.routes[channel]; ok {
+		return q
+	}
+	if pt.routes == nil {
+		pt.routes = make(map[int]*sim.Queue[*nic.Event])
+	}
+	q := sim.NewQueue[*nic.Event](pt.node.Env, fmt.Sprintf("bcl/%v/route%d", pt.addr, channel), 0)
+	pt.routes[channel] = q
+	return q
+}
+
+// UnrouteChannel removes a channel's diversion. Events already sitting
+// in the routed queue are moved to the merged set-aside list in
+// arrival order, so nothing is lost across the switch.
+func (pt *Port) UnrouteChannel(channel int) {
+	q, ok := pt.routes[channel]
+	if !ok {
+		return
+	}
+	delete(pt.routes, channel)
+	for {
+		ev, ok := q.TryRecv()
+		if !ok {
+			return
+		}
+		pt.pending = append(pt.pending, ev)
+	}
+}
+
+// deliver forwards one receive completion to its routed queue, or to
+// the merged event queue when the channel is unrouted. Called from the
+// NIC recv pump and the intra-node delivery engine.
+func (pt *Port) deliver(ev *nic.Event) {
+	if q, ok := pt.routes[ev.Channel]; ok {
+		q.Post(ev)
+		return
+	}
+	pt.events.Post(ev)
+}
+
+// RecvRouted blocks on a routed channel's queue, charging the same
+// user-space poll+decode cost as WaitRecv and counting the message
+// against the port's receive stats.
+func (pt *Port) RecvRouted(p *sim.Proc, q *sim.Queue[*nic.Event]) *nic.Event {
+	ev := q.Recv(p)
+	pt.tr.DoFlow(p, "user: poll+decode event", host(pt), ev.Trace, func() {
+		p.Sleep(pt.node.Prof.CompletionPoll + pt.node.Prof.EventDecode)
+	})
+	pt.received++
+	pt.bytesReceived += uint64(ev.Len)
+	return ev
+}
+
+// RecvRoutedTimeout polls a routed channel's queue, giving up after d
+// of virtual time (an empty poll still costs one completion-poll
+// load). ok reports whether an event arrived.
+func (pt *Port) RecvRoutedTimeout(p *sim.Proc, q *sim.Queue[*nic.Event], d sim.Time) (*nic.Event, bool) {
+	ev, ok := q.RecvTimeout(p, d)
+	if !ok {
+		p.Sleep(pt.node.Prof.CompletionPoll)
+		return nil, false
+	}
+	pt.tr.DoFlow(p, "user: poll+decode event", host(pt), ev.Trace, func() {
+		p.Sleep(pt.node.Prof.CompletionPoll + pt.node.Prof.EventDecode)
+	})
+	pt.received++
+	pt.bytesReceived += uint64(ev.Len)
+	return ev, true
+}
+
+// TryWaitSend polls the send event queue without blocking, charging
+// the completion cost only when an event is consumed. Layers that
+// recycle send buffers by message id use this instead of WaitSend.
+func (pt *Port) TryWaitSend(p *sim.Proc) (*nic.Event, bool) {
+	ev, ok := pt.sendEvs.TryRecv()
+	if !ok {
+		return nil, false
+	}
+	pt.tr.DoFlow(p, "user: send completion", host(pt), ev.Trace, func() {
+		p.Sleep(pt.node.Prof.SendComplete)
+	})
+	return ev, true
+}
+
+// DrainSendEvents consumes every queued send-completion event without
+// blocking, charging the per-event completion cost, and reports how
+// many completed vs failed. Event-loop layers that never block in
+// WaitSend use this to keep the send event queue bounded and to notice
+// EvSendFailed (dead peer) outcomes.
+func (pt *Port) DrainSendEvents(p *sim.Proc) (done, failed int) {
+	for {
+		ev, ok := pt.sendEvs.TryRecv()
+		if !ok {
+			return done, failed
+		}
+		pt.tr.DoFlow(p, "user: send completion", host(pt), ev.Trace, func() {
+			p.Sleep(pt.node.Prof.SendComplete)
+		})
+		if ev.Type == nic.EvSendFailed {
+			failed++
+		} else {
+			done++
+		}
+	}
+}

@@ -83,6 +83,7 @@ var GatedExperiments = []struct{ Name, ID string }{
 	{"logp", "logp"},
 	{"multitenant", "multitenant"},
 	{"healthwatch", "healthwatch"},
+	{"serve", "serve"},
 }
 
 // ArtifactFile returns the artifact filename for a gate entry name.
@@ -206,6 +207,17 @@ var exactMetrics = map[string]bool{
 	"fired_rail_divergence":  true,
 	"bundle_deterministic":   true,
 	"timeline_deterministic": true,
+	// Service-tier correctness: no half-applied transaction pair, no
+	// monotonic-read violation, caches coherent at quiesce, the swarm
+	// fully drained, and the chaos phase's faults actually exercised
+	// the dedup/retransmit machinery.
+	"atomicity_ok":        true,
+	"linearizable_ok":     true,
+	"coherent_caches":     true,
+	"swarm_drained":       true,
+	"dedup_nonzero":       true,
+	"retrans_nonzero":     true,
+	"txn_commits_nonzero": true,
 }
 
 // tolFor picks the acceptance band for one metric.
@@ -353,6 +365,8 @@ func ByIDSeeded(id string, seed uint64) *Report {
 		return runExperiment(func() *Report { return SurvivalSeeded(seed) })
 	case "healthwatch":
 		return runExperiment(func() *Report { return HealthWatchSeeded(seed) })
+	case "serve":
+		return runExperiment(func() *Report { return ServeSeeded(seed) })
 	}
 	return ByID(id)
 }

@@ -275,5 +275,12 @@ func DefaultRules() []*Rule {
 			QuantileOf("fabric:myrinet", "wire_ns", 0.99),
 			QuantileOf("fabric:nwrc-mesh", "wire_ns", 0.99),
 			8, float64(200*sim.Microsecond)),
+		// Service tier: transactions aborting in bulk means prepare
+		// locks are colliding (hot pairs) or a shard is flapping.
+		Threshold("txn-abort-rate", Rate("svc", "txn_aborted"), 2000).ForSamples(2),
+		// Service tier SLO burn: >10x budget burn against "99.9% of
+		// requests complete within 5ms" (arrival-to-reply, queueing
+		// included, so this is the user-visible objective).
+		BurnRate("svc-slo-burn", "svc", "req_latency_ns", int64(5*sim.Millisecond), 0.999, 10).ForSamples(2),
 	}
 }

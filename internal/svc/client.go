@@ -1,0 +1,638 @@
+package svc
+
+import (
+	"fmt"
+
+	"bcl/internal/bcl"
+	"bcl/internal/nic"
+	"bcl/internal/obs"
+	"bcl/internal/sim"
+	"bcl/internal/trace"
+)
+
+// Arrivals yields inter-arrival gaps for the open-loop generator (see
+// internal/workloads/openloop for Poisson and bursty implementations).
+type Arrivals interface{ Next() sim.Time }
+
+// Sizes yields request value sizes in bytes.
+type Sizes interface{ Next() int }
+
+// Driver multiplexes a swarm of simulated users over one BCL port: one
+// authenticated session per shard, a per-user virtual channel with a
+// single outstanding request (the tag's uch field), a driver-wide
+// read-through cache kept coherent by server invalidations, and an
+// open-loop arrival process — requests are generated on the arrival
+// clock regardless of completions, so queueing delay is part of every
+// latency sample, the way an outside observer would measure it.
+type Driver struct {
+	cfg  DriverConfig
+	ep   *endpoint
+	env  *sim.Env
+	node int
+	tr   *trace.Tracer
+
+	conns []*conn
+	users []*user
+
+	pending  map[uint64]*pendingReq // packTag(0,sess,uch,seq) -> req
+	pendList []*pendingReq
+
+	cache  map[string]*cacheEntry
+	invVer map[string]uint64 // highest invalidated version per key
+
+	keys    []string
+	nextArr sim.Time
+	genOn   bool
+	rng     uint64
+	flowSeq uint64
+
+	samples []sim.Time
+	stats   DriverStats
+}
+
+// DriverConfig shapes one driver's swarm and workload mix.
+type DriverConfig struct {
+	Shards   []bcl.Addr
+	Ring     *Ring
+	Users    int     // simulated users (uch values); <= MaxUsersPerDriver
+	UserName string  // credential base; user i authenticates as UserName
+	AuthSeed uint64  // must match the servers'
+	Seed     uint64  // all driver randomness derives from this
+	Arrivals Arrivals
+	Sizes    Sizes
+	Keys     int      // keyspace size for get/put traffic
+	GetFrac  float64  // fraction of arrivals that are reads
+	TxnFrac  float64  // fraction that are cross-shard transactions
+	PairA    []string // transaction pair keys (PairA[i] with PairB[i])
+	PairB    []string
+	Start    sim.Time // first arrival
+	Duration sim.Time // arrival window length
+	RTO      sim.Time
+	Tick     sim.Time
+	Trace    bool // tag requests with causal flow ids
+}
+
+// DriverStats is a snapshot of the driver's counters.
+type DriverStats struct {
+	Issued, Done      uint64
+	Retransmits       uint64
+	CacheHits, Misses uint64
+	Violations        uint64 // monotonic-read / read-your-writes breaches
+	TxnAborts         uint64
+	InvsApplied       uint64
+	AuthFails         uint64
+}
+
+// Connection states.
+const (
+	connHello = 0
+	connAuth  = 1
+	connUp    = 2
+)
+
+type conn struct {
+	shard     int
+	addr      bcl.Addr
+	state     uint8
+	sess      uint16
+	nonce     uint64
+	challenge uint64
+	nextAt    sim.Time
+	rto       sim.Time
+}
+
+type user struct {
+	idx      uint16
+	queue    []op
+	busy     bool
+	seq      uint32
+	lastSeen map[string]uint64
+}
+
+type op struct {
+	kind    uint8 // kindGet / kindPut / kindTxn
+	key     string
+	keyB    string // second key for transactions
+	val     []byte
+	arrival sim.Time
+	flow    uint64
+}
+
+type pendingReq struct {
+	u       *user
+	op      op
+	shard   int
+	sess    uint16
+	seq     uint32
+	payload []byte
+	nextAt  sim.Time
+	rto     sim.Time
+	done    bool
+}
+
+type cacheEntry struct {
+	val []byte
+	ver uint64
+}
+
+// NewDriver attaches a driver to an opened BCL port; start it with
+// env.Go(..., d.Run). Arrivals begin at cfg.Start and stop after
+// cfg.Duration; the driver then drains its outstanding requests and
+// keeps servicing invalidations forever.
+func NewDriver(p *sim.Proc, port *bcl.Port, bufSize int, cfg DriverConfig) *Driver {
+	if cfg.RTO == 0 {
+		cfg.RTO = 400 * sim.Microsecond
+	}
+	if cfg.Tick == 0 {
+		cfg.Tick = 100 * sim.Microsecond
+	}
+	if cfg.Users < 1 {
+		cfg.Users = 1
+	}
+	if cfg.Users > MaxUsersPerDriver {
+		cfg.Users = MaxUsersPerDriver
+	}
+	d := &Driver{
+		cfg:     cfg,
+		ep:      newEndpoint(p, port, 64, bufSize),
+		env:     port.Node().Env,
+		node:    port.Addr().Node,
+		pending: make(map[uint64]*pendingReq),
+		cache:   make(map[string]*cacheEntry),
+		invVer:  make(map[string]uint64),
+		nextArr: cfg.Start,
+		genOn:   cfg.Arrivals != nil,
+		rng:     mix(cfg.Seed ^ 0xd1e5c0de),
+	}
+	if cfg.Trace {
+		d.tr = port.Tracer()
+	}
+	d.keys = make([]string, cfg.Keys)
+	for i := range d.keys {
+		d.keys[i] = fmt.Sprintf("k%05d", i)
+	}
+	for i := 0; i < cfg.Users; i++ {
+		d.users = append(d.users, &user{idx: uint16(i), lastSeen: make(map[string]uint64)})
+	}
+	for sh, addr := range cfg.Shards {
+		d.conns = append(d.conns, &conn{
+			shard: sh, addr: addr, state: connHello,
+			nonce: d.rand(), rto: cfg.RTO,
+		})
+	}
+	node := d.node
+	port.Node().Obs.RegisterCollector(func(set obs.Set) {
+		set(node, "svc", "cli_issued", d.stats.Issued)
+		set(node, "svc", "cli_done", d.stats.Done)
+		set(node, "svc", "cli_retrans", d.stats.Retransmits)
+		set(node, "svc", "cache_hits", d.stats.CacheHits)
+		set(node, "svc", "cache_misses", d.stats.Misses)
+		set(node, "svc", "lin_violations", d.stats.Violations)
+		set(node, "svc", "cli_txn_aborts", d.stats.TxnAborts)
+		set(node, "svc", "invs_applied", d.stats.InvsApplied)
+	})
+	return d
+}
+
+func (d *Driver) rand() uint64 {
+	d.rng = mix(d.rng)
+	return d.rng
+}
+
+// Samples returns every completed request's latency (arrival to final
+// reply, queueing included), in completion order.
+func (d *Driver) Samples() []sim.Time { return d.samples }
+
+// Stats returns a snapshot of the driver's counters.
+func (d *Driver) Stats() DriverStats { return d.stats }
+
+// Generating reports whether the arrival process is still producing
+// new requests (false once the configured window has been consumed).
+func (d *Driver) Generating() bool { return d.genOn }
+
+// Drained reports whether every issued request has completed and no
+// user still queues work.
+func (d *Driver) Drained() bool {
+	if len(d.pending) != 0 {
+		return false
+	}
+	for _, u := range d.users {
+		if u.busy || len(u.queue) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CacheSnapshot returns the cached version of every key the driver
+// currently holds (bench coherence verification).
+func (d *Driver) CacheSnapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(d.cache))
+	for k, e := range d.cache {
+		out[k] = e.ver
+	}
+	return out
+}
+
+// Run is the driver's event loop; it never returns.
+func (d *Driver) Run(p *sim.Proc) {
+	d.startConns(p)
+	for {
+		now := p.Now()
+		d.generate(p, now)
+		wake := d.nextDue(now + d.cfg.Tick)
+		dur := wake - now
+		if dur < sim.Microsecond {
+			dur = sim.Microsecond
+		}
+		ev, ok := d.ep.port.RecvRoutedTimeout(p, d.ep.q, dur)
+		if ok {
+			d.handle(p, ev)
+		} else {
+			d.ep.flushReturns(p)
+		}
+		d.ep.drainSends(p)
+		d.runTimers(p)
+	}
+}
+
+func (d *Driver) startConns(p *sim.Proc) {
+	for _, c := range d.conns {
+		d.sendHello(p, c)
+		c.nextAt = p.Now() + c.rto
+	}
+}
+
+func (d *Driver) sendHello(p *sim.Proc, c *conn) {
+	pay := putStr(nil, d.cfg.UserName)
+	pay = putU64(pay, c.nonce)
+	_ = d.ep.send(p, c.addr, kindHello, 0, 0, 0, pay)
+}
+
+func (d *Driver) sendAuth(p *sim.Proc, c *conn) {
+	resp := authResponse(c.challenge, userSecret(d.cfg.UserName, d.cfg.AuthSeed))
+	_ = d.ep.send(p, c.addr, kindAuth, c.sess, 0, 0, putU64(nil, resp))
+}
+
+// generate drains the arrival clock: every arrival due by now becomes
+// one op on some user's queue, issued immediately if the user is idle.
+func (d *Driver) generate(p *sim.Proc, now sim.Time) {
+	if !d.genOn {
+		return
+	}
+	end := d.cfg.Start + d.cfg.Duration
+	for d.nextArr <= now {
+		if d.nextArr > end {
+			d.genOn = false
+			return
+		}
+		o := d.makeOp(d.nextArr)
+		u := d.users[int(d.rand()%uint64(len(d.users)))]
+		u.queue = append(u.queue, o)
+		d.stats.Issued++
+		if !u.busy {
+			d.issueNext(p, u)
+		}
+		d.nextArr += d.cfg.Arrivals.Next()
+	}
+}
+
+// makeOp rolls the op mix: get / put / txn with deterministic keys and
+// deterministically patterned values.
+func (d *Driver) makeOp(arrival sim.Time) op {
+	roll := float64(d.rand()%1_000_000) / 1_000_000
+	var o op
+	o.arrival = arrival
+	if d.tr != nil {
+		d.flowSeq++
+		// Bit 63 keeps service flow ids disjoint from the per-message
+		// trace ids trace.ID mints ((node+1)<<40 | msg).
+		o.flow = 1<<63 | uint64(d.node)<<40 | d.flowSeq
+	}
+	switch {
+	case roll < d.cfg.GetFrac && len(d.keys) > 0:
+		o.kind = kindGet
+		o.key = d.keys[int(d.rand()%uint64(len(d.keys)))]
+	case roll < d.cfg.GetFrac+d.cfg.TxnFrac && len(d.cfg.PairA) > 0:
+		o.kind = kindTxn
+		i := int(d.rand() % uint64(len(d.cfg.PairA)))
+		o.key = d.cfg.PairA[i]
+		o.keyB = d.cfg.PairB[i]
+		o.val = d.makeVal()
+	default:
+		o.kind = kindPut
+		if len(d.keys) == 0 {
+			o.kind = kindGet
+			o.key = "k"
+			break
+		}
+		o.key = d.keys[int(d.rand()%uint64(len(d.keys)))]
+		o.val = d.makeVal()
+	}
+	return o
+}
+
+func (d *Driver) makeVal() []byte {
+	n := 8
+	if d.cfg.Sizes != nil {
+		n = d.cfg.Sizes.Next()
+	}
+	if max := d.ep.bufSize - 96; n > max {
+		n = max
+	}
+	if n < 1 {
+		n = 1
+	}
+	val := make([]byte, n)
+	seed := d.rand()
+	for i := range val {
+		if i&7 == 0 {
+			seed = mix(seed)
+		}
+		val[i] = byte(seed >> uint((i & 7) * 8))
+	}
+	return val
+}
+
+// issueNext starts the user's next queued op. Reads are served from
+// the driver cache when fresh; everything else goes on the wire with a
+// retransmit timer.
+func (d *Driver) issueNext(p *sim.Proc, u *user) {
+	for len(u.queue) > 0 {
+		o := u.queue[0]
+		u.queue = u.queue[1:]
+		if o.kind == kindGet {
+			if e, ok := d.cache[o.key]; ok {
+				d.stats.CacheHits++
+				d.checkRead(u, o.key, e.ver)
+				d.complete(p, o)
+				continue
+			}
+			d.stats.Misses++
+		}
+		shard := d.cfg.Ring.Shard(o.key)
+		c := d.conns[shard]
+		if c.state != connUp {
+			// Session still handshaking: requeue and wait for AuthOK.
+			u.queue = append([]op{o}, u.queue...)
+			return
+		}
+		u.seq++
+		u.busy = true
+		req := &pendingReq{
+			u: u, op: o, shard: shard, sess: c.sess, seq: u.seq,
+			payload: d.encodeOp(o), rto: d.cfg.RTO,
+			nextAt: p.Now() + d.cfg.RTO,
+		}
+		d.pending[reqKey(c.sess, u.idx, u.seq)] = req
+		d.pendList = append(d.pendList, req)
+		d.traceFlow(p, o.flow, "svc: request issue")
+		_ = d.ep.send(p, c.addr, o.kind, c.sess, u.idx, u.seq, req.payload)
+		return
+	}
+}
+
+func reqKey(sess uint16, uch uint16, seq uint32) uint64 {
+	return packTag(0, sess, uch, seq)
+}
+
+func (d *Driver) encodeOp(o op) []byte {
+	pay := putU64(nil, o.flow)
+	switch o.kind {
+	case kindGet:
+		pay = putStr(pay, o.key)
+	case kindPut:
+		pay = putStr(pay, o.key)
+		pay = putBytes(pay, o.val)
+	case kindTxn:
+		pay = append(pay, 2)
+		pay = putStr(pay, o.key)
+		pay = putBytes(pay, o.val)
+		pay = putStr(pay, o.keyB)
+		pay = putBytes(pay, o.val)
+	}
+	return pay
+}
+
+// complete records one finished op's latency sample.
+func (d *Driver) complete(p *sim.Proc, o op) {
+	d.stats.Done++
+	lat := p.Now() - o.arrival
+	d.samples = append(d.samples, lat)
+	d.ep.port.Node().Obs.Observe(d.node, "svc", "req_latency_ns", int64(lat))
+}
+
+func (d *Driver) nextDue(cap sim.Time) sim.Time {
+	due := cap
+	if d.genOn && d.nextArr < due {
+		due = d.nextArr
+	}
+	for _, c := range d.conns {
+		if c.state != connUp && c.nextAt < due {
+			due = c.nextAt
+		}
+	}
+	for _, r := range d.pendList {
+		if !r.done && r.nextAt < due {
+			due = r.nextAt
+		}
+	}
+	return due
+}
+
+func (d *Driver) handle(p *sim.Proc, ev *nic.Event) {
+	kind, sess, uch, seq := unpackTag(ev.Tag)
+	body := d.ep.read(p, ev)
+	r := newReader(body)
+	switch kind {
+	case kindChall:
+		d.onChall(p, ev, sess, r)
+	case kindAuthOK:
+		d.onAuthOK(p, ev, sess)
+	case kindAuthFail:
+		d.stats.AuthFails++
+	case kindReply:
+		d.onReply(p, sess, uch, seq, r)
+	case kindInv:
+		d.onInv(p, ev, sess, seq, r)
+	}
+}
+
+func (d *Driver) connFor(ev *nic.Event) *conn {
+	src := bcl.Addr{Node: ev.SrcNode, Port: ev.SrcPort}
+	for _, c := range d.conns {
+		if c.addr == src {
+			return c
+		}
+	}
+	return nil
+}
+
+func (d *Driver) onChall(p *sim.Proc, ev *nic.Event, sess uint16, r *reader) {
+	challenge := r.u64()
+	c := d.connFor(ev)
+	if c == nil || !r.ok || c.state == connUp {
+		return
+	}
+	c.sess = sess
+	c.challenge = challenge
+	c.state = connAuth
+	c.rto = d.cfg.RTO
+	c.nextAt = p.Now() + c.rto
+	d.sendAuth(p, c)
+}
+
+func (d *Driver) onAuthOK(p *sim.Proc, ev *nic.Event, sess uint16) {
+	c := d.connFor(ev)
+	if c == nil || c.sess != sess || c.state == connUp {
+		return
+	}
+	c.state = connUp
+	// Users whose head-of-line op waited on this shard can go now.
+	for _, u := range d.users {
+		if !u.busy && len(u.queue) > 0 {
+			d.issueNext(p, u)
+		}
+	}
+}
+
+func (d *Driver) onReply(p *sim.Proc, sess, uch uint16, seq uint32, r *reader) {
+	req, ok := d.pending[reqKey(sess, uch, seq)]
+	if !ok || req.done {
+		return // duplicate reply for a completed request
+	}
+	flow := r.u64()
+	status := r.byte()
+	ver := r.u64()
+	val := r.bytes()
+	if !r.ok {
+		return
+	}
+	req.done = true
+	delete(d.pending, reqKey(sess, uch, seq))
+	d.traceFlow(p, flow, "svc: reply consume")
+	o := req.op
+	switch o.kind {
+	case kindGet:
+		if status == StatusOK {
+			d.checkRead(req.u, o.key, ver)
+			// Poison guard: only cache a fill at least as new as the
+			// newest invalidation seen for the key — an INV that raced
+			// this reply marks it stale before it ever lands.
+			if ver >= d.invVer[o.key] {
+				d.cacheStore(o.key, val, ver)
+			}
+		} else if req.u.lastSeen[o.key] > 0 {
+			// The user has seen this key; NotFound un-happens a write.
+			d.stats.Violations++
+		}
+	case kindPut:
+		if status == StatusOK {
+			d.noteSeen(req.u, o.key, ver)
+			// The server registered our interest in the new version;
+			// install it so the cache matches that belief.
+			if ver >= d.invVer[o.key] {
+				d.cacheStore(o.key, o.val, ver)
+			}
+		}
+		// StatusConflict: a prepared transaction owned the key. The
+		// open-loop clock has moved on; surface it in the sample and
+		// let later traffic supersede the value.
+	case kindTxn:
+		if status == StatusAborted {
+			d.stats.TxnAborts++
+		}
+	}
+	d.complete(p, o)
+	req.u.busy = false
+	d.issueNext(p, req.u)
+}
+
+func (d *Driver) cacheStore(key string, val []byte, ver uint64) {
+	if e, ok := d.cache[key]; ok {
+		if ver <= e.ver {
+			return
+		}
+		e.val = append(e.val[:0], val...)
+		e.ver = ver
+		return
+	}
+	d.cache[key] = &cacheEntry{val: append([]byte(nil), val...), ver: ver}
+}
+
+// checkRead enforces per-user monotonic reads / read-your-writes: a
+// read must never return an older version than the user has observed.
+func (d *Driver) checkRead(u *user, key string, ver uint64) {
+	if ver < u.lastSeen[key] {
+		d.stats.Violations++
+	}
+	d.noteSeen(u, key, ver)
+}
+
+func (d *Driver) noteSeen(u *user, key string, ver uint64) {
+	if ver > u.lastSeen[key] {
+		u.lastSeen[key] = ver
+	}
+}
+
+// onInv applies a server invalidation and always acks it — the ack is
+// what releases the writer's reply on the owning shard.
+func (d *Driver) onInv(p *sim.Proc, ev *nic.Event, sess uint16, invID uint32, r *reader) {
+	key := r.str()
+	ver := r.u64()
+	if !r.ok {
+		return
+	}
+	if ver > d.invVer[key] {
+		d.invVer[key] = ver
+	}
+	if e, ok := d.cache[key]; ok && e.ver < ver {
+		delete(d.cache, key)
+		d.stats.InvsApplied++
+	}
+	c := d.connFor(ev)
+	if c != nil {
+		_ = d.ep.send(p, c.addr, kindInvAck, sess, 0, invID, nil)
+	}
+}
+
+// runTimers retransmits handshakes and requests past their RTO, in
+// stable order.
+func (d *Driver) runTimers(p *sim.Proc) {
+	now := p.Now()
+	for _, c := range d.conns {
+		if c.state == connUp || now < c.nextAt {
+			continue
+		}
+		if c.state == connHello {
+			d.sendHello(p, c)
+		} else {
+			d.sendAuth(p, c)
+		}
+		c.rto = backoff(c.rto, d.cfg.RTO)
+		c.nextAt = now + c.rto
+	}
+	live := d.pendList[:0]
+	for _, r := range d.pendList {
+		if r.done {
+			continue
+		}
+		if now >= r.nextAt {
+			d.stats.Retransmits++
+			d.traceFlow(p, r.op.flow, "svc: request retransmit")
+			c := d.conns[r.shard]
+			_ = d.ep.send(p, c.addr, r.op.kind, r.sess, r.u.idx, r.seq, r.payload)
+			r.rto = backoff(r.rto, d.cfg.RTO)
+			r.nextAt = now + r.rto
+		}
+		live = append(live, r)
+	}
+	d.pendList = live
+}
+
+func (d *Driver) traceFlow(p *sim.Proc, flow uint64, stage string) {
+	if d.tr == nil || flow == 0 {
+		return
+	}
+	d.tr.DoFlow(p, stage, fmt.Sprintf("host%d", d.node), flow, func() {})
+}

@@ -1,0 +1,119 @@
+package svc
+
+import (
+	"bcl/internal/bcl"
+	"bcl/internal/mem"
+	"bcl/internal/nic"
+	"bcl/internal/sim"
+)
+
+// endpoint wraps one BCL port for an event-loop layer: a routed
+// system-channel event queue, a pool of reusable send buffers (a
+// buffer is busy until its send completion drains — the NIC may still
+// DMA or retransmit from it), and batched return of consumed receive
+// pool buffers.
+type endpoint struct {
+	port    *bcl.Port
+	q       *sim.Queue[*nic.Event]
+	bufSize int
+
+	freeBufs []mem.VAddr
+	inflight map[uint64]mem.VAddr // send msgID -> busy buffer
+	returns  []bcl.SystemBuf      // consumed pool buffers awaiting return
+
+	sendsFailed uint64
+}
+
+const returnBatch = 8
+
+func newEndpoint(p *sim.Proc, port *bcl.Port, sendBufs, bufSize int) *endpoint {
+	e := &endpoint{
+		port:     port,
+		q:        port.RouteChannel(bcl.SystemChannel),
+		bufSize:  bufSize,
+		inflight: make(map[uint64]mem.VAddr),
+	}
+	sp := port.Process().Space
+	for i := 0; i < sendBufs; i++ {
+		e.freeBufs = append(e.freeBufs, sp.Alloc(bufSize))
+	}
+	return e
+}
+
+// drainSends recycles completed send buffers without blocking.
+func (e *endpoint) drainSends(p *sim.Proc) {
+	for {
+		ev, ok := e.port.TryWaitSend(p)
+		if !ok {
+			return
+		}
+		e.noteSendEvent(ev)
+	}
+}
+
+func (e *endpoint) noteSendEvent(ev *nic.Event) {
+	if ev.Type == nic.EvSendFailed {
+		e.sendsFailed++
+	}
+	if va, ok := e.inflight[ev.MsgID]; ok {
+		delete(e.inflight, ev.MsgID)
+		e.freeBufs = append(e.freeBufs, va)
+	}
+}
+
+// getBuf pops a free send buffer, blocking on send completions when
+// the pool is exhausted (back-pressure from the NIC ring).
+func (e *endpoint) getBuf(p *sim.Proc) mem.VAddr {
+	e.drainSends(p)
+	for len(e.freeBufs) == 0 {
+		e.noteSendEvent(e.port.WaitSend(p))
+	}
+	va := e.freeBufs[len(e.freeBufs)-1]
+	e.freeBufs = e.freeBufs[:len(e.freeBufs)-1]
+	return va
+}
+
+// send frames and transmits one service message: the header rides the
+// tag, the payload is copied into a pool-owned send buffer.
+func (e *endpoint) send(p *sim.Proc, dst bcl.Addr, kind uint8, sess, uch uint16, seq uint32, payload []byte) error {
+	va := e.getBuf(p)
+	if len(payload) > 0 {
+		if err := e.port.Process().Space.Write(va, payload); err != nil {
+			e.freeBufs = append(e.freeBufs, va)
+			return err
+		}
+	}
+	msgID, err := e.port.Send(p, dst, bcl.SystemChannel, va, len(payload), packTag(kind, sess, uch, seq))
+	if err != nil {
+		e.freeBufs = append(e.freeBufs, va)
+		return err
+	}
+	// Intra-node sends complete inline, so their completion may
+	// already be queued; register before draining again.
+	e.inflight[msgID] = va
+	return nil
+}
+
+// read copies a received message's payload out of the pool buffer and
+// schedules the buffer's return to the NIC (batched: one kernel trap
+// per returnBatch buffers).
+func (e *endpoint) read(p *sim.Proc, ev *nic.Event) []byte {
+	var body []byte
+	if ev.Len > 0 {
+		body, _ = e.port.Process().Space.Read(ev.VA, ev.Len)
+	}
+	e.returns = append(e.returns, bcl.SystemBuf{VA: ev.VA, Len: e.bufSize})
+	if len(e.returns) >= returnBatch {
+		e.flushReturns(p)
+	}
+	return body
+}
+
+func (e *endpoint) flushReturns(p *sim.Proc) {
+	if len(e.returns) == 0 {
+		return
+	}
+	bufs := e.returns
+	e.returns = nil
+	_ = e.port.ReturnSystemBuffers(p, bufs)
+}

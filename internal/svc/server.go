@@ -1,0 +1,993 @@
+package svc
+
+import (
+	"fmt"
+
+	"bcl/internal/bcl"
+	"bcl/internal/nic"
+	"bcl/internal/obs"
+	"bcl/internal/sim"
+	"bcl/internal/trace"
+)
+
+// Server is one shard of the service: a single event-loop process
+// owning a slice of the keyspace (by consistent hash), the sessions of
+// the clients talking to it, the cache-interest sets that drive
+// write-invalidation, and both halves of the two-phase-commit engine
+// (it coordinates transactions whose first key it owns, and
+// participates in everyone else's).
+//
+// Everything is a state machine driven by one loop: no handler ever
+// blocks on the network, so a lost peer can never wedge the shard.
+// Every handler is idempotent — duplicates re-send the recorded
+// answer — and every outbound protocol message sits on a retransmit
+// timer until acknowledged, except ABORT, which presumed-abort lets us
+// send exactly once and forget.
+type Server struct {
+	cfg  ServerConfig
+	ep   *endpoint
+	env  *sim.Env
+	node int
+	tr   *trace.Tracer
+
+	store map[string]*entry
+	locks map[string]uint64 // key -> txid holding a prepare lock
+
+	sessions   map[uint16]*session
+	helloIndex map[helloKey]uint16
+	nextSess   uint16
+
+	interest map[string][]uint16 // key -> sessions holding a cached copy
+
+	invs    []*invState
+	invByID map[uint32]*invState
+	nextInv uint32
+
+	coord     map[uint64]*cTxn
+	coordList []*cTxn
+	nextTxn   uint64
+
+	staged     map[uint64]*pTxn
+	stagedList []*pTxn
+
+	// Recently applied transactions: a duplicated COMMIT after apply is
+	// re-acked, never re-applied.
+	applied     map[uint64]struct{}
+	appliedFIFO []uint64
+
+	rng uint64
+
+	stats serverStats
+}
+
+type serverStats struct {
+	reqGet, reqPut, reqTxn uint64
+	replies, dedupReplays  uint64
+	authFail               uint64
+	invsSent, invAcks      uint64
+	invRetrans             uint64
+	prepares, votesNo      uint64
+	txnCommitted           uint64
+	txnAborted             uint64
+	txnRetrans             uint64
+	putConflicts           uint64
+	dropped                uint64
+}
+
+// ServerConfig wires one shard into the deployment.
+type ServerConfig struct {
+	Index    int        // this shard's index in Shards
+	Shards   []bcl.Addr // every shard's port address, in index order
+	Ring     *Ring
+	AuthSeed uint64   // shared credential seed (see userSecret)
+	Seed     uint64   // challenge RNG seed
+	RTO      sim.Time // initial service-level retransmit timeout
+	Tick     sim.Time // max event-loop sleep
+}
+
+type entry struct {
+	val []byte
+	ver uint64
+}
+
+type helloKey struct {
+	client bcl.Addr
+	nonce  uint64
+}
+
+// Session auth states.
+const (
+	sessChallenged = 1
+	sessUp         = 2
+)
+
+type session struct {
+	id        uint16
+	client    bcl.Addr
+	user      string
+	state     uint8
+	challenge uint64
+	lastReply map[uint16]*replyCache // per user channel
+	inProg    map[uint16]uint32      // user channel -> seq being executed
+}
+
+type replyCache struct {
+	seq     uint32
+	payload []byte
+}
+
+// invGroup gathers the invalidations one write fanned out; fire runs
+// when the last ack lands (the write's reply is withheld until then,
+// which is what makes the cache tier coherent: an acknowledged write
+// means no client cache still serves an older version).
+type invGroup struct {
+	waiting int
+	fire    func(p *sim.Proc)
+}
+
+type invState struct {
+	id     uint32
+	key    string
+	ver    uint64
+	sess   uint16
+	client bcl.Addr
+	group  *invGroup
+	nextAt sim.Time
+	rto    sim.Time
+	done   bool
+}
+
+type txOp struct {
+	key string
+	val []byte
+}
+
+// cTxn is coordinator-side transaction state (presumed abort: it is
+// deleted the moment an abort is decided; only commits are remembered
+// until every participant acks).
+type cTxn struct {
+	txid    uint64
+	sess    uint16
+	uch     uint16
+	seq     uint32
+	flow    uint64
+	parts   []*cPart
+	decided bool
+	commit  bool
+	done    bool
+	nextAt  sim.Time
+	rto     sim.Time
+}
+
+type cPart struct {
+	shard   int
+	addr    bcl.Addr
+	ops     []txOp
+	voted   bool
+	vote    bool
+	acked   bool
+	payload []byte // prebuilt PREPARE body for retransmission
+}
+
+// pTxn is participant-side staged state between PREPARE and the
+// decision.
+type pTxn struct {
+	txid      uint64
+	coord     bcl.Addr
+	flow      uint64
+	ops       []txOp
+	vote      bool
+	inquireAt sim.Time
+	rto       sim.Time
+	done      bool
+}
+
+const appliedCap = 2048
+
+// NewServer attaches a shard server to an opened BCL port. The port's
+// system pool should be generously sized (64+ buffers); the caller
+// starts the loop with env.Go(..., srv.Run).
+func NewServer(p *sim.Proc, port *bcl.Port, bufSize int, cfg ServerConfig) *Server {
+	if cfg.RTO == 0 {
+		cfg.RTO = 300 * sim.Microsecond
+	}
+	if cfg.Tick == 0 {
+		cfg.Tick = 100 * sim.Microsecond
+	}
+	s := &Server{
+		cfg:        cfg,
+		ep:         newEndpoint(p, port, 64, bufSize),
+		env:        port.Node().Env,
+		node:       port.Addr().Node,
+		tr:         port.Tracer(),
+		store:      make(map[string]*entry),
+		locks:      make(map[string]uint64),
+		sessions:   make(map[uint16]*session),
+		helloIndex: make(map[helloKey]uint16),
+		interest:   make(map[string][]uint16),
+		invByID:    make(map[uint32]*invState),
+		coord:      make(map[uint64]*cTxn),
+		staged:     make(map[uint64]*pTxn),
+		applied:    make(map[uint64]struct{}),
+		rng:        mix(cfg.Seed ^ uint64(cfg.Index)<<32),
+	}
+	node := s.node
+	port.Node().Obs.RegisterCollector(func(set obs.Set) {
+		set(node, "svc", "req_get", s.stats.reqGet)
+		set(node, "svc", "req_put", s.stats.reqPut)
+		set(node, "svc", "req_txn", s.stats.reqTxn)
+		set(node, "svc", "replies", s.stats.replies)
+		set(node, "svc", "dedup_replays", s.stats.dedupReplays)
+		set(node, "svc", "auth_fail", s.stats.authFail)
+		set(node, "svc", "invs_sent", s.stats.invsSent)
+		set(node, "svc", "inv_acks", s.stats.invAcks)
+		set(node, "svc", "inv_retrans", s.stats.invRetrans)
+		set(node, "svc", "prepares", s.stats.prepares)
+		set(node, "svc", "votes_no", s.stats.votesNo)
+		set(node, "svc", "txn_committed", s.stats.txnCommitted)
+		set(node, "svc", "txn_aborted", s.stats.txnAborted)
+		set(node, "svc", "txn_retrans", s.stats.txnRetrans)
+		set(node, "svc", "put_conflicts", s.stats.putConflicts)
+		set(node, "svc", "rpc_dropped", s.stats.dropped)
+	})
+	return s
+}
+
+// Addr returns the shard's port address.
+func (s *Server) Addr() bcl.Addr { return s.ep.port.Addr() }
+
+// Peek inspects a key's committed value and version directly (bench
+// verification only — it bypasses the protocol on purpose).
+func (s *Server) Peek(key string) ([]byte, uint64) {
+	e, ok := s.store[key]
+	if !ok {
+		return nil, 0
+	}
+	return e.val, e.ver
+}
+
+// Stats returns a snapshot of the shard's counters.
+func (s *Server) Stats() (committed, aborted, invsSent uint64) {
+	return s.stats.txnCommitted, s.stats.txnAborted, s.stats.invsSent
+}
+
+// DedupReplays counts requests answered from the per-channel reply
+// cache (retransmissions the server refused to re-execute).
+func (s *Server) DedupReplays() uint64 { return s.stats.dedupReplays }
+
+func (s *Server) rand() uint64 {
+	s.rng = mix(s.rng)
+	return s.rng
+}
+
+func (s *Server) where() string { return fmt.Sprintf("host%d", s.node) }
+
+// Run is the shard's event loop; it never returns.
+func (s *Server) Run(p *sim.Proc) {
+	for {
+		now := p.Now()
+		wake := s.nextDue(now + s.cfg.Tick)
+		d := wake - now
+		if d < sim.Microsecond {
+			d = sim.Microsecond
+		}
+		ev, ok := s.ep.port.RecvRoutedTimeout(p, s.ep.q, d)
+		if ok {
+			s.handle(p, ev)
+		} else {
+			s.ep.flushReturns(p)
+		}
+		s.ep.drainSends(p)
+		s.runTimers(p)
+	}
+}
+
+// nextDue scans the retransmit tables for the earliest deadline.
+func (s *Server) nextDue(cap sim.Time) sim.Time {
+	due := cap
+	for _, iv := range s.invs {
+		if !iv.done && iv.nextAt < due {
+			due = iv.nextAt
+		}
+	}
+	for _, t := range s.coordList {
+		if !t.done && t.nextAt < due {
+			due = t.nextAt
+		}
+	}
+	for _, t := range s.stagedList {
+		if !t.done && t.inquireAt < due {
+			due = t.inquireAt
+		}
+	}
+	return due
+}
+
+func (s *Server) handle(p *sim.Proc, ev *nic.Event) {
+	kind, sess, uch, seq := unpackTag(ev.Tag)
+	body := s.ep.read(p, ev)
+	src := bcl.Addr{Node: ev.SrcNode, Port: ev.SrcPort}
+	r := newReader(body)
+	switch kind {
+	case kindHello:
+		s.onHello(p, src, r)
+	case kindAuth:
+		s.onAuth(p, src, sess, r)
+	case kindGet:
+		s.onGet(p, sess, uch, seq, r)
+	case kindPut:
+		s.onPut(p, sess, uch, seq, r)
+	case kindTxn:
+		s.onTxn(p, sess, uch, seq, r)
+	case kindInvAck:
+		s.onInvAck(p, seq)
+	case kindPrepare:
+		s.onPrepare(p, src, r)
+	case kindVote:
+		s.onVote(p, src, r)
+	case kindCommit:
+		s.onCommit(p, src, r)
+	case kindAbort:
+		s.onAbort(p, r)
+	case kindTxnAck:
+		s.onTxnAck(p, src, r)
+	case kindInquire:
+		s.onInquire(p, src, r)
+	default:
+		s.stats.dropped++
+	}
+}
+
+// ------------------------------------------------------ session + auth
+
+func (s *Server) onHello(p *sim.Proc, src bcl.Addr, r *reader) {
+	user := r.str()
+	nonce := r.u64()
+	if !r.ok {
+		s.stats.dropped++
+		return
+	}
+	hk := helloKey{client: src, nonce: nonce}
+	id, ok := s.helloIndex[hk]
+	if !ok {
+		s.nextSess++
+		id = s.nextSess
+		s.helloIndex[hk] = id
+		s.sessions[id] = &session{
+			id: id, client: src, user: user, state: sessChallenged,
+			challenge: s.rand(),
+			lastReply: make(map[uint16]*replyCache),
+			inProg:    make(map[uint16]uint32),
+		}
+	}
+	se := s.sessions[id]
+	// (Re)send the challenge — a duplicated HELLO gets the same one.
+	s.sendTo(p, src, kindChall, id, 0, 0, putU64(nil, se.challenge))
+}
+
+func (s *Server) onAuth(p *sim.Proc, src bcl.Addr, sessID uint16, r *reader) {
+	resp := r.u64()
+	se, ok := s.sessions[sessID]
+	if !ok || !r.ok {
+		s.stats.dropped++
+		return
+	}
+	if se.state == sessUp {
+		// Duplicate AUTH after establishment: replay the OK.
+		s.sendTo(p, src, kindAuthOK, sessID, 0, 0, nil)
+		return
+	}
+	if authResponse(se.challenge, userSecret(se.user, s.cfg.AuthSeed)) != resp {
+		s.stats.authFail++
+		delete(s.sessions, sessID)
+		s.sendTo(p, src, kindAuthFail, sessID, 0, 0, nil)
+		return
+	}
+	se.state = sessUp
+	s.sendTo(p, src, kindAuthOK, sessID, 0, 0, nil)
+}
+
+// established resolves a request's session, dropping unauthenticated
+// traffic.
+func (s *Server) established(sessID uint16) *session {
+	se, ok := s.sessions[sessID]
+	if !ok || se.state != sessUp {
+		s.stats.dropped++
+		return nil
+	}
+	return se
+}
+
+// dedup returns true when a request was already executed (the recorded
+// reply is replayed) or is still executing (the in-flight state
+// machine will answer it).
+func (s *Server) dedup(p *sim.Proc, se *session, uch uint16, seq uint32) bool {
+	if rc := se.lastReply[uch]; rc != nil && rc.seq == seq {
+		s.stats.dedupReplays++
+		s.sendTo(p, se.client, kindReply, se.id, uch, seq, rc.payload)
+		return true
+	}
+	if cur, busy := se.inProg[uch]; busy && cur == seq {
+		return true
+	}
+	return false
+}
+
+// reply records the outcome for the (session, user channel) and sends
+// it; retransmitted requests replay it from the record.
+func (s *Server) reply(p *sim.Proc, se *session, uch uint16, seq uint32, payload []byte) {
+	se.lastReply[uch] = &replyCache{seq: seq, payload: payload}
+	delete(se.inProg, uch)
+	s.stats.replies++
+	s.sendTo(p, se.client, kindReply, se.id, uch, seq, payload)
+}
+
+// ------------------------------------------------------------ KV plane
+
+func (s *Server) onGet(p *sim.Proc, sessID, uch uint16, seq uint32, r *reader) {
+	se := s.established(sessID)
+	if se == nil {
+		return
+	}
+	if s.dedup(p, se, uch, seq) {
+		return
+	}
+	flow := r.u64()
+	key := r.str()
+	if !r.ok {
+		s.stats.dropped++
+		return
+	}
+	s.stats.reqGet++
+	pay := putU64(nil, flow)
+	if e, ok := s.store[key]; ok {
+		s.trace(p, flow, "svc: get serve")
+		// The reply is a cache fill: remember who holds a copy.
+		s.addInterest(key, se.id)
+		pay = append(pay, StatusOK)
+		pay = putU64(pay, e.ver)
+		pay = putBytes(pay, e.val)
+	} else {
+		pay = append(pay, StatusNotFound)
+		pay = putU64(pay, 0)
+		pay = putBytes(pay, nil)
+	}
+	s.reply(p, se, uch, seq, pay)
+}
+
+func (s *Server) onPut(p *sim.Proc, sessID, uch uint16, seq uint32, r *reader) {
+	se := s.established(sessID)
+	if se == nil {
+		return
+	}
+	if s.dedup(p, se, uch, seq) {
+		return
+	}
+	flow := r.u64()
+	key := r.str()
+	val := r.bytes()
+	if !r.ok {
+		s.stats.dropped++
+		return
+	}
+	s.stats.reqPut++
+	if _, locked := s.locks[key]; locked {
+		// A prepared transaction owns the key; the client retries.
+		s.stats.putConflicts++
+		pay := putU64(nil, flow)
+		pay = append(pay, StatusConflict)
+		pay = putU64(pay, 0)
+		pay = putBytes(pay, nil)
+		s.reply(p, se, uch, seq, pay)
+		return
+	}
+	s.trace(p, flow, "svc: put apply")
+	ver := s.apply(key, val)
+	// Build the reply now, send it once every invalidation is acked.
+	pay := putU64(nil, flow)
+	pay = append(pay, StatusOK)
+	pay = putU64(pay, ver)
+	pay = putBytes(pay, nil)
+	se.inProg[uch] = seq
+	g := &invGroup{fire: func(p *sim.Proc) {
+		s.trace(p, flow, "svc: put reply")
+		s.reply(p, se, uch, seq, pay)
+	}}
+	s.invalidate(p, key, ver, se.id, g)
+	// The writer's own cache now holds the new value.
+	s.addInterest(key, se.id)
+	if g.waiting == 0 {
+		g.fire(p)
+	}
+}
+
+// apply writes a key and bumps its version.
+func (s *Server) apply(key string, val []byte) uint64 {
+	e, ok := s.store[key]
+	if !ok {
+		e = &entry{}
+		s.store[key] = e
+	}
+	e.val = append(e.val[:0], val...)
+	e.ver++
+	return e.ver
+}
+
+func (s *Server) addInterest(key string, sessID uint16) {
+	for _, id := range s.interest[key] {
+		if id == sessID {
+			return
+		}
+	}
+	s.interest[key] = append(s.interest[key], sessID)
+}
+
+// invalidate fans one write's invalidations out to every interested
+// session except the writer, clearing the interest set (survivors
+// re-register on their next fill). Each invalidation retransmits until
+// acked and holds the group's completion.
+func (s *Server) invalidate(p *sim.Proc, key string, ver uint64, writer uint16, g *invGroup) {
+	holders := s.interest[key]
+	if len(holders) == 0 {
+		return
+	}
+	delete(s.interest, key)
+	for _, id := range holders {
+		if id == writer {
+			continue
+		}
+		se, ok := s.sessions[id]
+		if !ok {
+			continue
+		}
+		s.nextInv++
+		iv := &invState{
+			id: s.nextInv, key: key, ver: ver, sess: id, client: se.client,
+			group: g, nextAt: p.Now() + s.cfg.RTO, rto: s.cfg.RTO,
+		}
+		g.waiting++
+		s.invs = append(s.invs, iv)
+		s.invByID[iv.id] = iv
+		s.stats.invsSent++
+		s.sendInv(p, iv)
+	}
+}
+
+func (s *Server) sendInv(p *sim.Proc, iv *invState) {
+	pay := putStr(nil, iv.key)
+	pay = putU64(pay, iv.ver)
+	s.sendTo(p, iv.client, kindInv, iv.sess, 0, iv.id, pay)
+}
+
+func (s *Server) onInvAck(p *sim.Proc, invID uint32) {
+	iv, ok := s.invByID[invID]
+	if !ok || iv.done {
+		return
+	}
+	iv.done = true
+	delete(s.invByID, invID)
+	s.stats.invAcks++
+	g := iv.group
+	g.waiting--
+	if g.waiting == 0 && g.fire != nil {
+		g.fire(p)
+	}
+}
+
+// ---------------------------------------------------- 2PC: coordinator
+
+func (s *Server) onTxn(p *sim.Proc, sessID, uch uint16, seq uint32, r *reader) {
+	se := s.established(sessID)
+	if se == nil {
+		return
+	}
+	if s.dedup(p, se, uch, seq) {
+		return
+	}
+	flow := r.u64()
+	nops := int(r.byte())
+	var ops []txOp
+	for i := 0; i < nops && r.ok; i++ {
+		key := r.str()
+		val := r.bytes()
+		ops = append(ops, txOp{key: key, val: append([]byte(nil), val...)})
+	}
+	if !r.ok || len(ops) == 0 {
+		s.stats.dropped++
+		return
+	}
+	s.stats.reqTxn++
+	s.trace(p, flow, "svc: txn begin (coordinator)")
+	s.nextTxn++
+	t := &cTxn{
+		txid: uint64(s.cfg.Index)<<48 | s.nextTxn,
+		sess: sessID, uch: uch, seq: seq, flow: flow,
+		nextAt: p.Now() + s.cfg.RTO, rto: s.cfg.RTO,
+	}
+	// Partition the write set by shard, in shard order so the fan-out
+	// is deterministic.
+	byShard := make(map[int]*cPart)
+	for _, op := range ops {
+		sh := s.cfg.Ring.Shard(op.key)
+		cp, ok := byShard[sh]
+		if !ok {
+			cp = &cPart{shard: sh, addr: s.cfg.Shards[sh]}
+			byShard[sh] = cp
+			t.parts = append(t.parts, cp)
+		}
+		cp.ops = append(cp.ops, op)
+	}
+	for _, cp := range t.parts {
+		pay := putU64(nil, t.txid)
+		pay = putU64(pay, t.flow)
+		pay = append(pay, byte(len(cp.ops)))
+		for _, op := range cp.ops {
+			pay = putStr(pay, op.key)
+			pay = putBytes(pay, op.val)
+		}
+		cp.payload = pay
+	}
+	se.inProg[uch] = seq
+	s.coord[t.txid] = t
+	s.coordList = append(s.coordList, t)
+	for _, cp := range t.parts {
+		s.stats.prepares++
+		s.sendTo(p, cp.addr, kindPrepare, 0, 0, 0, cp.payload)
+	}
+}
+
+func (s *Server) onVote(p *sim.Proc, src bcl.Addr, r *reader) {
+	txid := r.u64()
+	yes := r.byte() == 1
+	t, ok := s.coord[txid]
+	if !ok || !r.ok || t.decided {
+		return
+	}
+	for _, cp := range t.parts {
+		if cp.addr == src {
+			cp.voted, cp.vote = true, yes
+		}
+	}
+	all := true
+	for _, cp := range t.parts {
+		if !cp.voted {
+			all = false
+		} else if !cp.vote {
+			s.decideAbort(p, t)
+			return
+		}
+	}
+	if all {
+		s.decideCommit(p, t)
+	}
+}
+
+// decideAbort is the presumed-abort fast path: tell everyone once,
+// answer the client, and forget. Participants that miss the ABORT will
+// inquire and read the abort from our silence.
+func (s *Server) decideAbort(p *sim.Proc, t *cTxn) {
+	t.decided, t.commit, t.done = true, false, true
+	s.trace(p, t.flow, "svc: txn abort (coordinator)")
+	s.stats.txnAborted++
+	for _, cp := range t.parts {
+		pay := putU64(nil, t.txid)
+		pay = putU64(pay, t.flow)
+		s.sendTo(p, cp.addr, kindAbort, 0, 0, 0, pay)
+	}
+	delete(s.coord, t.txid)
+	if se, ok := s.sessions[t.sess]; ok {
+		pay := putU64(nil, t.flow)
+		pay = append(pay, StatusAborted)
+		pay = putU64(pay, 0)
+		pay = putBytes(pay, nil)
+		s.reply(p, se, t.uch, t.seq, pay)
+	}
+}
+
+// decideCommit records the commit (it must be remembered until every
+// participant acks) and starts the phase-two fan-out.
+func (s *Server) decideCommit(p *sim.Proc, t *cTxn) {
+	t.decided, t.commit = true, true
+	t.nextAt = p.Now() + t.rto
+	s.trace(p, t.flow, "svc: txn commit decision")
+	for _, cp := range t.parts {
+		s.sendCommit(p, t, cp)
+	}
+}
+
+func (s *Server) sendCommit(p *sim.Proc, t *cTxn, cp *cPart) {
+	pay := putU64(nil, t.txid)
+	pay = putU64(pay, t.flow)
+	s.sendTo(p, cp.addr, kindCommit, 0, 0, 0, pay)
+}
+
+func (s *Server) onTxnAck(p *sim.Proc, src bcl.Addr, r *reader) {
+	txid := r.u64()
+	t, ok := s.coord[txid]
+	if !ok || !r.ok || !t.commit {
+		return
+	}
+	for _, cp := range t.parts {
+		if cp.addr == src {
+			cp.acked = true
+		}
+	}
+	for _, cp := range t.parts {
+		if !cp.acked {
+			return
+		}
+	}
+	// Fully applied everywhere: answer the client and forget the txn.
+	t.done = true
+	delete(s.coord, t.txid)
+	s.stats.txnCommitted++
+	s.trace(p, t.flow, "svc: txn committed (all acks)")
+	if se, ok := s.sessions[t.sess]; ok {
+		pay := putU64(nil, t.flow)
+		pay = append(pay, StatusOK)
+		pay = putU64(pay, 0)
+		pay = putBytes(pay, nil)
+		s.reply(p, se, t.uch, t.seq, pay)
+	}
+}
+
+func (s *Server) onInquire(p *sim.Proc, src bcl.Addr, r *reader) {
+	txid := r.u64()
+	if !r.ok {
+		return
+	}
+	if t, ok := s.coord[txid]; ok {
+		if t.commit {
+			for _, cp := range t.parts {
+				if cp.addr == src {
+					s.sendCommit(p, t, cp)
+					return
+				}
+			}
+		}
+		// Known but undecided: stay silent. Presumed abort licenses
+		// aborting only FORGOTTEN transactions — answering ABORT here
+		// would unstage a YES voter that the commit decision still
+		// counts on, and its later COMMIT would be acked blind without
+		// ever applying (a half-applied pair). The participant keeps
+		// its stage and inquires again after backoff.
+		return
+	}
+	// Unknown transaction: by presumption, it aborted.
+	pay := putU64(nil, txid)
+	pay = putU64(pay, 0)
+	s.sendTo(p, src, kindAbort, 0, 0, 0, pay)
+}
+
+// ---------------------------------------------------- 2PC: participant
+
+func (s *Server) onPrepare(p *sim.Proc, src bcl.Addr, r *reader) {
+	txid := r.u64()
+	flow := r.u64()
+	nops := int(r.byte())
+	var ops []txOp
+	for i := 0; i < nops && r.ok; i++ {
+		key := r.str()
+		val := r.bytes()
+		ops = append(ops, txOp{key: key, val: append([]byte(nil), val...)})
+	}
+	if !r.ok {
+		s.stats.dropped++
+		return
+	}
+	if _, done := s.applied[txid]; done {
+		// Already committed here: the duplicate PREPARE crossed our ack.
+		s.voteYes(p, src, txid)
+		return
+	}
+	if st, ok := s.staged[txid]; ok {
+		// Duplicate PREPARE: re-send the recorded vote.
+		s.sendVote(p, src, txid, st.vote)
+		return
+	}
+	// Fresh PREPARE: lockable iff no other transaction holds any key.
+	vote := true
+	for _, op := range ops {
+		if holder, locked := s.locks[op.key]; locked && holder != txid {
+			vote = false
+			break
+		}
+	}
+	st := &pTxn{
+		txid: txid, coord: src, flow: flow, ops: ops, vote: vote,
+		inquireAt: p.Now() + 4*s.cfg.RTO, rto: s.cfg.RTO,
+	}
+	if vote {
+		for _, op := range ops {
+			s.locks[op.key] = txid
+		}
+		s.staged[txid] = st
+		s.stagedList = append(s.stagedList, st)
+		s.trace(p, flow, "svc: prepared (participant)")
+	} else {
+		s.stats.votesNo++
+		s.trace(p, flow, "svc: vote NO (lock conflict)")
+	}
+	s.sendVote(p, src, txid, vote)
+}
+
+func (s *Server) voteYes(p *sim.Proc, coord bcl.Addr, txid uint64) {
+	s.sendVote(p, coord, txid, true)
+}
+
+func (s *Server) sendVote(p *sim.Proc, coord bcl.Addr, txid uint64, yes bool) {
+	pay := putU64(nil, txid)
+	b := byte(0)
+	if yes {
+		b = 1
+	}
+	pay = append(pay, b)
+	s.sendTo(p, coord, kindVote, 0, 0, 0, pay)
+}
+
+func (s *Server) onCommit(p *sim.Proc, src bcl.Addr, r *reader) {
+	txid := r.u64()
+	flow := r.u64()
+	if !r.ok {
+		return
+	}
+	st, ok := s.staged[txid]
+	if !ok {
+		// Already applied (duplicate) or long evicted: ack again. The
+		// coordinator never sends COMMIT to a shard that did not vote
+		// YES, so a blind ack can only confirm old news.
+		s.ackTxn(p, src, txid)
+		return
+	}
+	st.done = true
+	delete(s.staged, txid)
+	s.rememberApplied(txid)
+	s.trace(p, flow, "svc: commit apply (participant)")
+	// Apply every op, release the locks, fan out invalidations; the
+	// ack is withheld until the caches are clean, so a committed
+	// transaction is never visible as stale data anywhere.
+	g := &invGroup{fire: func(p *sim.Proc) {
+		s.trace(p, flow, "svc: txn ack")
+		s.ackTxn(p, src, txid)
+	}}
+	for _, op := range st.ops {
+		delete(s.locks, op.key)
+		ver := s.apply(op.key, op.val)
+		s.invalidate(p, op.key, ver, 0, g)
+	}
+	if g.waiting == 0 {
+		g.fire(p)
+	}
+}
+
+func (s *Server) onAbort(p *sim.Proc, r *reader) {
+	txid := r.u64()
+	st, ok := s.staged[txid]
+	if !ok {
+		return
+	}
+	st.done = true
+	delete(s.staged, txid)
+	s.trace(p, st.flow, "svc: abort (participant)")
+	for _, op := range st.ops {
+		if s.locks[op.key] == txid {
+			delete(s.locks, op.key)
+		}
+	}
+}
+
+func (s *Server) ackTxn(p *sim.Proc, coord bcl.Addr, txid uint64) {
+	s.sendTo(p, coord, kindTxnAck, 0, 0, 0, putU64(nil, txid))
+}
+
+func (s *Server) rememberApplied(txid uint64) {
+	s.applied[txid] = struct{}{}
+	s.appliedFIFO = append(s.appliedFIFO, txid)
+	if len(s.appliedFIFO) > appliedCap {
+		old := s.appliedFIFO[0]
+		s.appliedFIFO = s.appliedFIFO[1:]
+		delete(s.applied, old)
+	}
+}
+
+// --------------------------------------------------------------- timers
+
+// runTimers drives every retransmission and the participant inquiry
+// deadline. Tables are scanned in insertion order; finished entries
+// are compacted away.
+func (s *Server) runTimers(p *sim.Proc) {
+	now := p.Now()
+
+	live := s.invs[:0]
+	for _, iv := range s.invs {
+		if iv.done {
+			continue
+		}
+		if now >= iv.nextAt {
+			// The session may have died; fire the group rather than
+			// retry into the void.
+			if _, ok := s.sessions[iv.sess]; !ok {
+				iv.done = true
+				delete(s.invByID, iv.id)
+				g := iv.group
+				g.waiting--
+				if g.waiting == 0 && g.fire != nil {
+					g.fire(p)
+				}
+				continue
+			}
+			s.stats.invRetrans++
+			s.sendInv(p, iv)
+			iv.rto = backoff(iv.rto, s.cfg.RTO)
+			iv.nextAt = now + iv.rto
+		}
+		live = append(live, iv)
+	}
+	s.invs = live
+
+	liveC := s.coordList[:0]
+	for _, t := range s.coordList {
+		if t.done {
+			continue
+		}
+		if now >= t.nextAt {
+			s.stats.txnRetrans++
+			if !t.decided {
+				for _, cp := range t.parts {
+					if !cp.voted {
+						s.sendTo(p, cp.addr, kindPrepare, 0, 0, 0, cp.payload)
+					}
+				}
+			} else if t.commit {
+				for _, cp := range t.parts {
+					if !cp.acked {
+						s.sendCommit(p, t, cp)
+					}
+				}
+			}
+			t.rto = backoff(t.rto, s.cfg.RTO)
+			t.nextAt = now + t.rto
+		}
+		liveC = append(liveC, t)
+	}
+	s.coordList = liveC
+
+	liveS := s.stagedList[:0]
+	for _, st := range s.stagedList {
+		if st.done {
+			continue
+		}
+		if now >= st.inquireAt {
+			s.sendTo(p, st.coord, kindInquire, 0, 0, 0, putU64(nil, st.txid))
+			st.rto = backoff(st.rto, s.cfg.RTO)
+			st.inquireAt = now + st.rto
+		}
+		liveS = append(liveS, st)
+	}
+	s.stagedList = liveS
+}
+
+// backoff doubles an RTO up to 16x the base.
+func backoff(cur, base sim.Time) sim.Time {
+	next := cur * 2
+	if max := base * 16; next > max {
+		next = max
+	}
+	return next
+}
+
+// sendTo transmits one service message, swallowing transport errors:
+// failures surface as EvSendFailed events and are healed by the
+// service-level retransmit timers.
+func (s *Server) sendTo(p *sim.Proc, dst bcl.Addr, kind uint8, sess, uch uint16, seq uint32, payload []byte) {
+	_ = s.ep.send(p, dst, kind, sess, uch, seq, payload)
+}
+
+// trace emits one flow span when the message is part of a traced
+// request and a tracer is attached.
+func (s *Server) trace(p *sim.Proc, flow uint64, stage string) {
+	if s.tr == nil || flow == 0 {
+		return
+	}
+	s.tr.DoFlow(p, stage, s.where(), flow, func() {})
+}

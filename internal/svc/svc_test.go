@@ -1,0 +1,398 @@
+package svc
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"testing"
+
+	"bcl/internal/bcl"
+	"bcl/internal/cluster"
+	"bcl/internal/fabric"
+	"bcl/internal/sim"
+)
+
+const tbBufSize = 2048
+
+// fixedGap is a deterministic arrival process for tests (the real
+// generators live in internal/workloads).
+type fixedGap sim.Time
+
+func (g fixedGap) Next() sim.Time { return sim.Time(g) }
+
+type fixedSize int
+
+func (s fixedSize) Next() int { return int(s) }
+
+// tier is a running service deployment: `shards` server nodes followed
+// by one driver node.
+type tier struct {
+	c       *cluster.Cluster
+	servers []*Server
+	driver  *Driver
+	ring    *Ring
+}
+
+func buildTier(t *testing.T, ccfg cluster.Config, shards int, dcfg DriverConfig) *tier {
+	t.Helper()
+	ccfg.Nodes = shards + 1
+	if ccfg.Fabric == "" {
+		ccfg.Fabric = cluster.Myrinet
+	}
+	ccfg.NIC = bcl.DefaultNICConfig()
+	c := cluster.New(ccfg)
+	sys := bcl.NewSystem(c)
+	tr := &tier{c: c, ring: NewRing(shards, 64)}
+
+	done := false
+	c.Env.Go("setup", func(p *sim.Proc) {
+		opts := bcl.Options{SystemBuffers: 128, SystemBufSize: tbBufSize}
+		var addrs []bcl.Addr
+		var ports []*bcl.Port
+		for i := 0; i < shards; i++ {
+			nd := c.Nodes[i]
+			pt, err := sys.Open(p, nd, nd.Kernel.Spawn(), opts)
+			if err != nil {
+				t.Errorf("open shard %d: %v", i, err)
+				return
+			}
+			ports = append(ports, pt)
+			addrs = append(addrs, pt.Addr())
+		}
+		for i, pt := range ports {
+			srv := NewServer(p, pt, tbBufSize, ServerConfig{
+				Index: i, Shards: addrs, Ring: tr.ring,
+				AuthSeed: 0xa0a0, Seed: 7,
+			})
+			tr.servers = append(tr.servers, srv)
+			c.Env.Go(fmt.Sprintf("shard%d", i), srv.Run)
+		}
+		nd := c.Nodes[shards]
+		pt, err := sys.Open(p, nd, nd.Kernel.Spawn(), opts)
+		if err != nil {
+			t.Errorf("open driver: %v", err)
+			return
+		}
+		dcfg.Shards = addrs
+		dcfg.Ring = tr.ring
+		dcfg.AuthSeed = 0xa0a0
+		if dcfg.UserName == "" {
+			dcfg.UserName = "alice"
+		}
+		tr.driver = NewDriver(p, pt, tbBufSize, dcfg)
+		c.Env.Go("driver", tr.driver.Run)
+		done = true
+	})
+	c.Env.RunUntil(10 * sim.Millisecond)
+	if !done {
+		t.Fatal("setup did not finish")
+	}
+	return tr
+}
+
+// runDrained advances the clock until the driver drains, then settles
+// a little longer so trailing invalidations and 2PC acks land.
+func (tr *tier) runDrained(t *testing.T, horizon sim.Time) {
+	t.Helper()
+	for tr.c.Env.Now() < horizon {
+		tr.c.Env.RunUntil(tr.c.Env.Now() + sim.Millisecond)
+		if tr.driver.Drained() && !tr.driver.genOn {
+			break
+		}
+	}
+	if !tr.driver.Drained() {
+		st := tr.driver.Stats()
+		t.Fatalf("driver not drained by %v: issued=%d done=%d pending=%d",
+			tr.c.Env.Now(), st.Issued, st.Done, len(tr.driver.pending))
+	}
+	tr.c.Env.RunUntil(tr.c.Env.Now() + 20*sim.Millisecond)
+}
+
+// crossShardPairs builds n transaction key pairs whose two keys land
+// on different shards.
+func crossShardPairs(ring *Ring, n int) (pa, pb []string) {
+	for i := 0; len(pa) < n; i++ {
+		a := fmt.Sprintf("pa%04d", i)
+		b := fmt.Sprintf("pb%04d", i)
+		if ring.Shard(a) != ring.Shard(b) {
+			pa = append(pa, a)
+			pb = append(pb, b)
+		}
+	}
+	return pa, pb
+}
+
+func (tr *tier) peek(key string) ([]byte, uint64) {
+	return tr.servers[tr.ring.Shard(key)].Peek(key)
+}
+
+// checkAtomicity verifies every transaction pair holds identical
+// bytes on its two shards.
+func (tr *tier) checkAtomicity(t *testing.T, pa, pb []string) (committedPairs int) {
+	t.Helper()
+	for i := range pa {
+		va, vera := tr.peek(pa[i])
+		vb, verb := tr.peek(pb[i])
+		if (vera == 0) != (verb == 0) {
+			t.Errorf("pair %d: half-applied transaction (vers %d vs %d)", i, vera, verb)
+			continue
+		}
+		if vera == 0 {
+			continue
+		}
+		committedPairs++
+		if string(va) != string(vb) {
+			t.Errorf("pair %d: values differ across shards (%d vs %d bytes)", i, len(va), len(vb))
+		}
+	}
+	return committedPairs
+}
+
+// checkCoherence verifies every driver cache entry matches the owning
+// shard's committed version exactly.
+func (tr *tier) checkCoherence(t *testing.T) {
+	t.Helper()
+	for key, ver := range tr.driver.CacheSnapshot() {
+		_, want := tr.peek(key)
+		if ver != want {
+			t.Errorf("cache incoherent: %s cached v%d, store v%d", key, ver, want)
+		}
+	}
+}
+
+func TestKVSessionsAndCache(t *testing.T) {
+	tr := buildTier(t, cluster.Config{}, 2, DriverConfig{
+		Users: 64, Seed: 11, Keys: 40,
+		Arrivals: fixedGap(15 * sim.Microsecond), Sizes: fixedSize(64),
+		GetFrac: 0.6, TxnFrac: 0,
+		Start: sim.Millisecond, Duration: 20 * sim.Millisecond,
+	})
+	tr.runDrained(t, 200*sim.Millisecond)
+	st := tr.driver.Stats()
+	if st.Done == 0 || st.Done != st.Issued {
+		t.Fatalf("issued %d done %d", st.Issued, st.Done)
+	}
+	if st.Violations != 0 {
+		t.Errorf("%d monotonic-read violations", st.Violations)
+	}
+	if st.CacheHits == 0 {
+		t.Error("cache never hit")
+	}
+	if st.AuthFails != 0 {
+		t.Errorf("%d auth failures", st.AuthFails)
+	}
+	tr.checkCoherence(t)
+	for _, s := range tr.servers {
+		if s.stats.dedupReplays > st.Retransmits {
+			t.Errorf("more replays (%d) than client retransmits (%d)", s.stats.dedupReplays, st.Retransmits)
+		}
+	}
+}
+
+func TestTxnCommitAtomic(t *testing.T) {
+	ring := NewRing(3, 64)
+	pa, pb := crossShardPairs(ring, 8)
+	tr := buildTier(t, cluster.Config{}, 3, DriverConfig{
+		Users: 32, Seed: 5, Keys: 20,
+		Arrivals: fixedGap(25 * sim.Microsecond), Sizes: fixedSize(48),
+		GetFrac: 0.3, TxnFrac: 0.4, PairA: pa, PairB: pb,
+		Start: sim.Millisecond, Duration: 25 * sim.Millisecond,
+	})
+	tr.runDrained(t, 300*sim.Millisecond)
+	if got := tr.checkAtomicity(t, pa, pb); got == 0 {
+		t.Fatal("no transaction ever committed")
+	}
+	var committed uint64
+	for _, s := range tr.servers {
+		c, _, _ := s.Stats()
+		committed += c
+	}
+	if committed == 0 {
+		t.Fatal("no coordinator recorded a commit")
+	}
+	tr.checkCoherence(t)
+	if v := tr.driver.Stats().Violations; v != 0 {
+		t.Errorf("%d linearizable-read violations", v)
+	}
+}
+
+// TestTxnSurvivesDuplicates floods the fabric with duplicated packets:
+// every service message (including PREPARE/COMMIT/acks) arrives twice
+// every few packets, so server dedup and 2PC idempotence both carry
+// weight.
+func TestTxnSurvivesDuplicates(t *testing.T) {
+	ring := NewRing(3, 64)
+	pa, pb := crossShardPairs(ring, 6)
+	tr := buildTier(t, cluster.Config{}, 3, DriverConfig{
+		Users: 32, Seed: 9, Keys: 20,
+		Arrivals: fixedGap(30 * sim.Microsecond), Sizes: fixedSize(48),
+		GetFrac: 0.3, TxnFrac: 0.4, PairA: pa, PairB: pb,
+		Start: sim.Millisecond, Duration: 25 * sim.Millisecond,
+	})
+	tr.c.Fabric.SetFault(fabric.DuplicateEvery(5))
+	tr.runDrained(t, 400*sim.Millisecond)
+	if got := tr.checkAtomicity(t, pa, pb); got == 0 {
+		t.Fatal("no transaction committed under duplication")
+	}
+	tr.checkCoherence(t)
+	if v := tr.driver.Stats().Violations; v != 0 {
+		t.Errorf("%d violations under duplication", v)
+	}
+}
+
+// TestTxnSurvivesOutage takes a participant shard's fabric link down
+// mid-run; service-level retransmits and the participant inquiry path
+// must finish every transaction without a half-applied pair.
+func TestTxnSurvivesOutage(t *testing.T) {
+	ring := NewRing(3, 64)
+	pa, pb := crossShardPairs(ring, 6)
+	tr := buildTier(t, cluster.Config{}, 3, DriverConfig{
+		Users: 24, Seed: 13, Keys: 16,
+		Arrivals: fixedGap(40 * sim.Microsecond), Sizes: fixedSize(48),
+		GetFrac: 0.2, TxnFrac: 0.5, PairA: pa, PairB: pb,
+		Start: sim.Millisecond, Duration: 30 * sim.Millisecond,
+		RTO:   500 * sim.Microsecond,
+	})
+	ld, ok := tr.c.Fabric.(interface {
+		LinkDown(node int, from, to sim.Time)
+	})
+	if !ok {
+		t.Fatal("fabric has no LinkDown")
+	}
+	ld.LinkDown(1, 8*sim.Millisecond, 12*sim.Millisecond)
+	tr.runDrained(t, 600*sim.Millisecond)
+	if got := tr.checkAtomicity(t, pa, pb); got == 0 {
+		t.Fatal("no transaction committed across the outage")
+	}
+	tr.checkCoherence(t)
+	if v := tr.driver.Stats().Violations; v != 0 {
+		t.Errorf("%d violations across outage", v)
+	}
+}
+
+// TestTxnSurvivesFirmwareCrash crashes a shard's NIC firmware
+// mid-workload with the watchdog enabled: the kernel reboots and
+// reprograms the card, and the service layer's RTOs re-drive whatever
+// the crash swallowed.
+func TestTxnSurvivesFirmwareCrash(t *testing.T) {
+	ring := NewRing(3, 64)
+	pa, pb := crossShardPairs(ring, 6)
+	tr := buildTier(t, cluster.Config{Watchdog: true}, 3, DriverConfig{
+		Users: 24, Seed: 17, Keys: 16,
+		Arrivals: fixedGap(40 * sim.Microsecond), Sizes: fixedSize(48),
+		GetFrac: 0.2, TxnFrac: 0.5, PairA: pa, PairB: pb,
+		Start: sim.Millisecond, Duration: 30 * sim.Millisecond,
+		RTO:   500 * sim.Microsecond,
+	})
+	tr.c.Nodes[2].NIC.CrashAt(10 * sim.Millisecond)
+	tr.runDrained(t, 600*sim.Millisecond)
+	if got := tr.checkAtomicity(t, pa, pb); got == 0 {
+		t.Fatal("no transaction committed across the firmware crash")
+	}
+	tr.checkCoherence(t)
+	if v := tr.driver.Stats().Violations; v != 0 {
+		t.Errorf("%d violations across firmware crash", v)
+	}
+}
+
+// digestTier fingerprints everything externally visible about a run:
+// latency samples in completion order, driver counters, and the full
+// committed store of every shard.
+func digestTier(tr *tier) uint64 {
+	h := fnv.New64a()
+	w := func(v uint64) {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> uint(8*i))
+		}
+		h.Write(b[:])
+	}
+	for _, s := range tr.driver.Samples() {
+		w(uint64(s))
+	}
+	st := tr.driver.Stats()
+	w(st.Issued)
+	w(st.Done)
+	w(st.CacheHits)
+	w(st.Misses)
+	w(st.TxnAborts)
+	for _, s := range tr.servers {
+		keys := make([]string, 0, len(s.store))
+		for k := range s.store {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			h.Write([]byte(k))
+			e := s.store[k]
+			w(e.ver)
+			h.Write(e.val)
+		}
+	}
+	return h.Sum64()
+}
+
+// TestServiceDeterministic runs the identical seeded scenario twice
+// and demands byte-identical samples, counters and stores.
+func TestServiceDeterministic(t *testing.T) {
+	run := func() uint64 {
+		ring := NewRing(3, 64)
+		pa, pb := crossShardPairs(ring, 6)
+		tr := buildTier(t, cluster.Config{Seed: 3}, 3, DriverConfig{
+			Users: 32, Seed: 21, Keys: 24,
+			Arrivals: fixedGap(30 * sim.Microsecond), Sizes: fixedSize(56),
+			GetFrac: 0.4, TxnFrac: 0.3, PairA: pa, PairB: pb,
+			Start: sim.Millisecond, Duration: 20 * sim.Millisecond,
+		})
+		tr.c.Fabric.SetFault(fabric.DuplicateEvery(9))
+		tr.runDrained(t, 400*sim.Millisecond)
+		return digestTier(tr)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same-seed runs diverged: %x vs %x", a, b)
+	}
+}
+
+func TestRingBalanceAndStability(t *testing.T) {
+	ring := NewRing(4, 64)
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		counts[ring.Shard(fmt.Sprintf("key%05d", i))]++
+	}
+	for s, n := range counts {
+		if n < 400 {
+			t.Errorf("shard %d owns only %d/4000 keys", s, n)
+		}
+	}
+	// Consistency: growing the ring must not move keys between the
+	// surviving shards (only onto the new one).
+	big := NewRing(5, 64)
+	moved := 0
+	for i := 0; i < 4000; i++ {
+		k := fmt.Sprintf("key%05d", i)
+		a, b := ring.Shard(k), big.Shard(k)
+		if a != b && b != 4 {
+			moved++
+		}
+	}
+	if moved > 0 {
+		t.Errorf("%d keys moved between surviving shards on grow", moved)
+	}
+}
+
+func TestTagRoundTrip(t *testing.T) {
+	kinds := []uint8{kindHello, kindReply, kindInquire}
+	for _, k := range kinds {
+		for _, sess := range []uint16{0, 1, 1<<sessBits - 1} {
+			for _, uch := range []uint16{0, 7, 1<<uchBits - 1} {
+				for _, seq := range []uint32{0, 12345, 1<<seqBits - 1} {
+					gk, gs, gu, gq := unpackTag(packTag(k, sess, uch, seq))
+					if gk != k || gs != sess || gu != uch || gq != seq {
+						t.Fatalf("round trip (%d,%d,%d,%d) -> (%d,%d,%d,%d)",
+							k, sess, uch, seq, gk, gs, gu, gq)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package openloop
+
+import (
+	"testing"
+
+	"bcl/internal/sim"
+)
+
+func TestPoissonDeterministicAndMean(t *testing.T) {
+	const mean = 20 * sim.Microsecond
+	a := NewPoisson(7, mean)
+	b := NewPoisson(7, mean)
+	c := NewPoisson(8, mean)
+	var sum sim.Time
+	diff := false
+	const n = 20000
+	for i := 0; i < n; i++ {
+		ga, gb, gc := a.Next(), b.Next(), c.Next()
+		if ga != gb {
+			t.Fatalf("sample %d: same seed diverged: %d vs %d", i, ga, gb)
+		}
+		if ga != gc {
+			diff = true
+		}
+		if ga < 1 {
+			t.Fatalf("sample %d: non-positive gap %d", i, ga)
+		}
+		sum += ga
+	}
+	if !diff {
+		t.Fatalf("different seeds produced identical streams")
+	}
+	got := float64(sum) / n
+	want := float64(mean)
+	if got < 0.95*want || got > 1.05*want {
+		t.Fatalf("mean gap %0.f ns, want within 5%% of %0.f", got, want)
+	}
+}
+
+func TestBurstyBurstierThanPoisson(t *testing.T) {
+	// Count arrivals per fixed window; the MMPP must have a higher
+	// index of dispersion (variance/mean of window counts) than a
+	// Poisson process of any rate (whose index is 1).
+	const window = sim.Millisecond
+	counts := func(next func() sim.Time) []float64 {
+		var out []float64
+		var now, edge sim.Time
+		edge = window
+		n := 0.0
+		for i := 0; i < 40000; i++ {
+			now += next()
+			for now >= edge {
+				out = append(out, n)
+				n = 0
+				edge += window
+			}
+			n++
+		}
+		return out
+	}
+	dispersion := func(xs []float64) float64 {
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var v float64
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		return v / float64(len(xs)) / mean
+	}
+	pois := dispersion(counts(NewPoisson(3, 25*sim.Microsecond).Next))
+	burst := dispersion(counts(NewBursty(3, 80*sim.Microsecond, 5*sim.Microsecond, 200, 100).Next))
+	if burst < 2*pois {
+		t.Fatalf("bursty dispersion %.2f not clearly above poisson %.2f", burst, pois)
+	}
+
+	// Same-seed determinism.
+	a := NewBursty(11, 50*sim.Microsecond, 5*sim.Microsecond, 100, 50)
+	b := NewBursty(11, 50*sim.Microsecond, 5*sim.Microsecond, 100, 50)
+	for i := 0; i < 5000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("sample %d: same seed diverged", i)
+		}
+	}
+}
+
+func TestBoundedParetoBoundsAndTail(t *testing.T) {
+	const lo, hi = 16, 3072
+	g := NewBoundedPareto(5, lo, hi, 1.2)
+	g2 := NewBoundedPareto(5, lo, hi, 1.2)
+	var small, large int
+	for i := 0; i < 20000; i++ {
+		v := g.Next()
+		if v != g2.Next() {
+			t.Fatalf("sample %d: same seed diverged", i)
+		}
+		if v < lo || v > hi {
+			t.Fatalf("sample %d: %d outside [%d, %d]", i, v, lo, hi)
+		}
+		if v < 4*lo {
+			small++
+		}
+		if v > hi/2 {
+			large++
+		}
+	}
+	// Heavy tail: most samples near the floor, but the far tail is
+	// populated too.
+	if small < 10000 {
+		t.Fatalf("only %d/20000 samples near the floor; not Pareto-shaped", small)
+	}
+	if large == 0 {
+		t.Fatalf("no samples in the far tail")
+	}
+}
+
+func TestGeneratorsAllocationFree(t *testing.T) {
+	p := NewPoisson(1, 10*sim.Microsecond)
+	b := NewBursty(1, 10*sim.Microsecond, sim.Microsecond, 50, 20)
+	s := NewBoundedPareto(1, 16, 4096, 1.3)
+	var sink sim.Time
+	var sz int
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink += p.Next()
+		sink += b.Next()
+		sz += s.Next()
+	})
+	if allocs != 0 {
+		t.Fatalf("generators allocate %.1f objects per sample batch, want 0", allocs)
+	}
+	_ = sink
+	_ = sz
+}
