@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test race short bench experiments chaos survival collectives metrics profile multitenant healthwatch serve baseline check examples tools clean
+.PHONY: all test race short bench experiments chaos survival collectives metrics profile multitenant healthwatch serve reqobs baseline check examples tools clean
 
 all: test
 
@@ -94,6 +94,20 @@ SERVE_SEED ?= 1
 serve:
 	$(GO) run ./cmd/bclbench -seed $(SERVE_SEED) serve
 	$(GO) run ./cmd/bcltrace -rpc
+
+# Request-level observability: the reqobs gauntlet (tail-sampled
+# request traces with forced retention of aborts/retransmits/SLO
+# violations, histogram exemplars in the OpenMetrics dump, space-saving
+# heavy-hitter sketches driving the hot-shard-divergence rule, and the
+# deterministic slow-request log — every phase run twice, digests must
+# match), the bcltop replay of the hot-key phase, and the ranked
+# slow-request log of the chaos phase. Override the fault schedule
+# with REQOBS_SEED=<n>.
+REQOBS_SEED ?= 1
+reqobs:
+	$(GO) run ./cmd/bclbench -seed $(REQOBS_SEED) reqobs
+	$(GO) run ./cmd/bclbench -seed $(REQOBS_SEED) -watch reqobs
+	$(GO) run ./cmd/bcltrace -slow -seed $(REQOBS_SEED)
 
 # Continuous benchmark gate. `make baseline` (re)writes
 # baselines/BENCH_*.json from a fresh run of the gated experiments;

@@ -18,6 +18,9 @@
 //	                           # bundle per failing gate to dir
 //	bclbench -watch            # replay the healthwatch fault phase as
 //	                           # live bcltop frames (terminal "top" view)
+//	bclbench -watch reqobs     # replay the reqobs hotkey phase instead:
+//	                           # frames carry the sampled/dropped trace
+//	                           # counters and the heavy-hitter line
 package main
 
 import (
@@ -39,7 +42,7 @@ func main() {
 	baseline := flag.Bool("baseline", false, "run the gated experiments and (re)write the baselines")
 	dir := flag.String("dir", "baselines", "baseline directory for -check / -baseline")
 	out := flag.String("out", "", "also write fresh BENCH_<name>.json artifacts to this directory")
-	watch := flag.Bool("watch", false, "replay the healthwatch fault phase as bcltop frames")
+	watch := flag.Bool("watch", false, "replay the healthwatch fault phase (or the reqobs hotkey phase: -watch reqobs) as bcltop frames")
 	post := flag.String("postmortem", "", "with -check: write POSTMORTEM_<name>.json bundles for failing gates to this directory")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bclbench [-list] [-seed N] [-metrics] [-out dir] all | <experiment> ...\n")
@@ -69,7 +72,18 @@ func main() {
 		return
 	}
 	if *watch {
-		for i, f := range bench.HealthWatchFrames(*seed) {
+		frames := bench.HealthWatchFrames
+		if flag.NArg() > 0 {
+			switch flag.Arg(0) {
+			case "reqobs", "reqtrace":
+				frames = bench.ReqObsFrames
+			case "healthwatch", "health":
+			default:
+				fmt.Fprintf(os.Stderr, "bclbench: -watch takes healthwatch or reqobs, not %q\n", flag.Arg(0))
+				os.Exit(2)
+			}
+		}
+		for i, f := range frames(*seed) {
 			if i > 0 {
 				fmt.Println()
 			}

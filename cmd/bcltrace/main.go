@@ -39,6 +39,12 @@
 //	bcltrace -health bundle.json
 //	                            # pretty-print a saved bcl-postmortem/v1
 //	                            # bundle (e.g. a CI gate-failure artifact)
+//	bcltrace -slow              # ranked slow-request log of the reqobs
+//	                            # chaos phase: per-request phase
+//	                            # breakdown (queue, wire, exec, 2PC,
+//	                            # invalidation-wait) with retention
+//	                            # reasons, from tail-sampled span trees
+//	bcltrace -slow -seed 7      # the same under another fault schedule
 package main
 
 import (
@@ -59,7 +65,13 @@ func main() {
 	rpc := flag.Bool("rpc", false, "trace the causal flow of cross-shard transactions through the service tier")
 	profFlag := flag.Bool("prof", false, "print the virtual-time attribution table for one traced message")
 	healthFlag := flag.Bool("health", false, "pretty-print a bcl-postmortem/v1 bundle (a file argument, or the healthwatch fault phase's first bundle)")
+	slowFlag := flag.Bool("slow", false, "print the ranked slow-request log of the reqobs chaos phase")
+	seed := flag.Uint64("seed", 1, "fault-schedule seed for -slow")
 	flag.Parse()
+	if *slowFlag {
+		fmt.Print(bench.ReqObsSlowLog(*seed))
+		return
+	}
 	if *healthFlag {
 		var data []byte
 		var err error

@@ -84,6 +84,7 @@ var GatedExperiments = []struct{ Name, ID string }{
 	{"multitenant", "multitenant"},
 	{"healthwatch", "healthwatch"},
 	{"serve", "serve"},
+	{"reqobs", "reqobs"},
 }
 
 // ArtifactFile returns the artifact filename for a gate entry name.
@@ -218,6 +219,26 @@ var exactMetrics = map[string]bool{
 	"dedup_nonzero":       true,
 	"retrans_nonzero":     true,
 	"txn_commits_nonzero": true,
+	// Request-observability correctness: sampling must retain every
+	// abort and SLO breach within budget, the hot-shard rule must fire
+	// on the skewed phase only, and slow logs, exemplar sets and
+	// sampling decisions must be byte-identical across double runs.
+	"hot_rule_fired":           true,
+	"hot_rule_silent_baseline": true,
+	"bundle_has_slowlog":       true,
+	"aborts_all_retained":      true,
+	"slo_all_retained":         true,
+	"chaos_aborts_nonzero":     true,
+	"chaos_slo_nonzero":        true,
+	"budget_respected":         true,
+	"budget_dropped_nonzero":   true,
+	"exemplars_nonzero":        true,
+	"trace_cap_respected":      true,
+	"trace_evictions_nonzero":  true,
+	"slowlog_deterministic":    true,
+	"exemplar_deterministic":   true,
+	"sampling_deterministic":   true,
+	"drained":                  true,
 }
 
 // tolFor picks the acceptance band for one metric.
@@ -367,6 +388,8 @@ func ByIDSeeded(id string, seed uint64) *Report {
 		return runExperiment(func() *Report { return HealthWatchSeeded(seed) })
 	case "serve":
 		return runExperiment(func() *Report { return ServeSeeded(seed) })
+	case "reqobs":
+		return runExperiment(func() *Report { return ReqObsSeeded(seed) })
 	}
 	return ByID(id)
 }

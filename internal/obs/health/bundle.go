@@ -44,6 +44,23 @@ type Flow struct {
 	Spans []FlowSpan `json:"spans"`
 }
 
+// SlowEntry is one ranked slow-request-log line embedded in a bundle:
+// the request's identity, its latency, why its trace was retained, and
+// the per-phase stage markers (offsets are absolute virtual ns).
+type SlowEntry struct {
+	Flow    string     `json:"flow"` // hex flow id
+	Kind    string     `json:"kind"`
+	Key     string     `json:"key"`
+	User    uint16     `json:"user"`
+	Node    int        `json:"node"`
+	Shard   int        `json:"shard"`
+	LatNs   int64      `json:"lat_ns"`
+	Why     string     `json:"why,omitempty"`
+	Retrans int        `json:"retrans,omitempty"`
+	Aborted bool       `json:"aborted,omitempty"`
+	Phases  []FlowSpan `json:"phases,omitempty"`
+}
+
 // Trigger names the rule trip that caused an alert bundle.
 type Trigger struct {
 	Rule     string  `json:"rule"`
@@ -70,6 +87,7 @@ type Bundle struct {
 	Diff    *obs.Snapshot      `json:"window_diff,omitempty"`
 	Flight  []FlightEvent      `json:"flight,omitempty"`
 	Flows   []Flow             `json:"flows,omitempty"`
+	Slow    []SlowEntry        `json:"slow_requests,omitempty"`
 }
 
 // alertBundle captures the engine's evidence at a firing transition:
@@ -96,6 +114,9 @@ func (e *Engine) alertBundle(r *Rule, tr Transition) *Bundle {
 		b.Flight = flightEvents(e.o.Rec.Events())
 	}
 	b.Flows = WorstFlows(e.Tracer, 3)
+	if e.SlowLog != nil {
+		b.Slow = e.SlowLog(slowTail)
+	}
 	return b
 }
 
@@ -274,6 +295,13 @@ func (b *Bundle) Text() string {
 				float64(s.StartNs)/1000, s.Stage, s.Where, float64(s.EndNs-s.StartNs)/1000)
 		}
 	}
+	if len(b.Slow) > 0 {
+		fmt.Fprintf(&w, "\nslow requests (%d):\n", len(b.Slow))
+		for i, s := range b.Slow {
+			fmt.Fprintf(&w, "#%-3d %9.2fus  %-4s key=%-8s u%04d node%d shard%d flow=%s  [%s]\n",
+				i+1, float64(s.LatNs)/1000, s.Kind, s.Key, s.User, s.Node, s.Shard, s.Flow, s.Why)
+		}
+	}
 	return w.String()
 }
 
@@ -281,6 +309,7 @@ const (
 	seriesTail = 6
 	diffTail   = 24
 	flightTail = 16
+	slowTail   = 8
 )
 
 func nonZero(s *obs.Snapshot) int {

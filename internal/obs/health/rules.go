@@ -109,6 +109,13 @@ type Engine struct {
 	Tracer *trace.Tracer
 	// Window bounds the retained sample/series history (default 64).
 	Window int
+	// Hot, when set, appends a heavy-hitter summary line to every
+	// bcltop frame (typically a reqtrace.Recorder's HotLine; the
+	// sketch state is live, not replayed).
+	Hot func() string
+	// SlowLog, when set, lets postmortem bundles embed the slow-request
+	// log (typically a reqtrace.Recorder's SlowLog).
+	SlowLog func(n int) []SlowEntry
 
 	o           *obs.Obs
 	window      []obs.Sample
@@ -282,5 +289,14 @@ func DefaultRules() []*Rule {
 		// requests complete within 5ms" (arrival-to-reply, queueing
 		// included, so this is the user-visible objective).
 		BurnRate("svc-slo-burn", "svc", "req_latency_ns", int64(5*sim.Millisecond), 0.999, 10).ForSamples(2),
+		// Hot-shard divergence: the top shard's share of the request
+		// stream (from the reqtrace space-saving sketches) pulls away
+		// from the fair per-shard share. Both gauges come from a
+		// reqtrace.Recorder's GaugeCollector; without one the source
+		// reads 0 against a floor of 5, so the rule stays silent.
+		Divergence("hot-shard-divergence",
+			GaugeOf("reqtrace", "hot_shard_share_pct"),
+			GaugeOf("reqtrace", "fair_shard_share_pct"),
+			1.5, 5).ForSamples(2),
 	}
 }

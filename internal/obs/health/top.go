@@ -21,6 +21,17 @@ func (e *Engine) frame(prev, cur obs.Sample) string {
 		firing = "none"
 	}
 	fmt.Fprintf(&b, "bcltop  t=%9.3fms  firing: %s\n", float64(cur.At)/float64(sim.Millisecond), firing)
+	// Request-level trace counters, when a reqtrace recorder publishes
+	// into the registry (absent layers render nothing, keeping the
+	// pre-reqtrace frames byte-identical).
+	if samp, ok := cur.Snap.Counter(-1, "reqtrace", "traces_sampled"); ok {
+		drop, _ := cur.Snap.Counter(-1, "reqtrace", "traces_dropped")
+		held, _ := cur.Snap.Gauge(-1, "reqtrace", "retained_traces")
+		hotKey, _ := cur.Snap.Gauge(-1, "reqtrace", "hot_key_share_pct")
+		hotShard, _ := cur.Snap.Gauge(-1, "reqtrace", "hot_shard_share_pct")
+		fmt.Fprintf(&b, "traces: %d sampled  %d dropped  %d held | hot key %d%%  hot shard %d%%\n",
+			samp, drop, held, hotKey, hotShard)
+	}
 	b.WriteString(topCols)
 	b.WriteByte('\n')
 	dt := float64(cur.At-prev.At) / 1e9
@@ -50,6 +61,10 @@ func (e *Engine) frame(prev, cur obs.Sample) string {
 			n, rate(n, "msgs_sent"), rate(n, "packets_sent"),
 			rate(n, "retransmits"), rate(n, "crc_drops"),
 			ringq, inflt, rxq, p999)
+	}
+	if e.Hot != nil {
+		b.WriteString(e.Hot())
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

@@ -10,12 +10,26 @@ const histBuckets = 48
 
 // Histogram is a log2-bucketed latency histogram. Values are virtual
 // nanoseconds (int64); negative observations clamp to zero.
+//
+// Buckets optionally carry an exemplar: the causal trace id (and exact
+// value) of the most recent observation that landed in the bucket,
+// recorded via ObserveTrace. Exemplars let an operator jump from a
+// suspicious bucket straight to a retained request trace.
 type Histogram struct {
 	counts [histBuckets]uint64
 	count  uint64
 	sum    int64
 	min    int64
 	max    int64
+	ex     *[histBuckets]Exemplar // nil until the first traced observation
+}
+
+// Exemplar links one histogram bucket to a causal trace id: Trace is
+// the id of the latest traced observation landing in the bucket, Value
+// its exact observed value in nanoseconds.
+type Exemplar struct {
+	Trace uint64 `json:"trace_id"`
+	Value int64  `json:"value_ns"`
 }
 
 // bucketOf returns the index of the bucket covering v: the smallest i
@@ -33,13 +47,23 @@ func bucketOf(v int64) int {
 
 // Observe records one value. A nil histogram is a no-op.
 func (h *Histogram) Observe(v int64) {
+	h.ObserveTrace(v, 0)
+}
+
+// ObserveTrace records one value and, when traceID is non-zero, stamps
+// the landing bucket's exemplar with it (latest traced observation
+// wins — deterministic because the simulator is single-threaded). A
+// zero traceID behaves exactly like Observe, so untraced runs never
+// allocate exemplar state.
+func (h *Histogram) ObserveTrace(v int64, traceID uint64) {
 	if h == nil {
 		return
 	}
 	if v < 0 {
 		v = 0
 	}
-	h.counts[bucketOf(v)]++
+	b := bucketOf(v)
+	h.counts[b]++
 	if h.count == 0 || v < h.min {
 		h.min = v
 	}
@@ -48,6 +72,12 @@ func (h *Histogram) Observe(v int64) {
 	}
 	h.count++
 	h.sum += v
+	if traceID != 0 {
+		if h.ex == nil {
+			h.ex = new([histBuckets]Exemplar)
+		}
+		h.ex[b] = Exemplar{Trace: traceID, Value: v}
+	}
 }
 
 // Count returns the number of observations.
@@ -60,10 +90,12 @@ func (h *Histogram) Count() uint64 {
 
 // Bucket is one non-empty histogram bucket in a snapshot: Le is the
 // inclusive upper bound in nanoseconds, Count the observations in
-// (Le/2, Le] alone (not cumulative).
+// (Le/2, Le] alone (not cumulative). Ex, when set, is the bucket's
+// exemplar — the trace id of a sample that landed here.
 type Bucket struct {
-	Le    int64  `json:"le"`
-	Count uint64 `json:"count"`
+	Le    int64     `json:"le"`
+	Count uint64    `json:"count"`
+	Ex    *Exemplar `json:"exemplar,omitempty"`
 }
 
 // HistPoint is one histogram in a snapshot. Only non-empty buckets are
@@ -78,6 +110,11 @@ type HistPoint struct {
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
+// Point snapshots the histogram under a bare cluster-wide key, for
+// callers that track their own histograms outside a registry (e.g. the
+// reqtrace running-quantile estimator).
+func (h *Histogram) Point() HistPoint { return h.point(Key{Node: -1}) }
+
 // point snapshots the histogram state under a key.
 func (h *Histogram) point(k Key) HistPoint {
 	p := HistPoint{Key: k}
@@ -87,7 +124,12 @@ func (h *Histogram) point(k Key) HistPoint {
 	p.Count, p.Sum, p.Min, p.Max = h.count, h.sum, h.min, h.max
 	for i, c := range h.counts {
 		if c > 0 {
-			p.Buckets = append(p.Buckets, Bucket{Le: int64(1) << i, Count: c})
+			b := Bucket{Le: int64(1) << i, Count: c}
+			if h.ex != nil && h.ex[i].Trace != 0 {
+				e := h.ex[i]
+				b.Ex = &e
+			}
+			p.Buckets = append(p.Buckets, b)
 		}
 	}
 	return p
@@ -121,17 +163,28 @@ func (p HistPoint) sub(prev HistPoint) HistPoint {
 }
 
 // addBuckets merges b into a with the given sign, keeping ascending Le
-// order and dropping empty buckets.
+// order and dropping empty buckets. Exemplars survive the merge: on
+// addition b's exemplar wins when both buckets carry one (matching
+// the latest-observation-wins rule of ObserveTrace under the sorted,
+// deterministic merge order); on subtraction the current (a-side)
+// exemplar is kept.
 func addBuckets(a, b []Bucket, sign int64) []Bucket {
 	m := make(map[int64]uint64, len(a)+len(b))
+	ex := make(map[int64]*Exemplar, len(a))
 	for _, x := range a {
 		m[x.Le] += x.Count
+		if x.Ex != nil {
+			ex[x.Le] = x.Ex
+		}
 	}
 	for _, x := range b {
 		if sign < 0 {
 			m[x.Le] -= x.Count
 		} else {
 			m[x.Le] += x.Count
+			if x.Ex != nil {
+				ex[x.Le] = x.Ex
+			}
 		}
 	}
 	var les []int64
@@ -148,7 +201,7 @@ func addBuckets(a, b []Bucket, sign int64) []Bucket {
 	}
 	out := make([]Bucket, 0, len(les))
 	for _, le := range les {
-		out = append(out, Bucket{Le: le, Count: m[le]})
+		out = append(out, Bucket{Le: le, Count: m[le], Ex: ex[le]})
 	}
 	return out
 }

@@ -94,3 +94,85 @@ func TestQuantileAccessors(t *testing.T) {
 		t.Fatal("empty P99 != 0")
 	}
 }
+
+// TestQuantileEdgeCases: out-of-range q clamps, empty histograms
+// report 0 everywhere, and a one-bucket histogram stays inside it.
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistPoint
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty q%v = %d", q, got)
+		}
+	}
+	h := &Histogram{}
+	h.Observe(10)
+	h.Observe(12)
+	h.Observe(14)
+	p := h.point(Key{})
+	// q below 0 clamps to 0, q above 1 clamps to 1.
+	if p.Quantile(-0.5) != p.Quantile(0) {
+		t.Fatal("negative q not clamped to 0")
+	}
+	if p.Quantile(3) != p.Quantile(1) {
+		t.Fatal("q > 1 not clamped to 1")
+	}
+	// Every quantile of a single-bucket histogram lands in [Min, Max].
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := p.Quantile(q); got < 10 || got > 14 {
+			t.Fatalf("q%v = %d escaped [10, 14]", q, got)
+		}
+	}
+	// q=0 still reports the first observation's region, never 0.
+	if got := p.Quantile(0); got < 10 {
+		t.Fatalf("q0 = %d, want >= Min", got)
+	}
+	// Negative observations clamp to zero, not panic.
+	h2 := &Histogram{}
+	h2.Observe(-5)
+	if p2 := h2.point(Key{}); p2.Min != 0 || p2.Quantile(1) != 0 {
+		t.Fatalf("negative observation: %+v", p2)
+	}
+}
+
+// TestExemplarPropagation: traced observations stamp the landing
+// bucket, latest wins, untraced observations allocate nothing, and
+// exemplars survive Point/merge/Sub.
+func TestExemplarPropagation(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(100) // untraced: no exemplar state
+	if h.ex != nil {
+		t.Fatal("untraced observation allocated exemplar state")
+	}
+	h.ObserveTrace(100, 0xabc)
+	h.ObserveTrace(120, 0xdef) // same (64, 128] bucket: latest wins
+	h.ObserveTrace(5000, 0x42)
+	p := h.Point()
+	var got []Exemplar
+	for _, b := range p.Buckets {
+		if b.Ex != nil {
+			got = append(got, *b.Ex)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("exemplars = %+v", got)
+	}
+	if got[0] != (Exemplar{Trace: 0xdef, Value: 120}) {
+		t.Fatalf("bucket exemplar = %+v, want latest (def, 120)", got[0])
+	}
+	if got[1] != (Exemplar{Trace: 0x42, Value: 5000}) {
+		t.Fatalf("bucket exemplar = %+v", got[1])
+	}
+	// Sub keeps the current side's exemplars.
+	prev := h.Point()
+	h.ObserveTrace(110, 0x99)
+	win := h.Point().Sub(prev)
+	found := false
+	for _, b := range win.Buckets {
+		if b.Ex != nil && b.Ex.Trace == 0x99 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("windowed exemplar lost: %+v", win.Buckets)
+	}
+}

@@ -408,3 +408,26 @@ func TestPrometheusTextEscapingAndHeaders(t *testing.T) {
 		t.Fatalf("duplicate family header:\n%s", out)
 	}
 }
+
+// TestSnapshotTextExemplarAnnotation: buckets with exemplars carry the
+// OpenMetrics "# {trace_id=...}" annotation; buckets without stay bare.
+func TestSnapshotTextExemplarAnnotation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(0, "svc", "req_latency_ns")
+	h.Observe(50)
+	h.ObserveTrace(900, 0xbeef)
+	text := r.Snapshot(1).Text()
+	if !strings.Contains(text, `# {trace_id="beef"} 900`) {
+		t.Fatalf("exemplar annotation missing:\n%s", text)
+	}
+	// The untraced bucket's line ends with its count, no annotation.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, `le="64"`) && strings.Contains(line, "trace_id") {
+			t.Fatalf("untraced bucket grew an exemplar: %s", line)
+		}
+	}
+	// Double snapshot: byte-identical, exemplars included.
+	if r.Snapshot(1).Text() != text {
+		t.Fatal("exemplar text not deterministic")
+	}
+}

@@ -492,8 +492,14 @@ func (s *Snapshot) Text() string {
 		cum := uint64(0)
 		for _, bk := range h.Buckets {
 			cum += bk.Count
-			fmt.Fprintf(&b, "%s_bucket%s %d\n", fam,
+			fmt.Fprintf(&b, "%s_bucket%s %d", fam,
 				h.Key.labels(fmt.Sprintf("le=\"%d\"", bk.Le)), cum)
+			if bk.Ex != nil {
+				// OpenMetrics exemplar annotation: the trace id of a
+				// sample that landed in this bucket plus its exact value.
+				fmt.Fprintf(&b, " # {trace_id=\"%x\"} %d", bk.Ex.Trace, bk.Ex.Value)
+			}
+			b.WriteByte('\n')
 		}
 		fmt.Fprintf(&b, "%s_bucket%s %d\n", fam, h.Key.labels(`le="+Inf"`), h.Count)
 		fmt.Fprintf(&b, "%s_sum%s %d\n", fam, h.Key.labels(""), h.Sum)

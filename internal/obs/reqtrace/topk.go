@@ -1,0 +1,137 @@
+package reqtrace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// HH is one heavy-hitter candidate reported by a TopK sketch. Count is
+// the estimated hit count; the true count lies in [Count-Err, Count].
+// An entry with Count-Err above every evicted competitor is a
+// guaranteed heavy hitter.
+type HH struct {
+	Key   string `json:"key"`
+	Count uint64 `json:"count"`
+	Err   uint64 `json:"err"`
+}
+
+// TopK is a space-saving top-K sketch (Metwally et al.): it tracks at
+// most k candidate keys in O(k) space. A hit on a tracked key bumps
+// its counter; a hit on an untracked key evicts the minimum-count
+// candidate and inherits its count as the new entry's error bound.
+// Eviction scans the candidate slice in insertion order and takes the
+// first minimum, so the sketch is fully deterministic for a
+// deterministic input stream.
+type TopK struct {
+	k       int
+	entries []hhEntry
+	index   map[string]int // key -> position in entries
+	total   uint64
+}
+
+type hhEntry struct {
+	key   string
+	count uint64
+	err   uint64
+}
+
+// NewTopK returns a sketch tracking at most k candidates (k < 1 is
+// clamped to 1).
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k, index: make(map[string]int, k)}
+}
+
+// Offer feeds one hit on key into the sketch. Nil-safe.
+func (t *TopK) Offer(key string) {
+	if t == nil {
+		return
+	}
+	t.total++
+	if i, ok := t.index[key]; ok {
+		t.entries[i].count++
+		return
+	}
+	if len(t.entries) < t.k {
+		t.index[key] = len(t.entries)
+		t.entries = append(t.entries, hhEntry{key: key, count: 1})
+		return
+	}
+	// Replace the minimum-count candidate (first minimum in slice
+	// order — deterministic); its count becomes the newcomer's error
+	// bound, preserving the space-saving overestimate invariant.
+	min := 0
+	for i := 1; i < len(t.entries); i++ {
+		if t.entries[i].count < t.entries[min].count {
+			min = i
+		}
+	}
+	old := t.entries[min]
+	delete(t.index, old.key)
+	t.index[key] = min
+	t.entries[min] = hhEntry{key: key, count: old.count + 1, err: old.count}
+}
+
+// Total returns the number of hits offered.
+func (t *TopK) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Top returns the candidates ranked by estimated count descending
+// (ties broken by key ascending for deterministic output).
+func (t *TopK) Top() []HH {
+	if t == nil {
+		return nil
+	}
+	out := make([]HH, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, HH{Key: e.key, Count: e.count, Err: e.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// SharePct returns the top candidate's estimated share of the whole
+// stream, in integer percent (0 on an empty sketch).
+func (t *TopK) SharePct() int64 {
+	if t == nil || t.total == 0 {
+		return 0
+	}
+	top := t.Top()
+	if len(top) == 0 {
+		return 0
+	}
+	return int64(top[0].Count * 100 / t.total)
+}
+
+// Line renders the first n candidates as a compact one-line summary
+// ("k0042×913±0 k0007×112×…") for the bcltop live view.
+func (t *TopK) Line(n int) string {
+	top := t.Top()
+	if len(top) > n {
+		top = top[:n]
+	}
+	if len(top) == 0 {
+		return "-"
+	}
+	parts := make([]string, 0, len(top))
+	for _, h := range top {
+		if h.Err > 0 {
+			parts = append(parts, fmt.Sprintf("%s×%d±%d", h.Key, h.Count, h.Err))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s×%d", h.Key, h.Count))
+		}
+	}
+	return strings.Join(parts, " ")
+}

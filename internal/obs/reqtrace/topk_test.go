@@ -1,0 +1,127 @@
+package reqtrace
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTopKExactBelowCapacity(t *testing.T) {
+	s := NewTopK(4)
+	for _, k := range []string{"a", "b", "a", "c", "a", "b"} {
+		s.Offer(k)
+	}
+	top := s.Top()
+	if len(top) != 3 || s.Total() != 6 {
+		t.Fatalf("top = %+v total = %d", top, s.Total())
+	}
+	// Exact counts, zero error, count-desc/key-asc order.
+	want := []HH{{"a", 3, 0}, {"b", 2, 0}, {"c", 1, 0}}
+	for i, h := range top {
+		if h != want[i] {
+			t.Fatalf("top[%d] = %+v, want %+v", i, h, want[i])
+		}
+	}
+	if s.SharePct() != 50 {
+		t.Fatalf("share = %d, want 50", s.SharePct())
+	}
+}
+
+func TestTopKEvictionInheritsErrorBound(t *testing.T) {
+	s := NewTopK(2)
+	s.Offer("a")
+	s.Offer("a")
+	s.Offer("b")
+	s.Offer("c") // evicts b (count 1): c gets count 2, err 1
+	top := s.Top()
+	if top[0] != (HH{"a", 2, 0}) && top[0] != (HH{"c", 2, 1}) {
+		t.Fatalf("top[0] = %+v", top[0])
+	}
+	var c HH
+	for _, h := range top {
+		if h.Key == "c" {
+			c = h
+		}
+	}
+	if c.Count != 2 || c.Err != 1 {
+		t.Fatalf("c = %+v, want count 2 err 1", c)
+	}
+	// Space-saving invariant: estimate >= true count >= estimate - err.
+	if true1 := uint64(1); c.Count < true1 || c.Count-c.Err > true1 {
+		t.Fatalf("error bound violated: %+v vs true 1", c)
+	}
+}
+
+func TestTopKDeterministicFirstMinimumEviction(t *testing.T) {
+	// Two candidates at the same minimum count: eviction must take the
+	// first in insertion order ("a"), every run.
+	build := func() []HH {
+		s := NewTopK(2)
+		s.Offer("a")
+		s.Offer("b")
+		s.Offer("c")
+		return s.Top()
+	}
+	top := build()
+	for _, h := range top {
+		if h.Key == "a" {
+			t.Fatalf("eviction took the wrong minimum: %+v", top)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		again := build()
+		for j := range top {
+			if again[j] != top[j] {
+				t.Fatalf("eviction not deterministic: %+v vs %+v", again, top)
+			}
+		}
+	}
+}
+
+func TestTopKOverestimateNeverUndercounts(t *testing.T) {
+	// Skewed stream through a tiny sketch: the tracked count of the
+	// true heavy hitter must never fall below its true frequency.
+	s := NewTopK(3)
+	truth := map[string]uint64{}
+	for i := 0; i < 300; i++ {
+		var k string
+		if i%3 != 2 {
+			k = "hot"
+		} else {
+			k = fmt.Sprintf("cold%03d", i)
+		}
+		truth[k]++
+		s.Offer(k)
+	}
+	for _, h := range s.Top() {
+		if h.Count < truth[h.Key] {
+			t.Fatalf("undercount: %+v vs true %d", h, truth[h.Key])
+		}
+		if h.Count-h.Err > truth[h.Key] {
+			t.Fatalf("lower bound above truth: %+v vs true %d", h, truth[h.Key])
+		}
+	}
+	if s.Top()[0].Key != "hot" {
+		t.Fatalf("heavy hitter lost: %+v", s.Top())
+	}
+}
+
+func TestTopKLineAndNil(t *testing.T) {
+	var s *TopK
+	s.Offer("x")
+	if s.Total() != 0 || s.Top() != nil || s.SharePct() != 0 {
+		t.Fatal("nil sketch returned data")
+	}
+	if NewTopK(0).k != 1 {
+		t.Fatal("k<1 not clamped")
+	}
+	empty := NewTopK(2)
+	if empty.Line(3) != "-" {
+		t.Fatalf("empty line = %q", empty.Line(3))
+	}
+	full := NewTopK(1)
+	full.Offer("a")
+	full.Offer("b") // b: count 2, err 1
+	if got := full.Line(3); got != "b×2±1" {
+		t.Fatalf("line = %q", got)
+	}
+}

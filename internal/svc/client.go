@@ -6,6 +6,7 @@ import (
 	"bcl/internal/bcl"
 	"bcl/internal/nic"
 	"bcl/internal/obs"
+	"bcl/internal/obs/reqtrace"
 	"bcl/internal/sim"
 	"bcl/internal/trace"
 )
@@ -30,6 +31,7 @@ type Driver struct {
 	env  *sim.Env
 	node int
 	tr   *trace.Tracer
+	rt   *reqtrace.Recorder
 
 	conns []*conn
 	users []*user
@@ -70,6 +72,14 @@ type DriverConfig struct {
 	RTO      sim.Time
 	Tick     sim.Time
 	Trace    bool // tag requests with causal flow ids
+	// HotFrac redirects this fraction of get/put arrivals onto the
+	// first key — a deterministic hot-key skew for heavy-hitter and
+	// hot-shard scenarios. Zero leaves the uniform mix (and the
+	// driver's random stream) exactly as before.
+	HotFrac float64
+	// ReqObs, when set alongside Trace, feeds every request's
+	// lifecycle into the request-level observability recorder.
+	ReqObs *reqtrace.Recorder
 }
 
 // DriverStats is a snapshot of the driver's counters.
@@ -166,6 +176,7 @@ func NewDriver(p *sim.Proc, port *bcl.Port, bufSize int, cfg DriverConfig) *Driv
 	}
 	if cfg.Trace {
 		d.tr = port.Tracer()
+		d.rt = cfg.ReqObs
 	}
 	d.keys = make([]string, cfg.Keys)
 	for i := range d.keys {
@@ -289,6 +300,10 @@ func (d *Driver) generate(p *sim.Proc, now sim.Time) {
 		o := d.makeOp(d.nextArr)
 		u := d.users[int(d.rand()%uint64(len(d.users)))]
 		u.queue = append(u.queue, o)
+		if d.rt != nil && o.flow != 0 {
+			d.rt.Begin(o.flow, kindName(o.kind), o.key, u.idx, d.node,
+				d.cfg.Ring.Shard(o.key), o.arrival)
+		}
 		d.stats.Issued++
 		if !u.busy {
 			d.issueNext(p, u)
@@ -329,7 +344,25 @@ func (d *Driver) makeOp(arrival sim.Time) op {
 		o.key = d.keys[int(d.rand()%uint64(len(d.keys)))]
 		o.val = d.makeVal()
 	}
+	if d.cfg.HotFrac > 0 && o.kind != kindTxn && len(d.keys) > 0 {
+		if float64(d.rand()%1_000_000)/1_000_000 < d.cfg.HotFrac {
+			o.key = d.keys[0]
+		}
+	}
 	return o
+}
+
+// kindName renders an op kind for the request-trace records.
+func kindName(kind uint8) string {
+	switch kind {
+	case kindGet:
+		return "get"
+	case kindPut:
+		return "put"
+	case kindTxn:
+		return "txn"
+	}
+	return fmt.Sprintf("k%d", kind)
 }
 
 func (d *Driver) makeVal() []byte {
@@ -364,8 +397,8 @@ func (d *Driver) issueNext(p *sim.Proc, u *user) {
 		if o.kind == kindGet {
 			if e, ok := d.cache[o.key]; ok {
 				d.stats.CacheHits++
-				d.checkRead(u, o.key, e.ver)
-				d.complete(p, o)
+				d.checkRead(u, o.key, e.ver, o.flow)
+				d.complete(p, o, false)
 				continue
 			}
 			d.stats.Misses++
@@ -388,6 +421,7 @@ func (d *Driver) issueNext(p *sim.Proc, u *user) {
 		d.pendList = append(d.pendList, req)
 		d.traceFlow(p, o.flow, "svc: request issue")
 		_ = d.ep.send(p, c.addr, o.kind, c.sess, u.idx, u.seq, req.payload)
+		d.traceFlow(p, o.flow, "svc: bcl sent")
 		return
 	}
 }
@@ -414,12 +448,15 @@ func (d *Driver) encodeOp(o op) []byte {
 	return pay
 }
 
-// complete records one finished op's latency sample.
-func (d *Driver) complete(p *sim.Proc, o op) {
+// complete records one finished op's latency sample. The flow id rides
+// into the histogram as the landing bucket's exemplar, and the request
+// recorder runs its tail-sampling decision.
+func (d *Driver) complete(p *sim.Proc, o op, aborted bool) {
 	d.stats.Done++
 	lat := p.Now() - o.arrival
 	d.samples = append(d.samples, lat)
-	d.ep.port.Node().Obs.Observe(d.node, "svc", "req_latency_ns", int64(lat))
+	d.ep.port.Node().Obs.ObserveFlow(d.node, "svc", "req_latency_ns", int64(lat), o.flow)
+	d.rt.End(o.flow, p.Now(), aborted)
 }
 
 func (d *Driver) nextDue(cap sim.Time) sim.Time {
@@ -512,10 +549,11 @@ func (d *Driver) onReply(p *sim.Proc, sess, uch uint16, seq uint32, r *reader) {
 	delete(d.pending, reqKey(sess, uch, seq))
 	d.traceFlow(p, flow, "svc: reply consume")
 	o := req.op
+	aborted := false
 	switch o.kind {
 	case kindGet:
 		if status == StatusOK {
-			d.checkRead(req.u, o.key, ver)
+			d.checkRead(req.u, o.key, ver, o.flow)
 			// Poison guard: only cache a fill at least as new as the
 			// newest invalidation seen for the key — an INV that raced
 			// this reply marks it stale before it ever lands.
@@ -525,6 +563,7 @@ func (d *Driver) onReply(p *sim.Proc, sess, uch uint16, seq uint32, r *reader) {
 		} else if req.u.lastSeen[o.key] > 0 {
 			// The user has seen this key; NotFound un-happens a write.
 			d.stats.Violations++
+			d.rt.Flag(o.flow)
 		}
 	case kindPut:
 		if status == StatusOK {
@@ -541,9 +580,10 @@ func (d *Driver) onReply(p *sim.Proc, sess, uch uint16, seq uint32, r *reader) {
 	case kindTxn:
 		if status == StatusAborted {
 			d.stats.TxnAborts++
+			aborted = true
 		}
 	}
-	d.complete(p, o)
+	d.complete(p, o, aborted)
 	req.u.busy = false
 	d.issueNext(p, req.u)
 }
@@ -562,9 +602,11 @@ func (d *Driver) cacheStore(key string, val []byte, ver uint64) {
 
 // checkRead enforces per-user monotonic reads / read-your-writes: a
 // read must never return an older version than the user has observed.
-func (d *Driver) checkRead(u *user, key string, ver uint64) {
+// A breach flags the flow so its trace is force-retained.
+func (d *Driver) checkRead(u *user, key string, ver uint64, flow uint64) {
 	if ver < u.lastSeen[key] {
 		d.stats.Violations++
+		d.rt.Flag(flow)
 	}
 	d.noteSeen(u, key, ver)
 }
@@ -619,6 +661,7 @@ func (d *Driver) runTimers(p *sim.Proc) {
 		}
 		if now >= r.nextAt {
 			d.stats.Retransmits++
+			d.rt.Retransmit(r.op.flow)
 			d.traceFlow(p, r.op.flow, "svc: request retransmit")
 			c := d.conns[r.shard]
 			_ = d.ep.send(p, c.addr, r.op.kind, r.sess, r.u.idx, r.seq, r.payload)
@@ -631,8 +674,12 @@ func (d *Driver) runTimers(p *sim.Proc) {
 }
 
 func (d *Driver) traceFlow(p *sim.Proc, flow uint64, stage string) {
-	if d.tr == nil || flow == 0 {
+	if flow == 0 || (d.tr == nil && d.rt == nil) {
 		return
 	}
-	d.tr.DoFlow(p, stage, fmt.Sprintf("host%d", d.node), flow, func() {})
+	where := fmt.Sprintf("host%d", d.node)
+	if d.tr != nil {
+		d.tr.DoFlow(p, stage, where, flow, func() {})
+	}
+	d.rt.Mark(flow, stage, where, p.Now())
 }

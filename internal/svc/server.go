@@ -6,6 +6,7 @@ import (
 	"bcl/internal/bcl"
 	"bcl/internal/nic"
 	"bcl/internal/obs"
+	"bcl/internal/obs/reqtrace"
 	"bcl/internal/sim"
 	"bcl/internal/trace"
 )
@@ -29,6 +30,7 @@ type Server struct {
 	env  *sim.Env
 	node int
 	tr   *trace.Tracer
+	rt   *reqtrace.Recorder
 
 	store map[string]*entry
 	locks map[string]uint64 // key -> txid holding a prepare lock
@@ -83,6 +85,9 @@ type ServerConfig struct {
 	Seed     uint64   // challenge RNG seed
 	RTO      sim.Time // initial service-level retransmit timeout
 	Tick     sim.Time // max event-loop sleep
+	// ReqObs mirrors every flow-stage marker into the request-level
+	// observability recorder (the client side opens the records).
+	ReqObs *reqtrace.Recorder
 }
 
 type entry struct {
@@ -200,6 +205,7 @@ func NewServer(p *sim.Proc, port *bcl.Port, bufSize int, cfg ServerConfig) *Serv
 		env:        port.Node().Env,
 		node:       port.Addr().Node,
 		tr:         port.Tracer(),
+		rt:         cfg.ReqObs,
 		store:      make(map[string]*entry),
 		locks:      make(map[string]uint64),
 		sessions:   make(map[uint16]*session),
@@ -986,8 +992,11 @@ func (s *Server) sendTo(p *sim.Proc, dst bcl.Addr, kind uint8, sess, uch uint16,
 // trace emits one flow span when the message is part of a traced
 // request and a tracer is attached.
 func (s *Server) trace(p *sim.Proc, flow uint64, stage string) {
-	if s.tr == nil || flow == 0 {
+	if flow == 0 || (s.tr == nil && s.rt == nil) {
 		return
 	}
-	s.tr.DoFlow(p, stage, s.where(), flow, func() {})
+	if s.tr != nil {
+		s.tr.DoFlow(p, stage, s.where(), flow, func() {})
+	}
+	s.rt.Mark(flow, stage, s.where(), p.Now())
 }

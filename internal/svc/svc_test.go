@@ -396,3 +396,27 @@ func TestTagRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestSamplesDeterministic: the per-request latency samples the driver
+// records are identical element-by-element across same-seed runs — the
+// property the reqobs sampling digest and exemplar gates build on.
+func TestSamplesDeterministic(t *testing.T) {
+	run := func() []sim.Time {
+		tr := buildTier(t, cluster.Config{Seed: 5}, 2, DriverConfig{
+			Users: 24, Seed: 13, Keys: 32,
+			Arrivals: fixedGap(40 * sim.Microsecond), Sizes: fixedSize(64),
+			GetFrac: 0.5, Start: sim.Millisecond, Duration: 10 * sim.Millisecond,
+		})
+		tr.runDrained(t, 200*sim.Millisecond)
+		return tr.driver.Samples()
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("sample counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -44,12 +44,58 @@ func (s Span) Dur() sim.Time { return s.End - s.Start }
 
 // Tracer collects spans. A nil *Tracer is valid and records nothing,
 // so the fast paths stay clean of conditionals.
+//
+// By default the span slice grows without bound — right for short
+// experiment runs that post-process every span. Always-on tracing at
+// service scale sets a cap with SetCap: once full, recording a new
+// span evicts the oldest one (mirroring the obs flight recorder), and
+// Dropped reports how many were lost to eviction.
 type Tracer struct {
-	Spans []Span
+	Spans   []Span
+	cap     int
+	dropped uint64
 }
 
-// New returns an empty tracer.
+// New returns an empty unbounded tracer.
 func New() *Tracer { return &Tracer{} }
+
+// NewCapped returns a tracer bounded to at most n retained spans.
+func NewCapped(n int) *Tracer {
+	t := New()
+	t.SetCap(n)
+	return t
+}
+
+// SetCap bounds the tracer to at most n retained spans; n <= 0 removes
+// the bound. Shrinking below the current length evicts the oldest
+// spans immediately. Nil-safe.
+func (t *Tracer) SetCap(n int) {
+	if t == nil {
+		return
+	}
+	t.cap = n
+	if n > 0 && len(t.Spans) > n {
+		evict := len(t.Spans) - n
+		t.dropped += uint64(evict)
+		t.Spans = append(t.Spans[:0], t.Spans[evict:]...)
+	}
+}
+
+// Cap returns the configured span bound (0 = unbounded).
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return t.cap
+}
+
+// Dropped returns how many spans were evicted to honor the cap.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
 
 // Add records a span.
 func (t *Tracer) Add(stage, where string, start, end sim.Time) {
@@ -61,7 +107,15 @@ func (t *Tracer) AddFlow(stage, where string, flow uint64, start, end sim.Time) 
 	if t == nil {
 		return
 	}
-	t.Spans = append(t.Spans, Span{Stage: stage, Where: where, Start: start, End: end, Flow: flow})
+	s := Span{Stage: stage, Where: where, Start: start, End: end, Flow: flow}
+	if t.cap > 0 && len(t.Spans) >= t.cap {
+		// Oldest-first eviction keeps the most recent window, the
+		// part a postmortem actually wants.
+		evict := len(t.Spans) - t.cap + 1
+		t.dropped += uint64(evict)
+		t.Spans = append(t.Spans[:0], t.Spans[evict:]...)
+	}
+	t.Spans = append(t.Spans, s)
 }
 
 // Do runs fn and records its duration as a span (using the process

@@ -275,3 +275,47 @@ func TestChromeTraceDeterministic(t *testing.T) {
 		t.Fatal("chrome trace not byte-identical across identical builds")
 	}
 }
+
+func TestCappedTracerEvictsOldest(t *testing.T) {
+	tr := NewCapped(3)
+	if tr.Cap() != 3 {
+		t.Fatalf("cap = %d", tr.Cap())
+	}
+	for i := 0; i < 5; i++ {
+		tr.Add("s", "x", sim.Time(i), sim.Time(i+1))
+	}
+	if len(tr.Spans) != 3 || tr.Dropped() != 2 {
+		t.Fatalf("spans = %d dropped = %d", len(tr.Spans), tr.Dropped())
+	}
+	// The survivors are the most recent window.
+	if tr.Spans[0].Start != 2 || tr.Spans[2].Start != 4 {
+		t.Fatalf("wrong survivors: %+v", tr.Spans)
+	}
+}
+
+func TestSetCapShrinkAndUnbound(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10; i++ {
+		tr.Add("s", "x", sim.Time(i), sim.Time(i+1))
+	}
+	// Shrinking below the current length evicts immediately.
+	tr.SetCap(4)
+	if len(tr.Spans) != 4 || tr.Dropped() != 6 || tr.Spans[0].Start != 6 {
+		t.Fatalf("after shrink: %d spans, %d dropped, first start %d",
+			len(tr.Spans), tr.Dropped(), tr.Spans[0].Start)
+	}
+	// Removing the bound lets the slice grow again without evictions.
+	tr.SetCap(0)
+	for i := 0; i < 10; i++ {
+		tr.Add("s", "x", 100, 101)
+	}
+	if len(tr.Spans) != 14 || tr.Dropped() != 6 {
+		t.Fatalf("after unbound: %d spans, %d dropped", len(tr.Spans), tr.Dropped())
+	}
+	// Nil safety.
+	var nilTr *Tracer
+	nilTr.SetCap(5)
+	if nilTr.Cap() != 0 || nilTr.Dropped() != 0 {
+		t.Fatal("nil tracer cap state")
+	}
+}
