@@ -1,0 +1,277 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bcl/internal/cluster"
+	"bcl/internal/fabric"
+	"bcl/internal/sim"
+	"bcl/internal/sim/par"
+)
+
+// SimBench benchmarks the simulation harness itself: the sharded
+// parallel discrete-event core (internal/sim/par) against the
+// sequential kernel, on a synthetic 64-node message storm over the
+// real Myrinet tree topology.
+//
+// The experiment runs the identical workload four times — twice at one
+// shard (the classic sequential kernel) and twice at SimShards shards
+// (concurrent lookahead windows) — and gates the correctness
+// invariants exactly: every run must execute the same total event
+// count, the double runs must agree on every statistic (worker
+// interleaving is invisible), the sequential runs must agree on the
+// order-sensitive execution digest, and the commutative model digest
+// must be identical across shard counts. Raw speed (events/sec and
+// wall-clock per simulated second) is informational only: it lands in
+// the report prose always and in the artifact's digest-excluded
+// `wallclock` section when RecordWallclock is set.
+//
+// The workload keeps itself sharding-invariant by construction: each
+// node draws inter-send gaps and destinations from its own private RNG
+// stream (never the shard's), and reply decisions are a pure hash of
+// the message id, so the set of simulated events — times, counts and
+// payloads — is a function of the seed alone, not of the partition.
+
+// SimShards is the shard count of the parallel phase; cmd/bclbench's
+// -shards flag sets it (default 4, the committed baseline's value).
+var SimShards = 4
+
+// RecordWallclock attaches the informational wallclock section to the
+// simbench artifact (cmd/bclbench -wallclock). Off by default so
+// committed baselines and double-run byte-identity checks never see
+// host-speed noise.
+var RecordWallclock = false
+
+const (
+	simNodes   = 64
+	simHorizon = 20 * sim.Millisecond
+
+	simKindGen   uint16 = 1 // a node's generator tick (self-message)
+	simKindMsg   uint16 = 2 // a request crossing the fabric
+	simKindReply uint16 = 3 // the hash-selected reply
+)
+
+// simNode is one node's model state, owned by the shard the node maps
+// to (no other shard ever touches it).
+type simNode struct {
+	rng     *sim.Rand // private generator stream; survives resharding
+	seq     uint64
+	sent    uint64
+	recvd   uint64
+	replies uint64
+	digest  uint64 // commutative arrival digest (wrapping sum)
+}
+
+// simRun is one execution of the workload at a fixed shard map.
+type simRun struct {
+	nodes   []*simNode
+	lat     [][]sim.Time
+	horizon sim.Time
+	ordered bool   // single shard: safe to fold the global order digest
+	order   uint64 // order-sensitive execution digest (FNV-style fold)
+
+	stats   par.Stats
+	elapsed time.Duration
+}
+
+func (r *simRun) handle(s *par.Shard, m *par.Msg) {
+	if r.ordered {
+		r.order = (r.order ^ sim.Splitmix64(uint64(m.At)^uint64(m.Kind)<<48^uint64(m.Dst)<<32^m.A)) * 1099511628211
+	}
+	nd := r.nodes[m.Dst]
+	switch m.Kind {
+	case simKindGen:
+		// Draw destination then gap, always in this order, from the
+		// node's own stream.
+		dst := nd.rng.Intn(simNodes - 1)
+		if dst >= m.Dst {
+			dst++
+		}
+		nd.seq++
+		nd.sent++
+		msgID := uint64(m.Dst)<<32 | nd.seq
+		s.Send(par.Msg{At: m.At + r.lat[m.Dst][dst], Src: m.Dst, Dst: dst, Kind: simKindMsg, Size: 64, A: msgID})
+		gap := sim.Microsecond + sim.Time(nd.rng.Int63n(6*sim.Microsecond))
+		if next := m.At + gap; next < r.horizon {
+			s.Send(par.Msg{At: next, Src: m.Dst, Dst: m.Dst, Kind: simKindGen})
+		}
+	case simKindMsg:
+		nd.recvd++
+		nd.digest += sim.Splitmix64(m.A ^ uint64(m.At)<<8 ^ uint64(m.Src))
+		// Reply iff a pure hash of the message id says so: the decision
+		// rides the identifier, not any RNG stream, so it is identical
+		// under every shard map and execution order.
+		if sim.Splitmix64(m.A)%4 == 0 {
+			nd.replies++
+			s.Send(par.Msg{At: m.At + r.lat[m.Dst][m.Src], Src: m.Dst, Dst: m.Src, Kind: simKindReply, Size: 16, A: m.A | 1<<63})
+		}
+	case simKindReply:
+		nd.recvd++
+		nd.digest += sim.Splitmix64(m.A ^ uint64(m.At)<<8 ^ uint64(m.Src))
+	}
+}
+
+// modelDigest folds the per-node digests and counters in node order —
+// deterministic at any shard count because each per-node value is.
+func (r *simRun) modelDigest() uint64 {
+	d := uint64(1469598103934665603)
+	for _, nd := range r.nodes {
+		d = (d ^ nd.digest ^ nd.sent<<1 ^ nd.recvd<<2 ^ nd.replies<<3) * 1099511628211
+	}
+	return d
+}
+
+func (r *simRun) totals() (sent, recvd, replies uint64) {
+	for _, nd := range r.nodes {
+		sent += nd.sent
+		recvd += nd.recvd
+		replies += nd.replies
+	}
+	return
+}
+
+// runSimWorkload executes the storm once on the given shard map.
+func runSimWorkload(seed uint64, lat [][]sim.Time, m par.ShardMap, lookahead sim.Time) *simRun {
+	r := &simRun{
+		lat:     lat,
+		horizon: simHorizon,
+		ordered: m.Shards() == 1,
+	}
+	for n := 0; n < simNodes; n++ {
+		// Node streams derive from (seed, node), never from the shard's
+		// env RNG: moving a node between shards must not change what it
+		// generates.
+		r.nodes = append(r.nodes, &simNode{rng: sim.NewRand(seed<<8 + uint64(n))})
+	}
+	eng := par.New(par.Config{Map: m, Lookahead: lookahead, Seed: seed, Handler: r.handle})
+	defer eng.Close()
+	for n := 0; n < simNodes; n++ {
+		// Staggered first ticks, fixed offsets (no RNG draw: the first
+		// draw happens inside the first gen event, on the owning shard).
+		eng.Post(par.Msg{At: sim.Microsecond + sim.Time(n)*97, Src: n, Dst: n, Kind: simKindGen})
+	}
+	t0 := time.Now()
+	eng.Run(sim.Forever) // horizon enforced by the generators; drain in-flight
+	r.elapsed = time.Since(t0)
+	r.stats = eng.Stats()
+	return r
+}
+
+// SimBench runs the harness benchmark with the default seed.
+func SimBench() *Report { return SimBenchSeeded(1) }
+
+// SimBenchSeeded is SimBench with an explicit workload seed.
+func SimBenchSeeded(seed uint64) *Report {
+	shards := SimShards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > simNodes {
+		shards = simNodes
+	}
+	r := newReport("simbench", "Sharded parallel simulation core: lookahead windows vs the sequential kernel")
+
+	// The real cluster supplies topology truth: the latency matrix from
+	// the Myrinet tree's routes, the contiguous shard map, and the
+	// lookahead bound (minimum cross-shard route latency).
+	c := cluster.New(cluster.Config{Nodes: simNodes, Seed: seed, Shards: shards})
+	lr, ok := c.Fabric.(fabric.LatencyReporter)
+	if !ok {
+		panic("simbench: fabric cannot report latencies")
+	}
+	lat := make([][]sim.Time, simNodes)
+	for i := range lat {
+		lat[i] = make([]sim.Time, simNodes)
+		for j := range lat[i] {
+			if i != j {
+				lat[i][j] = lr.RouteLatency(i, j)
+			}
+		}
+	}
+	mapS := c.ShardMap
+	lookahead := c.Lookahead()
+	map1 := par.Contiguous(simNodes, 1)
+
+	// Four executions of the identical workload: double runs at one
+	// shard and at SimShards shards.
+	seqA := runSimWorkload(seed, lat, map1, lookahead)
+	seqB := runSimWorkload(seed, lat, map1, lookahead)
+	parA := runSimWorkload(seed, lat, mapS, lookahead)
+	parB := runSimWorkload(seed, lat, mapS, lookahead)
+
+	seqStable := seqA.stats == seqB.stats && seqA.modelDigest() == seqB.modelDigest()
+	parStable := parA.stats == parB.stats && parA.modelDigest() == parB.modelDigest()
+	orderEqual := seqA.order == seqB.order
+	digestEqual := seqA.modelDigest() == parA.modelDigest()
+	eventsEqual := seqA.stats.Events == parA.stats.Events
+
+	sent, recvd, replies := parA.totals()
+
+	r.metric("shards", float64(parA.stats.Shards))
+	r.metric("lookahead_us", us(lookahead))
+	r.metric("events_seq", float64(seqA.stats.Events))
+	r.metric("events_par", float64(parA.stats.Events))
+	r.metric("events_equal", b2f(eventsEqual))
+	r.metric("digest_equal", b2f(digestEqual))
+	r.metric("order_equal", b2f(orderEqual))
+	r.metric("deterministic", b2f(seqStable && parStable))
+	r.metric("barriers", float64(parA.stats.Barriers))
+	r.metric("cross_batches", float64(parA.stats.Batches))
+	r.metric("cross_msgs", float64(parA.stats.CrossMsgs))
+	r.metric("pool_hit_pct", parA.stats.PoolHitPct())
+	r.metric("msgs", float64(sent))
+	r.metric("replies", float64(replies))
+	r.metric("deliveries", float64(recvd))
+
+	// Informational speed numbers: real wall-clock, never gated. The
+	// faster of each double run stands for the configuration (the
+	// second run is warm).
+	seqEl := minDur(seqA.elapsed, seqB.elapsed)
+	parEl := minDur(parA.elapsed, parB.elapsed)
+	simSec := float64(simHorizon) / float64(sim.Second)
+	wc := &WallClock{
+		Shards:          parA.stats.Shards,
+		SeqSec:          round6(seqEl.Seconds()),
+		ParSec:          round6(parEl.Seconds()),
+		SeqEventsPerSec: round6(float64(seqA.stats.Events) / seqEl.Seconds()),
+		ParEventsPerSec: round6(float64(parA.stats.Events) / parEl.Seconds()),
+		WallPerSimSec:   round6(parEl.Seconds() / simSec),
+		Speedup:         round6(seqEl.Seconds() / parEl.Seconds()),
+	}
+	if RecordWallclock {
+		r.Wallclock = wc
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "64-node message storm over the Myrinet tree, %.0f ms simulated horizon.\n", float64(simHorizon)/float64(sim.Millisecond))
+	fmt.Fprintf(&b, "Partition: %d shards (contiguous), lookahead %d ns (min cross-shard route).\n\n", parA.stats.Shards, lookahead)
+	fmt.Fprintf(&b, "  config       events  barriers  batches  cross-msgs  pool-hit%%\n")
+	fmt.Fprintf(&b, "  seq (1)    %8d  %8d  %7d  %10d  %8.2f\n",
+		seqA.stats.Events, seqA.stats.Barriers, seqA.stats.Batches, seqA.stats.CrossMsgs, seqA.stats.PoolHitPct())
+	fmt.Fprintf(&b, "  par (%d)    %8d  %8d  %7d  %10d  %8.2f\n\n",
+		parA.stats.Shards, parA.stats.Events, parA.stats.Barriers, parA.stats.Batches, parA.stats.CrossMsgs, parA.stats.PoolHitPct())
+	fmt.Fprintf(&b, "  %d msgs, %d replies, %d deliveries; slab hits %d / misses %d.\n",
+		sent, replies, recvd, parA.stats.SlabHits, parA.stats.SlabMiss)
+	fmt.Fprintf(&b, "  invariants: events_equal=%v digest_equal=%v order_equal=%v deterministic=%v\n\n",
+		eventsEqual, digestEqual, orderEqual, seqStable && parStable)
+	fmt.Fprintf(&b, "  wall-clock (informational): seq %.0f ms (%.2f Mev/s), par %.0f ms (%.2f Mev/s),\n",
+		wc.SeqSec*1e3, wc.SeqEventsPerSec/1e6, wc.ParSec*1e3, wc.ParEventsPerSec/1e6)
+	fmt.Fprintf(&b, "  %.1f ms wall per simulated second, speedup %.2fx at %d shards.\n",
+		wc.WallPerSimSec*1e3, wc.Speedup, parA.stats.Shards)
+	r.Text = b.String()
+	// Summary stays wall-clock-free: it is embedded in the artifact,
+	// which must be byte-identical across double runs.
+	r.Summary = fmt.Sprintf("simbench: shards=%d events=%d barriers=%d cross=%d invariants=%v",
+		parA.stats.Shards, parA.stats.Events, parA.stats.Barriers, parA.stats.CrossMsgs,
+		eventsEqual && digestEqual && orderEqual && seqStable && parStable)
+	return r
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}

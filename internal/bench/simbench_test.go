@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// simbenchArtifact runs the experiment once at the given shard count
+// and returns the encoded artifact bytes.
+func simbenchArtifact(t *testing.T, shards int, seed uint64) []byte {
+	t.Helper()
+	old := SimShards
+	SimShards = shards
+	defer func() { SimShards = old }()
+	r := ByIDSeeded("simbench", seed)
+	if r == nil {
+		t.Fatalf("simbench not registered")
+	}
+	a := FromReport(r)
+	if a.Wallclock != nil {
+		t.Fatalf("wallclock section present without RecordWallclock")
+	}
+	b, err := a.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return b
+}
+
+func TestSimBenchDoubleRunByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simbench is a full 4-run storm")
+	}
+	for _, shards := range []int{1, 4} {
+		a := simbenchArtifact(t, shards, 7)
+		b := simbenchArtifact(t, shards, 7)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("shards=%d: double-run artifacts differ:\n--- run A ---\n%s\n--- run B ---\n%s", shards, a, b)
+		}
+	}
+}
+
+func TestSimBenchInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simbench is a full 4-run storm")
+	}
+	r := ByIDSeeded("simbench", 3)
+	for _, k := range []string{"events_equal", "digest_equal", "order_equal", "deterministic"} {
+		if r.Metrics[k] != 1 {
+			t.Errorf("metric %s = %g, want 1", k, r.Metrics[k])
+		}
+	}
+	if r.Metrics["events_seq"] != r.Metrics["events_par"] {
+		t.Errorf("events_seq %g != events_par %g", r.Metrics["events_seq"], r.Metrics["events_par"])
+	}
+	if r.Metrics["events_seq"] == 0 {
+		t.Errorf("no events executed")
+	}
+	if r.Metrics["barriers"] == 0 || r.Metrics["cross_msgs"] == 0 {
+		t.Errorf("parallel phase never crossed shards: barriers=%g cross=%g",
+			r.Metrics["barriers"], r.Metrics["cross_msgs"])
+	}
+}
+
+func TestSimBenchGateRegistered(t *testing.T) {
+	var gated bool
+	for _, g := range GatedExperiments {
+		if g.ID == "simbench" {
+			gated = true
+		}
+	}
+	if !gated {
+		t.Fatalf("simbench missing from GatedExperiments")
+	}
+	var listed bool
+	for _, e := range List() {
+		if e.ID == "simbench" {
+			listed = true
+			if !e.Gated || !e.Seeded {
+				t.Fatalf("simbench listing: gated=%v seeded=%v, want both true", e.Gated, e.Seeded)
+			}
+		}
+	}
+	if !listed {
+		t.Fatalf("simbench missing from List()")
+	}
+}
+
+func TestSimBenchWallclockOptIn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simbench is a full 4-run storm")
+	}
+	old := RecordWallclock
+	RecordWallclock = true
+	defer func() { RecordWallclock = old }()
+	r := ByIDSeeded("simbench", 1)
+	a := FromReport(r)
+	if a.Wallclock == nil {
+		t.Fatalf("wallclock section missing under RecordWallclock")
+	}
+	if a.Wallclock.Shards != SimShards || a.Wallclock.ParSec <= 0 || a.Wallclock.SeqSec <= 0 {
+		t.Fatalf("wallclock section malformed: %+v", a.Wallclock)
+	}
+}

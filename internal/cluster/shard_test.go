@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"testing"
+
+	"bcl/internal/sim/par"
+)
+
+func TestShardMapDefaults(t *testing.T) {
+	c := New(Config{Nodes: 8})
+	if len(c.ShardMap) != 8 {
+		t.Fatalf("shard map covers %d nodes, want 8", len(c.ShardMap))
+	}
+	// With BCL_SHARDS unset in normal test runs this is 1 shard; under
+	// the CI race leg it is 4. Either way the map must be contiguous
+	// and the lookahead positive.
+	if got, want := c.Shards(), par.DefaultShards(); got != want {
+		t.Fatalf("Shards() = %d, want DefaultShards() = %d", got, want)
+	}
+	if c.Lookahead() <= 0 {
+		t.Fatalf("Lookahead() = %d, want > 0", c.Lookahead())
+	}
+}
+
+func TestShardMapAndLookaheadMyrinet(t *testing.T) {
+	c := New(Config{Nodes: 16, Shards: 4})
+	if got := c.Shards(); got != 4 {
+		t.Fatalf("Shards() = %d, want 4", got)
+	}
+	want := par.Contiguous(16, 4)
+	for i := range want {
+		if c.ShardMap[i] != want[i] {
+			t.Fatalf("ShardMap = %v, want %v", c.ShardMap, want)
+		}
+	}
+	// The 16-node Myrinet tree has 7-node leaves; a 4-way contiguous
+	// split cuts through leaves, so some cross-shard pairs share a
+	// switch: lookahead is the single-switch 700 ns, not the spine's
+	// 1700 ns.
+	if got := c.Lookahead(); got != 700 {
+		t.Fatalf("Lookahead() = %d, want 700", got)
+	}
+	// Aligning shards with the leaves lifts the bound to the spine
+	// crossing.
+	byLeaf := make(par.ShardMap, 16)
+	for i := range byLeaf {
+		byLeaf[i] = i / 7
+	}
+	c = New(Config{Nodes: 16, ShardOf: byLeaf})
+	if got := c.Lookahead(); got != 1700 {
+		t.Fatalf("leaf-aligned Lookahead() = %d, want 1700", got)
+	}
+}
+
+func TestShardMapSingleShardLookahead(t *testing.T) {
+	c := New(Config{Nodes: 8, Shards: 1})
+	if got := c.Shards(); got != 1 {
+		t.Fatalf("Shards() = %d, want 1", got)
+	}
+	if got := c.Lookahead(); got != 700 {
+		t.Fatalf("single-shard Lookahead() = %d, want fabric-wide min 700", got)
+	}
+}
+
+func TestShardMapHetero(t *testing.T) {
+	c := New(Config{Nodes: 8, Fabric: Hetero, Shards: 2})
+	if got := c.Lookahead(); got <= 0 {
+		t.Fatalf("hetero Lookahead() = %d, want > 0 (min over rails)", got)
+	}
+}
+
+func TestShardMapSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on shard map size mismatch")
+		}
+	}()
+	New(Config{Nodes: 8, ShardOf: par.ShardMap{0, 1}})
+}

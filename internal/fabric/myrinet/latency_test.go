@@ -1,0 +1,53 @@
+package myrinet
+
+import (
+	"testing"
+
+	"bcl/internal/hw"
+	"bcl/internal/sim"
+)
+
+// DAWNING-3000 numbers: 200 ns wire + 300 ns switch cut-through. An
+// up link (into a switch) costs 500 ns, the final down link 200 ns.
+func TestRouteLatencySingleSwitch(t *testing.T) {
+	f := New(sim.NewEnv(1), hw.DAWNING3000(), 8)
+	if got := f.RouteLatency(0, 1); got != 700 {
+		t.Fatalf("RouteLatency(0,1) = %d, want 700", got)
+	}
+	if got := f.RouteLatency(3, 3); got != 0 {
+		t.Fatalf("loopback RouteLatency = %d, want 0", got)
+	}
+	if got := f.MinLatency(); got != 700 {
+		t.Fatalf("MinLatency = %d, want 700", got)
+	}
+	half := func(n int) int { return n / 4 }
+	if got := f.MinCrossLatency(half); got != 700 {
+		t.Fatalf("MinCrossLatency(half split) = %d, want 700", got)
+	}
+	one := func(int) int { return 0 }
+	if got := f.MinCrossLatency(one); got != 0 {
+		t.Fatalf("MinCrossLatency(single partition) = %d, want 0", got)
+	}
+}
+
+func TestRouteLatencyTree(t *testing.T) {
+	f := New(sim.NewEnv(1), hw.DAWNING3000(), 16) // leaf/spine, 7 nodes per leaf
+	if got := f.RouteLatency(0, 1); got != 700 {
+		t.Fatalf("same-leaf RouteLatency = %d, want 700", got)
+	}
+	if got := f.RouteLatency(0, 15); got != 1700 {
+		t.Fatalf("cross-leaf RouteLatency = %d, want 1700 (two extra spine hops)", got)
+	}
+	// Partitioning along leaf boundaries makes every cross-partition
+	// route pay the spine: lookahead more than doubles.
+	byLeaf := func(n int) int { return n / 7 }
+	if got := f.MinCrossLatency(byLeaf); got != 1700 {
+		t.Fatalf("MinCrossLatency(by leaf) = %d, want 1700", got)
+	}
+	// A partition cutting through a leaf keeps some 700 ns pairs
+	// cross-partition, so the conservative bound drops back to 700.
+	halves := func(n int) int { return n / 8 }
+	if got := f.MinCrossLatency(halves); got != 700 {
+		t.Fatalf("MinCrossLatency(halves) = %d, want 700", got)
+	}
+}

@@ -1,0 +1,82 @@
+package sim
+
+import "testing"
+
+// Scheduling on a closed environment is a documented, counted no-op:
+// the callback never runs, ClosedSchedules advances, and the returned
+// Timer's Cancel reports false (there is nothing pending to cancel).
+func TestAtOnClosedEnvIsCountedNoop(t *testing.T) {
+	e := NewEnv(1)
+	e.Close()
+
+	ran := false
+	tm := e.At(100, func() { ran = true })
+	if tm == nil {
+		t.Fatalf("At on closed env must still return a usable Timer")
+	}
+	if tm.Cancel() {
+		t.Fatalf("Cancel on a closed-env timer must report false")
+	}
+	e.AtArg(200, func(a, b uint64) { ran = true }, 1, 2)
+	e.After(50, func() { ran = true })
+
+	if got := e.ClosedSchedules(); got != 3 {
+		t.Fatalf("ClosedSchedules = %d, want 3", got)
+	}
+	if e.Run(); ran {
+		t.Fatalf("callbacks scheduled after Close must never run")
+	}
+	if e.Steps() != 0 {
+		t.Fatalf("Steps = %d after closed-env schedules, want 0", e.Steps())
+	}
+}
+
+// After keeps its panic-on-negative-delay behavior even when the
+// environment is closed: a bad duration is a model bug regardless of
+// lifecycle, while a late schedule during teardown is tolerated.
+func TestAfterNegativePanicsEvenWhenClosed(t *testing.T) {
+	e := NewEnv(1)
+	e.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("After(-1) on a closed env must still panic")
+		}
+		if got := e.ClosedSchedules(); got != 0 {
+			t.Fatalf("ClosedSchedules = %d, want 0 (panic precedes the drop)", got)
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+// ClosedSchedules stays zero across a normal run: it only counts
+// post-Close scheduling.
+func TestClosedSchedulesZeroDuringNormalRun(t *testing.T) {
+	e := NewEnv(1)
+	for i := Time(0); i < 10; i++ {
+		e.At(i, func() {})
+	}
+	e.Run()
+	if got := e.ClosedSchedules(); got != 0 {
+		t.Fatalf("ClosedSchedules = %d during normal run, want 0", got)
+	}
+}
+
+// A Timer held past its firing must stay inert even after the
+// underlying pooled event object is recycled into a new schedule:
+// Cancel must neither report true nor kill the recycled event.
+func TestStaleTimerCannotCancelRecycledEvent(t *testing.T) {
+	e := NewEnv(1)
+	tm := e.At(10, func() {})
+	e.Run() // fires and recycles the event
+
+	// This schedule reuses the pooled object the stale Timer points at.
+	ran := false
+	e.At(20, func() { ran = true })
+	if tm.Cancel() {
+		t.Fatalf("stale Timer.Cancel must report false after its event fired")
+	}
+	e.Run()
+	if !ran {
+		t.Fatalf("stale Timer.Cancel must not kill the recycled event")
+	}
+}

@@ -1,0 +1,98 @@
+package par
+
+// xmsg is one cross-shard message in the merge scratch buffer,
+// carrying its source shard id for the deterministic sort key.
+type xmsg struct {
+	m   Msg
+	src int
+	seq uint64
+}
+
+// xless is the deterministic merge order: (delivery time, source
+// shard, source sequence). Every component is a pure function of the
+// model, so the posting order — and with it the destination heap's
+// tie-break among same-time arrivals — is identical for every worker
+// interleaving and every run.
+func xless(a, b *xmsg) bool {
+	if a.m.At != b.m.At {
+		return a.m.At < b.m.At
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// exchange runs at each window barrier, with every worker parked: for
+// each destination shard it gathers the batches addressed to it,
+// merges them in xless order, and posts them into the destination env.
+// Outbox buffers are truncated in place and the scratch buffer is
+// reused, so a steady-state barrier allocates nothing.
+func (eng *Engine) exchange() {
+	for di, d := range eng.shards {
+		scratch := eng.scratch[:0]
+		for _, src := range eng.shards {
+			batch := src.outbox[di]
+			if len(batch) == 0 {
+				continue
+			}
+			eng.batches++
+			for _, st := range batch {
+				scratch = append(scratch, xmsg{m: st.m, src: src.ID, seq: st.seq})
+			}
+			src.outbox[di] = batch[:0]
+		}
+		if len(scratch) == 0 {
+			eng.scratch = scratch
+			continue
+		}
+		sortXmsgs(scratch)
+		for i := range scratch {
+			d.post(scratch[i].m)
+		}
+		eng.xmsgs += uint64(len(scratch))
+		eng.scratch = scratch
+	}
+}
+
+// sortXmsgs sorts in xless order: insertion sort below a small cutoff
+// (typical barrier batches are a handful of messages), heapsort above
+// it. Hand-rolled to keep barriers allocation-free — sort.Slice would
+// box the comparator every call.
+func sortXmsgs(x []xmsg) {
+	if len(x) <= 24 {
+		for i := 1; i < len(x); i++ {
+			for j := i; j > 0 && xless(&x[j], &x[j-1]); j-- {
+				x[j], x[j-1] = x[j-1], x[j]
+			}
+		}
+		return
+	}
+	// Heapsort: build a max-heap under xless, then pop to the tail.
+	n := len(x)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownX(x, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		x[0], x[end] = x[end], x[0]
+		siftDownX(x, 0, end)
+	}
+}
+
+func siftDownX(x []xmsg, i, n int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && xless(&x[big], &x[l]) {
+			big = l
+		}
+		if r < n && xless(&x[big], &x[r]) {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		x[i], x[big] = x[big], x[i]
+		i = big
+	}
+}

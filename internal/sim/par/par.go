@@ -1,0 +1,325 @@
+// Package par implements a conservative parallel discrete-event
+// engine layered on the sim kernel.
+//
+// Nodes are partitioned into shards; each shard owns a private
+// sim.Env (its own event heap, clock and RNG) and advances inside
+// bounded time windows. The window length is the engine's lookahead:
+// the minimum latency of any cross-shard link, exported by the fabric.
+// Within a window the shards run concurrently on worker goroutines —
+// safe because, by the lookahead argument, no event generated in
+// window [W, W+L) can need execution before W+L on any other shard.
+// At each window barrier the coordinator exchanges the batched
+// cross-shard messages, merging each destination's arrivals in
+// (time, source shard, source sequence) order before posting them, so
+// the destination heap's tie-break order is a pure function of the
+// model — never of goroutine scheduling. Same-seed runs are therefore
+// byte-identical for any worker count, and a one-shard engine executes
+// through a single sim.Env with zero barriers: it IS the classic
+// sequential kernel.
+//
+// The hot path is allocation-free: message payloads live in per-shard
+// slabs with freelists, deliveries are arg-carrying pooled events
+// (sim.Env.AtArg through one stored method value per shard), and
+// cross-shard batch buffers are retained and truncated at barriers.
+package par
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"bcl/internal/sim"
+)
+
+// Msg is one simulated message crossing the engine: it is delivered to
+// the shard owning Dst at absolute time At by calling the engine's
+// Handler. Kind, Size, A and B are for the model's use; the engine
+// never interprets them.
+type Msg struct {
+	At   sim.Time // absolute delivery time
+	Src  int      // sending node
+	Dst  int      // receiving node
+	Kind uint16   // model-defined message class
+	Size int      // model-defined payload size (bytes)
+	A, B uint64   // model-defined payload words
+}
+
+// Handler processes a delivered message inside the destination shard's
+// environment: it runs as an event callback at m.At on the shard that
+// owns m.Dst, and may call s.Send, schedule on s.Env, and touch any
+// state owned by that shard — but nothing owned by other shards.
+type Handler func(s *Shard, m *Msg)
+
+// ShardMap assigns each node to a shard: ShardMap[node] = shard id.
+type ShardMap []int
+
+// Contiguous returns the canonical shard map: nodes split into shards
+// contiguous ranges, as equal as possible, low nodes in low shards.
+func Contiguous(nodes, shards int) ShardMap {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > nodes {
+		shards = nodes
+	}
+	m := make(ShardMap, nodes)
+	per, extra := nodes/shards, nodes%shards
+	node := 0
+	for s := 0; s < shards; s++ {
+		n := per
+		if s < extra {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			m[node] = s
+			node++
+		}
+	}
+	return m
+}
+
+// Shards returns the number of shards the map uses (max id + 1).
+func (m ShardMap) Shards() int {
+	max := 0
+	for _, s := range m {
+		if s > max {
+			max = s
+		}
+	}
+	return max + 1
+}
+
+// DefaultShards reads the BCL_SHARDS environment variable (the CI race
+// matrix sets it to 4) and defaults to 1: sequential unless asked.
+func DefaultShards() int {
+	if v := os.Getenv("BCL_SHARDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1
+}
+
+// Config describes an engine.
+type Config struct {
+	// Map assigns nodes to shards (required; see Contiguous).
+	Map ShardMap
+	// Lookahead is the window length: no cross-shard message may have
+	// a send-to-delivery latency below it. Required (>0) when the map
+	// uses more than one shard; the fabric's MinCrossLatency supplies
+	// it for real topologies.
+	Lookahead sim.Time
+	// Seed derives each shard's RNG seed (seed+shard id, so shard 0 of
+	// a one-shard engine matches a plain NewEnv(seed)).
+	Seed uint64
+	// Handler receives every delivered message.
+	Handler Handler
+}
+
+// Stats is the engine's deterministic execution record.
+type Stats struct {
+	Shards    int
+	Events    uint64 // events executed, summed over shard envs
+	Barriers  uint64 // window barriers crossed
+	Batches   uint64 // non-empty (src,dst) cross-shard batches exchanged
+	CrossMsgs uint64 // messages carried by those batches
+	PoolHits  uint64 // event-pool hits, summed over shard envs
+	PoolMiss  uint64 // event-pool misses
+	SlabHits  uint64 // msg-slab freelist hits, summed over shards
+	SlabMiss  uint64 // msg-slab growth allocations
+}
+
+// PoolHitPct returns the event-pool hit rate in percent.
+func (s Stats) PoolHitPct() float64 {
+	if s.PoolHits+s.PoolMiss == 0 {
+		return 0
+	}
+	return float64(s.PoolHits) / float64(s.PoolHits+s.PoolMiss) * 100
+}
+
+// Engine is a sharded parallel simulation. Build with New, inject
+// initial messages with Post, advance with Run, then read Stats.
+// All Engine methods must be called from one goroutine (the
+// coordinator); Shard methods are for Handler callbacks.
+type Engine struct {
+	shards    []*Shard
+	shardOf   ShardMap
+	lookahead sim.Time
+	handler   Handler
+
+	committed sim.Time // start of the next window; all state < committed is final
+
+	barriers uint64
+	batches  uint64
+	xmsgs    uint64
+
+	scratch []xmsg // merge buffer reused across barriers
+}
+
+// New builds an engine. It panics on an unusable config (no map, or a
+// multi-shard map without positive lookahead) — these are model bugs,
+// not runtime conditions.
+func New(cfg Config) *Engine {
+	if len(cfg.Map) == 0 {
+		panic("par: Config.Map is required")
+	}
+	n := cfg.Map.Shards()
+	if n > 1 && cfg.Lookahead <= 0 {
+		panic("par: multi-shard engine requires positive lookahead")
+	}
+	eng := &Engine{
+		shardOf:   cfg.Map,
+		lookahead: cfg.Lookahead,
+		handler:   cfg.Handler,
+	}
+	for id := 0; id < n; id++ {
+		s := &Shard{
+			ID:     id,
+			Env:    sim.NewEnv(cfg.Seed + uint64(id)),
+			eng:    eng,
+			outbox: make([][]stamped, n),
+		}
+		s.deliver = s.deliverMsg
+		eng.shards = append(eng.shards, s)
+	}
+	if n > 1 {
+		for _, s := range eng.shards {
+			s.start = make(chan sim.Time)
+			s.done = make(chan struct{})
+			s.exited = make(chan struct{})
+			go s.work()
+		}
+	}
+	return eng
+}
+
+// Shards returns the engine's shard count.
+func (eng *Engine) Shards() int { return len(eng.shards) }
+
+// Lookahead returns the window length.
+func (eng *Engine) Lookahead() sim.Time { return eng.lookahead }
+
+// Shard returns shard id (for model setup before Run).
+func (eng *Engine) Shard(id int) *Shard { return eng.shards[id] }
+
+// Now returns the committed virtual time: everything strictly before
+// it has executed.
+func (eng *Engine) Now() sim.Time { return eng.committed }
+
+// Post injects a message from outside any handler (model setup, or
+// between Run calls). Delivery must not predate committed time.
+func (eng *Engine) Post(m Msg) {
+	if m.At < eng.committed {
+		panic(fmt.Sprintf("par: posting message at %d before committed time %d", m.At, eng.committed))
+	}
+	eng.shards[eng.shardOf[m.Dst]].post(m)
+}
+
+// Run advances the simulation through events with timestamps <= until
+// and returns the committed time. With one shard this is a single
+// sequential sim.Env.RunUntil — the classic kernel, zero barriers.
+// With N shards it loops bounded windows: dispatch every shard's env
+// concurrently to the window end, barrier, exchange cross-shard
+// batches in deterministic merge order, repeat. Run may be called
+// repeatedly with increasing horizons.
+func (eng *Engine) Run(until sim.Time) sim.Time {
+	if len(eng.shards) == 1 {
+		s := eng.shards[0]
+		s.windowEnd = sim.Forever // single shard: everything is local
+		s.Env.RunUntil(until)
+		if c := s.Env.Now(); c > eng.committed {
+			eng.committed = c
+		}
+		return eng.committed
+	}
+	for eng.committed <= until {
+		// Fast-forward over empty windows: with no messages in flight
+		// (outboxes drain at every barrier) the earliest pending event
+		// across all shards bounds the next instant anything happens.
+		lo, any := eng.earliestPending()
+		if !any {
+			break
+		}
+		if lo > until {
+			break
+		}
+		if lo > eng.committed {
+			eng.committed = lo
+		}
+		end := eng.committed + eng.lookahead
+		if end < eng.committed { // overflow
+			end = sim.Forever
+		}
+		if until < sim.Forever && end > until+1 {
+			end = until + 1
+		}
+		// Window [committed, end): workers execute events with t < end
+		// concurrently. Cross-shard sends from this window arrive at
+		// >= committed + lookahead >= end, so no shard can need them.
+		for _, s := range eng.shards {
+			s.windowEnd = end
+		}
+		for _, s := range eng.shards {
+			s.start <- end - 1
+		}
+		for _, s := range eng.shards {
+			<-s.done
+		}
+		eng.barriers++
+		eng.exchange()
+		eng.committed = end
+		if end == sim.Forever {
+			break
+		}
+	}
+	if until < sim.Forever && until > eng.committed {
+		eng.committed = until
+	}
+	return eng.committed
+}
+
+// earliestPending returns the earliest event timestamp across shards.
+// Called only between windows, when all workers are parked at the
+// barrier (the start/done channel pair orders their heap writes before
+// this read).
+func (eng *Engine) earliestPending() (sim.Time, bool) {
+	lo, any := sim.Time(0), false
+	for _, s := range eng.shards {
+		if t, ok := s.Env.NextEventAt(); ok && (!any || t < lo) {
+			lo, any = t, true
+		}
+	}
+	return lo, any
+}
+
+// Stats returns the deterministic execution record so far.
+func (eng *Engine) Stats() Stats {
+	st := Stats{
+		Shards:    len(eng.shards),
+		Barriers:  eng.barriers,
+		Batches:   eng.batches,
+		CrossMsgs: eng.xmsgs,
+	}
+	for _, s := range eng.shards {
+		st.Events += s.Env.Steps()
+		h, m := s.Env.PoolStats()
+		st.PoolHits += h
+		st.PoolMiss += m
+		st.SlabHits += s.slabHits
+		st.SlabMiss += s.slabMisses
+	}
+	return st
+}
+
+// Close shuts down the worker goroutines and closes every shard env.
+func (eng *Engine) Close() {
+	for _, s := range eng.shards {
+		if s.start != nil {
+			close(s.start)
+			<-s.exited
+		}
+	}
+	for _, s := range eng.shards {
+		s.Env.Close()
+	}
+}

@@ -1,0 +1,227 @@
+package par
+
+import (
+	"testing"
+
+	"bcl/internal/sim"
+)
+
+// ringModel is the test workload: every node starts one token; a token
+// at node n hops to (n+1)%N after a fixed latency until its hop budget
+// (carried in A) runs out. Each node folds every arrival into a
+// commutative digest, so the digest is invariant under both execution
+// order and shard map.
+type ringModel struct {
+	nodes  int
+	lat    sim.Time
+	recvd  []uint64 // arrivals per node
+	digest []uint64 // commutative per-node digest
+}
+
+func (rm *ringModel) handle(s *Shard, m *Msg) {
+	rm.recvd[m.Dst]++
+	rm.digest[m.Dst] += sim.Splitmix64(uint64(m.At)<<16 ^ uint64(m.Src)<<8 ^ m.A)
+	if m.A == 0 {
+		return
+	}
+	s.Send(Msg{
+		At:  m.At + rm.lat,
+		Src: m.Dst,
+		Dst: (m.Dst + 1) % rm.nodes,
+		A:   m.A - 1,
+	})
+}
+
+func (rm *ringModel) fold() uint64 {
+	d := uint64(1469598103934665603)
+	for n := 0; n < rm.nodes; n++ {
+		d = (d ^ rm.digest[n] ^ rm.recvd[n]) * 1099511628211
+	}
+	return d
+}
+
+// runRing executes the ring workload on the given shard count and
+// returns its stats and folded digest.
+func runRing(shards, nodes int, hops uint64, until sim.Time) (Stats, uint64) {
+	rm := &ringModel{
+		nodes:  nodes,
+		lat:    1000,
+		recvd:  make([]uint64, nodes),
+		digest: make([]uint64, nodes),
+	}
+	eng := New(Config{
+		Map:       Contiguous(nodes, shards),
+		Lookahead: rm.lat,
+		Seed:      42,
+		Handler:   rm.handle,
+	})
+	defer eng.Close()
+	for n := 0; n < nodes; n++ {
+		eng.Post(Msg{At: sim.Time(n + 1), Src: n, Dst: n, A: hops})
+	}
+	eng.Run(until)
+	return eng.Stats(), rm.fold()
+}
+
+func TestContiguousMap(t *testing.T) {
+	m := Contiguous(10, 4)
+	want := ShardMap{0, 0, 0, 1, 1, 1, 2, 2, 3, 3}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("Contiguous(10,4) = %v, want %v", m, want)
+		}
+	}
+	if m.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", m.Shards())
+	}
+	if got := Contiguous(3, 8).Shards(); got != 3 {
+		t.Fatalf("Contiguous(3,8).Shards() = %d, want 3 (capped at nodes)", got)
+	}
+}
+
+// The whole point of the conservative design: shard count must not
+// change what the simulation computes — identical event totals and
+// identical model digests at 1, 2, 3 and 4 shards.
+func TestInvariantAcrossShardCounts(t *testing.T) {
+	const nodes, hops = 16, 200
+	baseStats, baseDigest := runRing(1, nodes, hops, sim.Forever)
+	wantEvents := uint64(nodes * (hops + 1)) // every token: 1 start + hops hops
+	if baseStats.Events != wantEvents {
+		t.Fatalf("sequential events = %d, want %d", baseStats.Events, wantEvents)
+	}
+	if baseStats.Barriers != 0 {
+		t.Fatalf("single-shard run crossed %d barriers, want 0", baseStats.Barriers)
+	}
+	for _, shards := range []int{2, 3, 4} {
+		st, dig := runRing(shards, nodes, hops, sim.Forever)
+		if st.Events != baseStats.Events {
+			t.Errorf("shards=%d events = %d, want %d", shards, st.Events, baseStats.Events)
+		}
+		if dig != baseDigest {
+			t.Errorf("shards=%d digest %x != sequential digest %x", shards, dig, baseDigest)
+		}
+		if st.Barriers == 0 || st.CrossMsgs == 0 {
+			t.Errorf("shards=%d ran without barriers (%d) or cross msgs (%d)", shards, st.Barriers, st.CrossMsgs)
+		}
+	}
+}
+
+// Double runs at the same shard count must agree exactly, stats
+// included — worker interleaving must be invisible.
+func TestDoubleRunIdentical(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		s1, d1 := runRing(shards, 16, 200, sim.Forever)
+		s2, d2 := runRing(shards, 16, 200, sim.Forever)
+		if s1 != s2 {
+			t.Errorf("shards=%d stats differ across runs: %+v vs %+v", shards, s1, s2)
+		}
+		if d1 != d2 {
+			t.Errorf("shards=%d digest differs across runs: %x vs %x", shards, d1, d2)
+		}
+	}
+}
+
+// Repeated Run calls with growing horizons must land in the same place
+// as one shot, and a shrunken horizon must be a no-op.
+func TestRunIncrementalHorizons(t *testing.T) {
+	const nodes, hops = 8, 50
+	oneShot, oneDig := runRing(4, nodes, hops, sim.Forever)
+
+	rm := &ringModel{nodes: nodes, lat: 1000, recvd: make([]uint64, nodes), digest: make([]uint64, nodes)}
+	eng := New(Config{Map: Contiguous(nodes, 4), Lookahead: rm.lat, Seed: 42, Handler: rm.handle})
+	defer eng.Close()
+	for n := 0; n < nodes; n++ {
+		eng.Post(Msg{At: sim.Time(n + 1), Src: n, Dst: n, A: hops})
+	}
+	eng.Run(10_000)
+	mid := eng.Stats().Events
+	if mid == 0 || mid == oneShot.Events {
+		t.Fatalf("partial horizon executed %d events, want strictly between 0 and %d", mid, oneShot.Events)
+	}
+	if got := eng.Run(5_000); got < 10_000 {
+		t.Fatalf("shrunken horizon rewound committed time to %d", got)
+	}
+	eng.Run(sim.Forever)
+	if st := eng.Stats(); st.Events != oneShot.Events {
+		t.Fatalf("incremental events = %d, want %d", st.Events, oneShot.Events)
+	}
+	if rm.fold() != oneDig {
+		t.Fatalf("incremental digest differs from one-shot digest")
+	}
+}
+
+// A cross-shard send due inside the current window breaks the
+// conservative contract and must panic loudly, not corrupt time.
+func TestLookaheadViolationPanics(t *testing.T) {
+	violated := false
+	var eng *Engine
+	eng = New(Config{
+		Map:       Contiguous(2, 2),
+		Lookahead: 1000,
+		Seed:      1,
+		Handler: func(s *Shard, m *Msg) {
+			if m.A == 1 {
+				defer func() {
+					if recover() != nil {
+						violated = true
+					}
+				}()
+				// Latency 1 < lookahead 1000: must panic.
+				s.Send(Msg{At: m.At + 1, Src: m.Dst, Dst: 1 - m.Dst, A: 0})
+			}
+		},
+	})
+	defer eng.Close()
+	eng.Post(Msg{At: 1, Src: 0, Dst: 0, A: 1})
+	eng.Run(sim.Forever)
+	if !violated {
+		t.Fatalf("lookahead violation did not panic")
+	}
+}
+
+// New must reject configs that cannot be conservative.
+func TestNewRejectsBadConfig(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty map", func() { New(Config{}) })
+	mustPanic("zero lookahead multi-shard", func() {
+		New(Config{Map: Contiguous(4, 2), Handler: func(*Shard, *Msg) {}})
+	})
+}
+
+// Hot paths must recycle: after warm-up, event-pool and slab hits
+// dominate misses.
+func TestPoolingSteadyState(t *testing.T) {
+	st, _ := runRing(4, 16, 500, sim.Forever)
+	if st.PoolHits < st.PoolMiss*10 {
+		t.Errorf("event pool cold: hits=%d misses=%d", st.PoolHits, st.PoolMiss)
+	}
+	if st.SlabHits < st.SlabMiss*10 {
+		t.Errorf("msg slab cold: hits=%d misses=%d", st.SlabHits, st.SlabMiss)
+	}
+}
+
+// Close must stop the workers and leave the engine inert: scheduling
+// after close is the kernel's counted no-op, not a hang.
+func TestCloseStopsWorkers(t *testing.T) {
+	eng := New(Config{Map: Contiguous(8, 4), Lookahead: 100, Seed: 1, Handler: func(*Shard, *Msg) {}})
+	eng.Post(Msg{At: 1, Src: 0, Dst: 7})
+	eng.Run(sim.Forever)
+	eng.Close()
+	for i := 0; i < eng.Shards(); i++ {
+		if !eng.Shard(i).Env.Idle() {
+			t.Fatalf("shard %d env not drained after Close", i)
+		}
+	}
+	// post after close: dropped and counted by the kernel.
+	eng.Shard(0).post(Msg{At: eng.Now() + 1})
+	if got := eng.Shard(0).Env.ClosedSchedules(); got != 1 {
+		t.Fatalf("ClosedSchedules = %d after post-Close post, want 1", got)
+	}
+}

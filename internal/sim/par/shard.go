@@ -1,0 +1,123 @@
+package par
+
+import "fmt"
+
+import "bcl/internal/sim"
+
+// stamped is one cross-shard message waiting in an outbox, tagged with
+// the sender shard's monotonically increasing sequence number — the
+// final tie-break of the deterministic merge order.
+type stamped struct {
+	m   Msg
+	seq uint64
+}
+
+// Shard is one partition of the simulation: a private sim.Env plus the
+// engine-facing plumbing. Handler callbacks receive the shard that
+// owns the destination node and may use Env and Send freely; they must
+// not touch other shards' state.
+type Shard struct {
+	ID  int
+	Env *sim.Env
+
+	eng       *Engine
+	windowEnd sim.Time // current window bound; cross-shard sends must land at or past it
+
+	// outbox[dst] batches this window's cross-shard messages per
+	// destination shard. Buffers are truncated, never freed, at each
+	// barrier, so steady-state batching allocates nothing.
+	outbox [][]stamped
+	seq    uint64
+
+	// slab holds in-flight local message payloads; free is its
+	// freelist. Deliveries ride pooled arg-events carrying the slot
+	// index, so a local send is allocation-free once the slab and the
+	// env's event pool have warmed up.
+	slab       []Msg
+	free       []int
+	slabHits   uint64
+	slabMisses uint64
+
+	// deliver is the one stored method value every delivery event
+	// dispatches through (sim.Env.AtArg's long-lived function).
+	deliver func(a, b uint64)
+
+	// Worker plumbing (nil on a single-shard engine). The unbuffered
+	// start/done pair is also the memory barrier: every shard-state
+	// write by the worker happens before the coordinator's reads
+	// between windows, and vice versa.
+	start  chan sim.Time
+	done   chan struct{}
+	exited chan struct{}
+}
+
+// Now returns the shard clock.
+func (s *Shard) Now() sim.Time { return s.Env.Now() }
+
+// Rand returns the shard's deterministic RNG. Models that must keep
+// event counts invariant across shard maps should prefer per-node
+// generators (sim.NewRand) — shard-level draws interleave differently
+// when nodes move between shards.
+func (s *Shard) Rand() *sim.Rand { return s.Env.Rand() }
+
+// work is the worker loop: run one window per start token.
+func (s *Shard) work() {
+	defer close(s.exited)
+	for end := range s.start {
+		s.Env.RunUntil(end)
+		s.done <- struct{}{}
+	}
+}
+
+// allocSlot leases a slab slot for one in-flight message.
+func (s *Shard) allocSlot() int {
+	if n := len(s.free); n > 0 {
+		slot := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.slabHits++
+		return slot
+	}
+	s.slabMisses++
+	s.slab = append(s.slab, Msg{})
+	return len(s.slab) - 1
+}
+
+// post schedules delivery of m on this shard: slab slot + arg-event.
+func (s *Shard) post(m Msg) {
+	slot := s.allocSlot()
+	s.slab[slot] = m
+	s.Env.AtArg(m.At, s.deliver, uint64(slot), 0)
+}
+
+// deliverMsg is the delivery trampoline (the stored method value): it
+// frees the slab slot before invoking the handler, so the handler's
+// own sends can reuse it immediately.
+func (s *Shard) deliverMsg(a, _ uint64) {
+	slot := int(a)
+	m := s.slab[slot]
+	s.free = append(s.free, slot)
+	s.eng.handler(s, &m)
+}
+
+// Send routes a message. Local destinations are scheduled directly on
+// this shard's env; cross-shard destinations are batched in the outbox
+// for the next barrier exchange. A cross-shard delivery time inside
+// the current window is a lookahead violation — the model promised
+// cross-shard latency >= lookahead — and panics.
+func (s *Shard) Send(m Msg) {
+	dst := s.eng.shardOf[m.Dst]
+	if dst == s.ID {
+		if m.At < s.Env.Now() {
+			panic(fmt.Sprintf("par: shard %d local send at %d before now %d", s.ID, m.At, s.Env.Now()))
+		}
+		s.post(m)
+		return
+	}
+	if m.At < s.windowEnd {
+		panic(fmt.Sprintf(
+			"par: lookahead violation: shard %d sent %d->%d arriving at %d inside window ending %d",
+			s.ID, m.Src, m.Dst, m.At, s.windowEnd))
+	}
+	s.seq++
+	s.outbox[dst] = append(s.outbox[dst], stamped{m: m, seq: s.seq})
+}

@@ -19,6 +19,11 @@ type Proc struct {
 	resume chan struct{}
 	killed bool
 	done   *Signal
+
+	// wakeFn is the one closure allocated per process; every wake-up
+	// (wakeSoon, Sleep, the start event) schedules it through the
+	// pooled event queue, so process handoffs allocate nothing.
+	wakeFn func()
 }
 
 // Go creates a process named name running fn and schedules it to start
@@ -36,8 +41,9 @@ func (e *Env) GoAt(t Time, name string, fn func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 		done:   NewSignal(e),
 	}
+	p.wakeFn = func() { e.wake(p) }
 	go p.run(fn)
-	e.At(t, func() { e.wake(p) })
+	e.at(t, p.wakeFn)
 	return p
 }
 
@@ -98,7 +104,7 @@ func (p *Proc) Sleep(d Time) {
 		p.park()
 		return
 	}
-	p.env.After(d, func() { p.env.wake(p) })
+	p.env.at(p.env.now+d, p.wakeFn)
 	p.park()
 }
 

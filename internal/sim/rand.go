@@ -25,6 +25,17 @@ func NewRand(seed uint64) *Rand {
 	return r
 }
 
+// Splitmix64 is the stateless splitmix64 finalizer: a high-quality
+// 64-bit mix usable as a pure hash. Models use it for decisions that
+// must depend only on an identifier (e.g. "does message m get a
+// reply?") so the outcome is invariant under any execution order.
+func Splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.
